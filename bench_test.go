@@ -1,0 +1,305 @@
+package revive
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// iteration regenerates the experiment at the Quick scale (reduced
+// instruction budgets); `cmd/revive-bench -all` produces the full-scale
+// numbers recorded in EXPERIMENTS.md. The reported metric of interest is
+// printed via b.ReportMetric where a single scalar summarizes the result
+// (e.g. average overhead for Figure 8).
+
+import (
+	"fmt"
+	"io"
+	"testing"
+)
+
+// benchApps is a 4-app subset spanning the paper's behaviour range: the
+// best case (Water-Sp), a mid-range app (Barnes), and the two outliers
+// (FFT for checkpoint cost, Radix for log size and miss rate).
+func benchApps(b *testing.B, o Options) []App {
+	b.Helper()
+	var apps []App
+	for _, name := range []string{"Water-Sp", "Barnes", "FFT", "Radix"} {
+		a, ok := AppByName(name, o)
+		if !ok {
+			b.Fatalf("app %s missing", name)
+		}
+		apps = append(apps, a)
+	}
+	return apps
+}
+
+// BenchmarkFigure8 regenerates the error-free overhead comparison
+// (Figure 8): 5 configurations per application.
+func BenchmarkFigure8(b *testing.B) {
+	o := Options{Quick: true}
+	apps := benchApps(b, o)
+	for i := 0; i < b.N; i++ {
+		results := RunErrorFree(o, apps, nil)
+		b.ReportMetric(100*meanOverhead(results, VCp), "avg-Cp-overhead-%")
+		b.ReportMetric(100*meanOverhead(results, VCpInf), "avg-CpInf-overhead-%")
+	}
+}
+
+// BenchmarkFigure9 regenerates the network-traffic breakdown (Figure 9).
+func BenchmarkFigure9(b *testing.B) {
+	o := Options{Quick: true}
+	apps := benchApps(b, o)[2:3] // FFT
+	for i := 0; i < b.N; i++ {
+		results := RunErrorFree(o, apps, nil)
+		st := results[0].Runs[VCp]
+		WriteFigure9(io.Discard, results)
+		b.ReportMetric(float64(st.TotalNetBytes())/float64(st.Instructions), "net-B/instr")
+	}
+}
+
+// BenchmarkFigure10 regenerates the memory-traffic breakdown (Figure 10).
+func BenchmarkFigure10(b *testing.B) {
+	o := Options{Quick: true}
+	apps := benchApps(b, o)[3:4] // Radix
+	for i := 0; i < b.N; i++ {
+		results := RunErrorFree(o, apps, nil)
+		st := results[0].Runs[VCp]
+		WriteFigure10(io.Discard, results)
+		b.ReportMetric(1000*float64(st.TotalMemAccesses())/float64(st.Instructions), "mem-acc/1000instr")
+	}
+}
+
+// BenchmarkFigure11 regenerates the maximum-log-size measurement
+// (Figure 11) on Radix, the paper's largest log.
+func BenchmarkFigure11(b *testing.B) {
+	o := Options{Quick: true}
+	app, _ := AppByName("Radix", o)
+	for i := 0; i < b.N; i++ {
+		m := New(EvalConfig(o))
+		m.Load(app)
+		st := m.Run()
+		b.ReportMetric(float64(st.LogBytesPeak)/1024, "peak-log-KB")
+	}
+}
+
+// BenchmarkFigure12 regenerates the recovery-time experiment (Figure 12
+// and the Figure 7 time-line): worst-case node loss, rollback of two
+// checkpoints.
+func BenchmarkFigure12(b *testing.B) {
+	o := Options{Quick: true}
+	apps := benchApps(b, o)[3:4] // Radix, the slowest recovery
+	for i := 0; i < b.N; i++ {
+		res := RunRecoveryStudy(o, apps, nil)
+		b.ReportMetric(float64(res[0].NodeLoss.Phase2+res[0].NodeLoss.Phase3)/1000,
+			"recovery-us")
+	}
+}
+
+// BenchmarkFigure6 regenerates the checkpoint-establishment timing at the
+// paper's two reference cache sizes (section 3.3.1).
+func BenchmarkFigure6(b *testing.B) {
+	o := Options{Quick: true}
+	for i := 0; i < b.N; i++ {
+		rows := RunFigure6(o)
+		b.ReportMetric(float64(rows[0].FlushTime)/1000, "flush-128KB-us")
+		b.ReportMetric(float64(rows[1].FlushTime)/1000, "flush-2MB-us")
+	}
+}
+
+// BenchmarkTable2 regenerates the working-set/frequency sensitivity matrix.
+func BenchmarkTable2(b *testing.B) {
+	o := Options{Quick: true}
+	for i := 0; i < b.N; i++ {
+		cells := RunTable2(o)
+		b.ReportMetric(100*cells[0].Overhead, "nofit-high-%")
+		b.ReportMetric(100*cells[len(cells)-1].Overhead, "clean-low-%")
+	}
+}
+
+// BenchmarkTable4 regenerates the application-characteristics table
+// (baseline miss rates).
+func BenchmarkTable4(b *testing.B) {
+	o := Options{Quick: true}
+	apps := benchApps(b, o)
+	for i := 0; i < b.N; i++ {
+		results := RunMissRates(o, apps)
+		b.ReportMetric(100*results[len(results)-1].Runs[VBase].L2MissRate(), "radix-miss-%")
+	}
+}
+
+// BenchmarkTable1Events measures the per-event cost of the three Table 1
+// event classes via a microbenchmark machine (the exact access counts are
+// asserted in internal/machine's Table 1 tests).
+func BenchmarkTable1Events(b *testing.B) {
+	o := Options{Quick: true, Nodes: 8}
+	prof := Profile{
+		Label: "wb-stream", InstrPerProc: 40_000, MemOpsPer1000: 350,
+		HotLines: 64, HotWriteFrac: 0.9,
+		ColdFrac: 0.05, ColdLines: 32768, ColdWriteFrac: 0.9,
+	}
+	for i := 0; i < b.N; i++ {
+		m := New(EvalConfig(o))
+		m.Load(prof)
+		st := m.Run()
+		b.ReportMetric(float64(st.MemAccesses[4])/float64(st.MemAccesses[1]+st.MemAccesses[2]+1),
+			"parity-acc-per-wb")
+	}
+}
+
+// BenchmarkStorage regenerates the section 6.2 storage accounting.
+func BenchmarkStorage(b *testing.B) {
+	o := Options{Quick: true}
+	apps := benchApps(b, o)[3:4]
+	for i := 0; i < b.N; i++ {
+		results := RunErrorFree(o, apps, nil)
+		s := StorageStudy(results, 8)
+		b.ReportMetric(100*s.TotalOverhead(), "mem-overhead-%")
+	}
+}
+
+// BenchmarkAvailability regenerates the section 3.3.2 availability table
+// (pure arithmetic; here for completeness of the per-experiment index).
+func BenchmarkAvailability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := AvailabilityStudy()
+		b.ReportMetric(100*rows[0].WorstCase, "avail-1-per-day-%")
+	}
+}
+
+// --- ablation benches (DESIGN.md section 5) ---
+
+// BenchmarkAblationLBit compares log traffic with and without the Logged
+// bit (section 4.1.2: the L bit is an optimization, not needed for
+// correctness).
+func BenchmarkAblationLBit(b *testing.B) {
+	o := Options{Quick: true}
+	app, _ := AppByName("FFT", o)
+	for i := 0; i < b.N; i++ {
+		withBit := New(EvalConfig(o))
+		withBit.Load(app)
+		stWith := withBit.Run()
+
+		cfg := EvalConfig(o)
+		cfg.DisableLBits = true
+		without := New(cfg)
+		without.Load(app)
+		stWithout := without.Run()
+		b.ReportMetric(float64(stWithout.MemAccesses[3])/float64(stWith.MemAccesses[3]),
+			"log-traffic-ratio")
+	}
+}
+
+// BenchmarkAblationEagerLog compares execution time with and without
+// logging on read-exclusive/upgrade (the acknowledged optimization: eager
+// logging keeps the write-back acknowledgment off the log's critical path).
+func BenchmarkAblationEagerLog(b *testing.B) {
+	o := Options{Quick: true}
+	app, _ := AppByName("Radix", o)
+	for i := 0; i < b.N; i++ {
+		eager := New(EvalConfig(o))
+		eager.Load(app)
+		stEager := eager.Run()
+
+		cfg := EvalConfig(o)
+		cfg.DisableEagerLog = true
+		lazy := New(cfg)
+		lazy.Load(app)
+		stLazy := lazy.Run()
+		b.ReportMetric(100*(float64(stLazy.ExecTime)/float64(stEager.ExecTime)-1),
+			"lazy-slowdown-%")
+	}
+}
+
+// BenchmarkAblationGroupSize sweeps the parity group size (section 6.2's
+// memory/performance/recovery trade-off).
+func BenchmarkAblationGroupSize(b *testing.B) {
+	app := "FFT"
+	for _, gs := range []int{2, 4, 8, 16} {
+		gs := gs
+		b.Run(groupName(gs), func(b *testing.B) {
+			o := Options{Quick: true, GroupSize: gs}
+			a, _ := AppByName(app, o)
+			for i := 0; i < b.N; i++ {
+				m := New(EvalConfig(o))
+				m.Load(a)
+				st := m.Run()
+				b.ReportMetric(float64(st.ExecTime)/1000, "exec-us")
+			}
+		})
+	}
+}
+
+func groupName(gs int) string {
+	if gs == 2 {
+		return "mirror"
+	}
+	return fmt.Sprintf("%d+1", gs-1)
+}
+
+// BenchmarkAblationParityPlacement compares the paper's distributed parity
+// against Plank-style dedicated parity nodes (section 3.1: distribution
+// "avoids possible bottlenecks in the parity node(s)").
+func BenchmarkAblationParityPlacement(b *testing.B) {
+	for _, dedicated := range []bool{false, true} {
+		dedicated := dedicated
+		name := "distributed"
+		if dedicated {
+			name = "dedicated"
+		}
+		b.Run(name, func(b *testing.B) {
+			o := Options{Quick: true, DedicatedParity: dedicated}
+			app, _ := AppByName("Ocean", o)
+			for i := 0; i < b.N; i++ {
+				m := New(EvalConfig(o))
+				m.Load(app)
+				st := m.Run()
+				b.ReportMetric(float64(st.ExecTime)/1000, "exec-us")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHybridProtection measures the sections 6.1/8 hybrid:
+// a mirrored hot region over a 7+1 parity remainder, against both pure
+// organizations.
+func BenchmarkAblationHybridProtection(b *testing.B) {
+	cases := []struct {
+		name         string
+		groupSize    int
+		mirrorFrames int
+	}{
+		{"parity7+1", 8, 0},
+		{"hybrid", 8, 64},
+		{"mirror", 2, 0},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			o := Options{Quick: true, GroupSize: c.groupSize, MirrorFrames: c.mirrorFrames}
+			app, _ := AppByName("FFT", o)
+			for i := 0; i < b.N; i++ {
+				m := New(EvalConfig(o))
+				m.Load(app)
+				st := m.Run()
+				b.ReportMetric(float64(st.ExecTime)/1000, "exec-us")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCheckpointInterval sweeps the checkpoint interval
+// (section 6.1: overhead falls as the interval grows).
+func BenchmarkAblationCheckpointInterval(b *testing.B) {
+	intervals := []Time{50 * Microsecond, 150 * Microsecond, 400 * Microsecond}
+	o := Options{Quick: true}
+	app, _ := AppByName("FFT", o)
+	for _, iv := range intervals {
+		iv := iv
+		b.Run(fmt.Sprintf("%dus", iv/Microsecond), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := EvalConfig(o)
+				cfg.Checkpoint.Interval = iv
+				m := New(cfg)
+				m.Load(app)
+				st := m.Run()
+				b.ReportMetric(float64(st.ExecTime)/1000, "exec-us")
+			}
+		})
+	}
+}

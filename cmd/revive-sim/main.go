@@ -1,0 +1,156 @@
+// Command revive-sim runs one workload on one machine configuration and
+// prints the execution statistics: the interactive front door to the
+// simulator.
+//
+// Usage:
+//
+//	revive-sim -app FFT                      # ReVive, 7+1 parity, Cp regime
+//	revive-sim -app Radix -baseline          # no recovery support
+//	revive-sim -app Ocean -mirror            # mirroring instead of parity
+//	revive-sim -app LU -interval 200us       # custom checkpoint interval
+//	revive-sim -list                         # the 12 applications
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"revive"
+	"revive/internal/stats"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "FFT", "application (Table 4 name)")
+		baseline = flag.Bool("baseline", false, "run without recovery support")
+		mirror   = flag.Bool("mirror", false, "mirroring instead of 7+1 parity")
+		noCkpt   = flag.Bool("nockpt", false, "infinite checkpoint interval (CpInf)")
+		interval = flag.Duration("interval", 0, "checkpoint interval (e.g. 200us; default: regime)")
+		nodes    = flag.Int("nodes", 16, "node count")
+		scale    = flag.Int("scale", 100, "divide paper instruction counts by this")
+		quick    = flag.Bool("quick", false, "reduced instruction budget")
+		list     = flag.Bool("list", false, "list applications and exit")
+		util     = flag.Bool("util", false, "print the per-node utilization report")
+		record   = flag.String("record", "", "write the workload's trace to this file and exit")
+		replay   = flag.String("replay", "", "run a recorded trace instead of an application")
+	)
+	flag.Parse()
+
+	o := revive.Options{Nodes: *nodes, Scale: *scale, Quick: *quick}
+	if *mirror {
+		o.GroupSize = 2
+	}
+	if *list {
+		fmt.Printf("%-12s %12s %10s\n", "App", "Paper instr", "Paper miss")
+		for _, a := range revive.Apps(o) {
+			fmt.Printf("%-12s %11dM %9.2f%%\n", a.Label, a.PaperInstrM, a.PaperMissPct)
+		}
+		return
+	}
+	var wl revive.Workload
+	appLabel := *appName
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		wl, err = revive.ReplayTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		appLabel = *replay
+	} else {
+		app, ok := revive.AppByName(*appName, o)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown application %q (try -list)\n", *appName)
+			os.Exit(2)
+		}
+		wl = app
+		if *record != "" {
+			f, err := os.Create(*record)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			if err := revive.RecordTrace(f, app, *nodes); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			f.Close()
+			fmt.Printf("trace of %s (%d processors) written to %s\n", app.Label, *nodes, *record)
+			return
+		}
+	}
+
+	var cfg revive.Config
+	switch {
+	case *baseline:
+		cfg = revive.BaselineConfig(o)
+	default:
+		cfg = revive.EvalConfig(o)
+		if *noCkpt {
+			cfg.Checkpoint.Interval = 0
+		}
+		if *interval != 0 {
+			cfg.Checkpoint.Interval = revive.Time(interval.Nanoseconds())
+		}
+	}
+
+	m := revive.New(cfg)
+	m.Load(wl)
+	start := time.Now()
+	st := m.Run()
+	wall := time.Since(start)
+
+	mode := "ReVive 7+1 parity"
+	if *baseline {
+		mode = "baseline (no recovery)"
+	} else if *mirror {
+		mode = "ReVive mirroring"
+	}
+	fmt.Printf("%s on %d nodes, %s\n", appLabel, *nodes, mode)
+	fmt.Printf("  instructions:   %d (%.1fM)\n", st.Instructions, float64(st.Instructions)/1e6)
+	fmt.Printf("  memory refs:    %d (%.1f%% loads)\n", st.MemRefs,
+		100*float64(st.Loads)/float64(st.MemRefs))
+	fmt.Printf("  exec time:      %.2f ms simulated (%.1fs wall)\n",
+		float64(st.ExecTime)/1e6, wall.Seconds())
+	fmt.Printf("  IPC:            %.2f per processor\n",
+		float64(st.Instructions)/float64(st.ExecTime)/float64(*nodes))
+	fmt.Printf("  L1 miss rate:   %.2f%%   L2 miss rate: %.2f%% (%.2f misses/1000 instr)\n",
+		100*float64(st.L1Misses)/float64(st.L1Misses+st.L1Hits),
+		100*st.L2MissRate(), st.L2MissesPer1000Instr())
+	if !*baseline {
+		fmt.Printf("  checkpoints:    %d (flush %.1f us, barriers %.1f us, interrupts %.1f us)\n",
+			st.Checkpoints, float64(st.CkpFlushTime)/1000,
+			float64(st.CkpBarrierTime)/1000, float64(st.CkpInterruptTime)/1000)
+		fmt.Printf("  peak log:       %.1f KB\n", float64(st.LogBytesPeak)/1024)
+	}
+	fmt.Println("  memory accesses by class:")
+	for c := stats.Class(0); c < stats.NumClasses; c++ {
+		if st.MemAccesses[c] > 0 {
+			fmt.Printf("    %-8s %12d\n", c, st.MemAccesses[c])
+		}
+	}
+	fmt.Println("  network bytes by class:")
+	for c := stats.Class(0); c < stats.NumClasses; c++ {
+		if st.NetBytes[c] > 0 {
+			fmt.Printf("    %-8s %12d\n", c, st.NetBytes[c])
+		}
+	}
+	if *util {
+		fmt.Println("  per-node utilization:")
+		m.WriteUtilization(os.Stdout)
+	}
+	if !*baseline {
+		if err := m.VerifyParity(); err != nil {
+			fmt.Fprintf(os.Stderr, "PARITY VIOLATION: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("  parity invariant: verified")
+	}
+}

@@ -1,0 +1,3 @@
+module revive
+
+go 1.22

@@ -1,0 +1,62 @@
+// Package avail implements the availability arithmetic of section 3.3.2:
+// A = (T_E − T_U)/T_E, where T_E is the mean time between errors and T_U
+// the unavailable time per error, composed of hardware recovery, ReVive
+// recovery (Phases 2 and 3), and the re-done work lost to the rollback.
+package avail
+
+import (
+	"fmt"
+
+	"revive/internal/sim"
+)
+
+// Breakdown composes one error's unavailable time in the paper's terms.
+type Breakdown struct {
+	// HWRecovery is Phase 1 (50 ms in the paper, from Hive/FLASH).
+	HWRecovery sim.Time
+	// ReviveRecovery is Phases 2+3 (log rebuild + rollback).
+	ReviveRecovery sim.Time
+	// LostWork is the re-done computation: the work since the target
+	// checkpoint plus the detection latency.
+	LostWork sim.Time
+}
+
+// Total is the unavailable time T_U.
+func (b Breakdown) Total() sim.Time {
+	return b.HWRecovery + b.ReviveRecovery + b.LostWork
+}
+
+// LostWork composes the paper's accounting: on average half a checkpoint
+// interval of work precedes the error, plus the detection latency; in the
+// worst case a full interval precedes it.
+func LostWork(interval, detection sim.Time, worstCase bool) sim.Time {
+	if worstCase {
+		return interval + detection
+	}
+	return interval/2 + detection
+}
+
+// Availability returns A = (T_E − T_U)/T_E for a mean time between errors
+// and per-error unavailable time. It saturates at 0.
+func Availability(mtbe, unavailable sim.Time) float64 {
+	if mtbe <= 0 {
+		return 0
+	}
+	a := float64(mtbe-unavailable) / float64(mtbe)
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// Nines renders an availability as a percentage with enough digits to show
+// its "nines" (99.999%-style).
+func Nines(a float64) string {
+	return fmt.Sprintf("%.5f%%", a*100)
+}
+
+// DowntimePerYear converts availability into seconds of downtime per year.
+func DowntimePerYear(a float64) float64 {
+	const secondsPerYear = 365.25 * 24 * 3600
+	return (1 - a) * secondsPerYear
+}

@@ -1,0 +1,92 @@
+package avail
+
+import (
+	"testing"
+	"testing/quick"
+
+	"revive/internal/sim"
+)
+
+const day = 24 * 3600 * sim.Second
+
+func TestPaperWorstCaseAvailability(t *testing.T) {
+	// Section 3.3.2: 820 ms unavailable per error, one error per day
+	// => better than 99.999%.
+	b := Breakdown{
+		HWRecovery:     50 * sim.Millisecond,
+		ReviveRecovery: 590 * sim.Millisecond,
+		LostWork:       LostWork(100*sim.Millisecond, 80*sim.Millisecond, true),
+	}
+	if b.Total() != 820*sim.Millisecond {
+		t.Fatalf("worst-case T_U = %v, want 820ms", b.Total())
+	}
+	a := Availability(day, b.Total())
+	if a < 0.99999 {
+		t.Fatalf("availability %v < 99.999%%", Nines(a))
+	}
+}
+
+func TestPaperAverageNoMemoryLoss(t *testing.T) {
+	// Section 3.3.2: ~250 ms average when memory is not lost
+	// => 99.9997%.
+	a := Availability(day, 250*sim.Millisecond)
+	if a < 0.999997 {
+		t.Fatalf("availability %v < 99.9997%%", Nines(a))
+	}
+}
+
+func TestLostWorkComposition(t *testing.T) {
+	avg := LostWork(100*sim.Millisecond, 80*sim.Millisecond, false)
+	if avg != 130*sim.Millisecond {
+		t.Fatalf("average lost work = %v, want 130ms (paper)", avg)
+	}
+	worst := LostWork(100*sim.Millisecond, 80*sim.Millisecond, true)
+	if worst != 180*sim.Millisecond {
+		t.Fatalf("worst lost work = %v, want 180ms (paper)", worst)
+	}
+}
+
+func TestAvailabilityEdgeCases(t *testing.T) {
+	if Availability(0, sim.Second) != 0 {
+		t.Fatal("zero MTBE must yield zero availability")
+	}
+	if Availability(sim.Second, 2*sim.Second) != 0 {
+		t.Fatal("unavailable > MTBE must saturate at 0")
+	}
+	if Availability(day, 0) != 1 {
+		t.Fatal("zero downtime must yield availability 1")
+	}
+}
+
+func TestDowntimePerYear(t *testing.T) {
+	// 99.999% ~= 315.6 seconds/year.
+	d := DowntimePerYear(0.99999)
+	if d < 315 || d > 317 {
+		t.Fatalf("five nines downtime = %v s/yr, want ~315.6", d)
+	}
+}
+
+func TestPropertyAvailabilityBounds(t *testing.T) {
+	f := func(mtbeRaw, unavailRaw uint32) bool {
+		mtbe := sim.Time(mtbeRaw) + 1
+		unavail := sim.Time(unavailRaw)
+		a := Availability(mtbe, unavail)
+		return a >= 0 && a <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMoreDowntimeLowersAvailability(t *testing.T) {
+	f := func(u1Raw, u2Raw uint16) bool {
+		u1, u2 := sim.Time(u1Raw), sim.Time(u2Raw)
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		return Availability(day, u1) >= Availability(day, u2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,260 @@
+// Package cache models the node's two cache levels: set-associative,
+// write-back, 64-byte lines, LRU replacement, with MESI line states and
+// functional data (Table 3: 16 KB 4-way L1, 128 KB 4-way L2). The cache is
+// a mechanical container — lookup, insert, evict, state changes, timing
+// port — while the coherence package owns the protocol that drives it.
+package cache
+
+import (
+	"fmt"
+
+	"revive/internal/arch"
+	"revive/internal/sim"
+)
+
+// State is a MESI cache-line state.
+type State uint8
+
+const (
+	// Invalid: the line is not present.
+	Invalid State = iota
+	// Shared: read-only copy; memory is up to date; others may share.
+	Shared
+	// Exclusive: the only cached copy; clean (memory up to date).
+	Exclusive
+	// Modified: the only cached copy; dirty (memory is stale).
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// CanWrite reports whether a processor may silently write a line in this
+// state (the silent E->M upgrade of MESI).
+func (s State) CanWrite() bool { return s == Exclusive || s == Modified }
+
+// Config sizes one cache level.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	// HitLatency is the access latency (2 ns L1, 12 ns L2).
+	HitLatency sim.Time
+	// Occupancy is the port busy time per access; it bounds the cache's
+	// throughput to one access per Occupancy.
+	Occupancy sim.Time
+}
+
+// L1Default and L2Default return the Table 3 cache configurations.
+func L1Default() Config { return Config{SizeBytes: 16 * 1024, Ways: 4, HitLatency: 2, Occupancy: 1} }
+func L2Default() Config { return Config{SizeBytes: 128 * 1024, Ways: 4, HitLatency: 12, Occupancy: 3} }
+
+// Line is one cache entry.
+type Line struct {
+	Addr  arch.LineAddr
+	State State
+	Data  arch.Data
+	use   uint64
+}
+
+// Cache is one cache level. It is driven from the simulation event loop.
+type Cache struct {
+	cfg     Config
+	port    *sim.Resource
+	sets    [][]Line
+	setMask uint64
+	useTick uint64
+
+	// Hits and Misses count Lookup results.
+	Hits, Misses uint64
+}
+
+// New builds an empty cache. The line count must be a multiple of Ways and
+// the set count a power of two.
+func New(engine *sim.Engine, cfg Config) *Cache {
+	lines := cfg.SizeBytes / arch.LineBytes
+	if lines%cfg.Ways != 0 {
+		panic("cache: line count not a multiple of associativity")
+	}
+	nsets := lines / cfg.Ways
+	if nsets&(nsets-1) != 0 {
+		panic("cache: set count must be a power of two")
+	}
+	sets := make([][]Line, nsets)
+	backing := make([]Line, lines)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{cfg: cfg, port: sim.NewResource(engine), sets: sets, setMask: uint64(nsets - 1)}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+func (c *Cache) set(addr arch.LineAddr) []Line {
+	return c.sets[uint64(addr)&c.setMask]
+}
+
+// Access reserves the cache port for one access and returns its completion
+// time (start + hit latency). Timing only; pair with the functional calls.
+func (c *Cache) Access() sim.Time {
+	return c.port.Reserve(c.cfg.Occupancy) + c.cfg.HitLatency
+}
+
+// AccessAt is Access for an operation that cannot start before earliest
+// (e.g. an L2 access chained after the L1 lookup that missed).
+func (c *Cache) AccessAt(earliest sim.Time) sim.Time {
+	return c.port.ReserveAt(earliest, c.cfg.Occupancy) + c.cfg.HitLatency
+}
+
+// Lookup finds the line, updating LRU and hit/miss counters. The returned
+// pointer stays valid until the line is evicted.
+func (c *Cache) Lookup(addr arch.LineAddr) *Line {
+	for i := range c.set(addr) {
+		l := &c.set(addr)[i]
+		if l.State != Invalid && l.Addr == addr {
+			c.useTick++
+			l.use = c.useTick
+			c.Hits++
+			return l
+		}
+	}
+	c.Misses++
+	return nil
+}
+
+// Probe finds the line without touching LRU or counters (used by coherence
+// interventions and checkpoint flushes).
+func (c *Cache) Probe(addr arch.LineAddr) *Line {
+	for i := range c.set(addr) {
+		l := &c.set(addr)[i]
+		if l.State != Invalid && l.Addr == addr {
+			return l
+		}
+	}
+	return nil
+}
+
+// Insert places a line, evicting the LRU entry of the set if needed. It
+// returns the evicted line (valid only if evicted is true). Inserting a
+// line that is already present panics — that is always a protocol bug.
+func (c *Cache) Insert(addr arch.LineAddr, state State, data arch.Data) (victim Line, evicted bool) {
+	return c.InsertPinned(addr, state, data, nil)
+}
+
+// InsertPinned is Insert with victim pinning: lines for which pinned
+// returns true are never chosen as victims (the coherence layer pins lines
+// with in-flight upgrade requests). If every line of a full set is pinned,
+// InsertPinned panics — with the machine's bounded number of outstanding
+// requests per node this cannot happen in a correct protocol.
+func (c *Cache) InsertPinned(addr arch.LineAddr, state State, data arch.Data,
+	pinned func(arch.LineAddr) bool) (victim Line, evicted bool) {
+	set := c.set(addr)
+	var slot *Line
+	for i := range set {
+		l := &set[i]
+		if l.State != Invalid && l.Addr == addr {
+			panic("cache: double insert of " + fmt.Sprint(addr))
+		}
+		if l.State == Invalid {
+			slot = l
+		}
+	}
+	if slot == nil {
+		for i := range set {
+			l := &set[i]
+			if pinned != nil && pinned(l.Addr) {
+				continue
+			}
+			if slot == nil || l.use < slot.use {
+				slot = l
+			}
+		}
+		if slot == nil {
+			panic("cache: all ways pinned")
+		}
+		victim, evicted = *slot, true
+	}
+	c.useTick++
+	*slot = Line{Addr: addr, State: state, Data: data, use: c.useTick}
+	return victim, evicted
+}
+
+// Invalidate removes the line, returning its final content (valid only if
+// found is true).
+func (c *Cache) Invalidate(addr arch.LineAddr) (line Line, found bool) {
+	if l := c.Probe(addr); l != nil {
+		line, found = *l, true
+		l.State = Invalid
+	}
+	return line, found
+}
+
+// InvalidateAll empties the cache, returning how many lines were dropped.
+// Rollback recovery uses it: everything modified since the checkpoint is
+// discarded.
+func (c *Cache) InvalidateAll() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].State != Invalid {
+				set[i].State = Invalid
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DirtyLines returns (copies of) all Modified lines, for checkpoint flush.
+func (c *Cache) DirtyLines() []Line {
+	var out []Line
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].State == Modified {
+				out = append(out, set[i])
+			}
+		}
+	}
+	return out
+}
+
+// ValidLines counts non-Invalid entries.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].State != Invalid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DirtyCount counts Modified entries.
+func (c *Cache) DirtyCount() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].State == Modified {
+				n++
+			}
+		}
+	}
+	return n
+}

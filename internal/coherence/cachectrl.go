@@ -1,0 +1,609 @@
+package coherence
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"revive/internal/arch"
+	"revive/internal/cache"
+	"revive/internal/network"
+	"revive/internal/sim"
+	"revive/internal/stats"
+)
+
+// cacheFill tags the permission granted with a data reply.
+type cacheFill uint8
+
+const (
+	cacheFillShared    cacheFill = iota // read-only copy
+	cacheFillExclusive                  // clean exclusive copy (MESI E)
+	cacheFillModified                   // writable copy (requester will dirty it)
+)
+
+// mshr tracks one outstanding request for a line. Loads are bound to the
+// fill: they complete from the arriving data, so an invalidation racing the
+// reply cannot starve them. Store progress is guaranteed the same way: the
+// store-buffer head retires at reply arrival (see retireHeadStoreIfReady)
+// before any later-arriving probe can steal the line — the classic
+// window-of-vulnerability closure. retries are drain continuations that
+// re-examine the cache (used when the granted permission may still be
+// insufficient, e.g. a shared fill answering a store).
+type mshr struct {
+	loadDone []func()
+	retries  []func()
+}
+
+// sbEntry is one pending store in the store buffer.
+type sbEntry struct {
+	addr arch.Addr
+	val  uint64
+}
+
+// CacheCtrl is one node's processor-side controller: the L1/L2 hierarchy
+// (inclusive, write-back), the store buffer, outstanding-miss bookkeeping,
+// and the cache half of the coherence protocol.
+type CacheCtrl struct {
+	engine  *sim.Engine
+	node    arch.NodeID
+	l1, l2  *cache.Cache
+	bus     *sim.Resource
+	busCfg  BusConfig
+	net     *network.Network
+	amap    *arch.AddressMap
+	st      *stats.Stats
+	tracker *Tracker
+	dirs    []*DirCtrl
+
+	pending map[arch.LineAddr]*mshr
+
+	// Store buffer (Table 3: 16 pending stores).
+	sb        []sbEntry
+	sbCap     int
+	sbStalled func() // processor waiting for a free slot
+	draining  bool
+
+	// Checkpoint flush state.
+	flushQueue    []arch.LineAddr
+	flushInflight int
+	flushDone     func()
+	flushing      map[arch.LineAddr]bool
+
+	// Fills counts data replies received (for traffic cross-checks).
+	Fills uint64
+}
+
+// NewCacheCtrl builds one node's cache controller.
+func NewCacheCtrl(engine *sim.Engine, node arch.NodeID, l1Cfg, l2Cfg cache.Config,
+	busCfg BusConfig, net *network.Network, amap *arch.AddressMap,
+	st *stats.Stats, tracker *Tracker) *CacheCtrl {
+	return &CacheCtrl{
+		engine: engine, node: node,
+		l1: cache.New(engine, l1Cfg), l2: cache.New(engine, l2Cfg),
+		bus: sim.NewResource(engine), busCfg: busCfg,
+		net: net, amap: amap, st: st, tracker: tracker,
+		pending:  make(map[arch.LineAddr]*mshr),
+		sbCap:    16,
+		flushing: make(map[arch.LineAddr]bool),
+	}
+}
+
+// SetDirs wires the machine's directory controllers (indexed by node).
+func (c *CacheCtrl) SetDirs(dirs []*DirCtrl) { c.dirs = dirs }
+
+// Node returns the controller's node.
+func (c *CacheCtrl) Node() arch.NodeID { return c.node }
+
+// L1 and L2 expose the cache levels (for statistics and tests).
+func (c *CacheCtrl) L1() *cache.Cache { return c.l1 }
+func (c *CacheCtrl) L2() *cache.Cache { return c.l2 }
+
+// PendingOps reports in-flight processor-side work: outstanding misses plus
+// buffered stores. The checkpoint sequence waits for zero before flushing.
+func (c *CacheCtrl) PendingOps() int { return len(c.pending) + len(c.sb) }
+
+// home returns the line's home node, placing the page on first touch.
+func (c *CacheCtrl) home(line arch.LineAddr) arch.NodeID {
+	return c.amap.TouchLine(line, c.node).Node
+}
+
+func (c *CacheCtrl) sendToDir(dst arch.NodeID, bytes int, class stats.Class,
+	earliest sim.Time, fn func()) {
+	start := c.bus.ReserveAt(earliest, c.busCfg.Occupancy(bytes))
+	c.engine.At(start+c.busCfg.Occupancy(bytes), func() {
+		c.net.Send(network.Message{Src: c.node, Dst: dst, Bytes: bytes, Class: class, Deliver: fn})
+	})
+}
+
+// --- processor interface ---
+
+// Load performs a read of addr, calling done when the data is available.
+// Loads are blocking: the processor issues the next operation only after
+// done runs.
+func (c *CacheCtrl) Load(addr arch.Addr, done func()) {
+	c.st.MemRefs++
+	c.st.Loads++
+	c.loadAttempt(addr.Line(), done)
+}
+
+func (c *CacheCtrl) loadAttempt(line arch.LineAddr, done func()) {
+	t1 := c.l1.Access()
+	if c.l1.Lookup(line) != nil {
+		c.st.L1Hits++
+		c.engine.At(t1, done)
+		return
+	}
+	c.st.L1Misses++
+	t2 := c.l2.AccessAt(t1)
+	if l2l := c.l2.Lookup(line); l2l != nil {
+		c.st.L2Hits++
+		c.fillL1From(l2l)
+		c.engine.At(t2, done)
+		return
+	}
+	c.st.L2Misses++
+	c.request(line, reqGETS, t2, done, nil)
+}
+
+// Store buffers a write of val to addr. done runs when the store occupies a
+// buffer slot (immediately unless the buffer is full); the write itself
+// retires in the background.
+func (c *CacheCtrl) Store(addr arch.Addr, val uint64, done func()) {
+	c.st.MemRefs++
+	c.st.Stores++
+	if len(c.sb) >= c.sbCap {
+		if c.sbStalled != nil {
+			panic("coherence: second store while stalled")
+		}
+		c.sbStalled = func() { c.Store(addr, val, done) }
+		c.st.MemRefs-- // the retry recounts
+		c.st.Stores--
+		return
+	}
+	c.sb = append(c.sb, sbEntry{addr: addr, val: val})
+	c.drain()
+	done()
+}
+
+// drain retires buffered stores in order.
+func (c *CacheCtrl) drain() {
+	if c.draining || len(c.sb) == 0 {
+		return
+	}
+	c.draining = true
+	c.drainHead()
+}
+
+func (c *CacheCtrl) drainHead() {
+	if len(c.sb) == 0 {
+		c.draining = false
+		return
+	}
+	e := c.sb[0]
+	line := e.addr.Line()
+	t1 := c.l1.Access()
+	l1l := c.l1.Lookup(line)
+	if l1l == nil {
+		c.st.L1Misses++
+		t2 := c.l2.AccessAt(t1)
+		l2l := c.l2.Lookup(line)
+		if l2l == nil {
+			c.st.L2Misses++
+			c.request(line, reqGETX, t2, nil, c.drainHead)
+			return
+		}
+		c.st.L2Hits++
+		l1l = c.fillL1From(l2l)
+		t1 = t2
+	} else {
+		c.st.L1Hits++
+	}
+	if !c.nodeState(line).CanWrite() {
+		// Shared: upgrade needed. (L1 state mirrors L2 for clean lines.)
+		c.request(line, reqUPG, t1, nil, c.drainHead)
+		return
+	}
+	// Writable: retire the store.
+	c.applyStore(l1l, e)
+	c.sb = c.sb[1:]
+	if c.sbStalled != nil {
+		retry := c.sbStalled
+		c.sbStalled = nil
+		retry()
+	}
+	c.engine.At(t1, c.drainHead)
+	c.draining = true
+}
+
+// nodeState returns the node-level (L2) state of a line; L1 may hold a
+// dirtier copy but never more permission than L2 granted.
+func (c *CacheCtrl) nodeState(line arch.LineAddr) cache.State {
+	if l := c.l2.Probe(line); l != nil {
+		return l.State
+	}
+	return cache.Invalid
+}
+
+// applyStore writes the 8-byte store value into the L1 copy and marks it
+// Modified. Store values are real bytes: they flow through write-backs,
+// logs and parity, so recovery can be verified end to end.
+func (c *CacheCtrl) applyStore(l1l *cache.Line, e sbEntry) {
+	off := int(e.addr) & (arch.LineBytes - 1) &^ 7
+	binary.LittleEndian.PutUint64(l1l.Data[off:], e.val)
+	l1l.State = cache.Modified
+}
+
+// request sends a coherence request for line to its home, creating or
+// joining the line's MSHR. loadDone (if non-nil) completes from the
+// arriving fill; retry (if non-nil) re-examines the cache at reply time.
+func (c *CacheCtrl) request(line arch.LineAddr, kind reqKind, earliest sim.Time,
+	loadDone, retry func()) {
+	m := c.pending[line]
+	if m == nil {
+		m = &mshr{}
+		c.pending[line] = m
+	} else {
+		m.add(loadDone, retry)
+		return
+	}
+	m.add(loadDone, retry)
+	c.tracker.Inc()
+	homeNode := c.home(line)
+	dir := c.dirs[homeNode]
+	self := c.node
+	c.sendToDir(homeNode, network.ControlBytes, stats.ClassRead, earliest, func() {
+		switch kind {
+		case reqGETS:
+			dir.GETS(self, line)
+		case reqGETX:
+			dir.GETX(self, line)
+		case reqUPG:
+			dir.UPG(self, line)
+		default:
+			panic("coherence: bad request kind")
+		}
+	})
+}
+
+func (m *mshr) add(loadDone, retry func()) {
+	if loadDone != nil {
+		m.loadDone = append(m.loadDone, loadDone)
+	}
+	if retry != nil {
+		m.retries = append(m.retries, retry)
+	}
+}
+
+// completeRequest retires the line's MSHR: loads complete, drain
+// continuations replay, all at time `at` (the reply's bus transfer end).
+func (c *CacheCtrl) completeRequest(line arch.LineAddr, at sim.Time) {
+	m := c.pending[line]
+	if m == nil {
+		panic("coherence: reply without MSHR")
+	}
+	delete(c.pending, line)
+	c.tracker.Dec()
+	for _, w := range m.loadDone {
+		c.engine.At(at, w)
+	}
+	for _, r := range m.retries {
+		c.engine.At(at, r)
+	}
+}
+
+// retireHeadStoreIfReady retires the store-buffer head immediately if the
+// just-arrived reply granted write permission for its line. Doing this at
+// reply arrival (rather than on a delayed replay) closes the window in
+// which a racing invalidation could steal the line and livelock the store.
+func (c *CacheCtrl) retireHeadStoreIfReady(line arch.LineAddr) {
+	if len(c.sb) == 0 || c.sb[0].addr.Line() != line {
+		return
+	}
+	if !c.nodeState(line).CanWrite() {
+		return
+	}
+	l1l := c.l1.Probe(line)
+	if l1l == nil {
+		l2l := c.l2.Probe(line)
+		if l2l == nil {
+			return
+		}
+		l1l = c.fillL1From(l2l)
+	}
+	c.applyStore(l1l, c.sb[0])
+	c.sb = c.sb[1:]
+	if c.sbStalled != nil {
+		retry := c.sbStalled
+		c.sbStalled = nil
+		retry()
+	}
+}
+
+// fillL1From copies an L2 line into L1 (same state), handling the L1
+// victim: a dirty L1 victim merges back into its L2 copy (inclusion
+// guarantees the L2 copy exists).
+func (c *CacheCtrl) fillL1From(l2l *cache.Line) *cache.Line {
+	victim, evicted := c.l1.Insert(l2l.Addr, l2l.State, l2l.Data)
+	if evicted && victim.State == cache.Modified {
+		c.mergeDirtyL1(victim)
+	}
+	return c.l1.Probe(l2l.Addr)
+}
+
+// mergeDirtyL1 folds a dirty L1 line into its L2 copy.
+func (c *CacheCtrl) mergeDirtyL1(l1l cache.Line) {
+	l2l := c.l2.Probe(l1l.Addr)
+	if l2l == nil {
+		panic("coherence: dirty L1 line not in L2 (inclusion violated)")
+	}
+	l2l.Data = l1l.Data
+	l2l.State = cache.Modified
+}
+
+// --- protocol handlers (invoked from network Deliver closures) ---
+
+// fill delivers a data reply. State changes are applied at arrival (so
+// later-arriving probes observe them); waiter completion pays the bus
+// transfer time.
+func (c *CacheCtrl) fill(line arch.LineAddr, kind cacheFill, data arch.Data) {
+	c.Fills++
+	var st cache.State
+	switch kind {
+	case cacheFillShared:
+		st = cache.Shared
+	case cacheFillExclusive:
+		st = cache.Exclusive
+	case cacheFillModified:
+		st = cache.Modified
+	}
+	c.insertL2(line, st, data)
+	if l2l := c.l2.Probe(line); l2l != nil {
+		c.fillL1From(l2l)
+	}
+	c.retireHeadStoreIfReady(line)
+	busT := c.bus.Reserve(c.busCfg.Occupancy(network.DataBytes))
+	c.completeRequest(line, busT+c.busCfg.Occupancy(network.DataBytes))
+}
+
+// insertL2 places a fill into L2, evicting (and writing back or announcing)
+// a victim if needed. Lines with outstanding requests are pinned.
+func (c *CacheCtrl) insertL2(line arch.LineAddr, st cache.State, data arch.Data) {
+	victim, evicted := c.l2.InsertPinned(line, st, data, func(a arch.LineAddr) bool {
+		return c.pending[a] != nil
+	})
+	if !evicted {
+		return
+	}
+	// Back-invalidate the L1 copy (inclusion); it may be dirtier.
+	if l1v, found := c.l1.Invalidate(victim.Addr); found && l1v.State == cache.Modified {
+		victim.Data = l1v.Data
+		victim.State = cache.Modified
+	}
+	switch victim.State {
+	case cache.Modified:
+		c.writeBack(victim.Addr, victim.Data, false, false)
+	case cache.Exclusive:
+		// Clean-exclusive replacement hint, so the home never forwards
+		// an intervention to a copy that is gone.
+		c.tracker.Inc()
+		homeNode := c.home(victim.Addr)
+		dir := c.dirs[homeNode]
+		self := c.node
+		addr := victim.Addr
+		c.sendToDir(homeNode, network.ControlBytes, stats.ClassRead, c.engine.Now(), func() {
+			dir.Repl(self, addr)
+			dir.tracker.Dec() // hint consumed; no acknowledgment
+		})
+	case cache.Shared:
+		// Silent: the directory tolerates stale sharers.
+	}
+}
+
+// writeBack sends a dirty line to its home. keep=true retains a clean
+// exclusive copy (checkpoint flush).
+func (c *CacheCtrl) writeBack(line arch.LineAddr, data arch.Data, ckp, keep bool) {
+	c.tracker.Inc()
+	homeNode := c.home(line)
+	dir := c.dirs[homeNode]
+	self := c.node
+	c.sendToDir(homeNode, network.DataBytes, wbClass(ckp), c.engine.Now(), func() {
+		dir.WB(self, line, data, ckp, keep)
+	})
+}
+
+// upgAck grants the pending upgrade.
+func (c *CacheCtrl) upgAck(line arch.LineAddr) {
+	if l2l := c.l2.Probe(line); l2l != nil {
+		l2l.State = cache.Exclusive // store retirement will dirty it
+	} else {
+		panic("coherence: upgrade ack for absent line")
+	}
+	if l1l := c.l1.Probe(line); l1l != nil {
+		l1l.State = cache.Exclusive
+	}
+	c.retireHeadStoreIfReady(line)
+	busT := c.bus.Reserve(c.busCfg.Occupancy(network.ControlBytes))
+	c.completeRequest(line, busT+c.busCfg.Occupancy(network.ControlBytes))
+}
+
+// wbAck confirms a write-back. For checkpoint write-backs (keep=true at the
+// home) the retained copy becomes clean exclusive only now — while the
+// write-back is in flight the line stays Modified so that a crossing
+// intervention still forwards the dirty data.
+func (c *CacheCtrl) wbAck(line arch.LineAddr) {
+	if c.flushing[line] {
+		delete(c.flushing, line)
+		if l2l := c.l2.Probe(line); l2l != nil && l2l.State == cache.Modified {
+			l2l.State = cache.Exclusive
+		}
+		if l1l := c.l1.Probe(line); l1l != nil && l1l.State == cache.Modified {
+			l1l.State = cache.Exclusive
+		}
+		c.flushInflight--
+		c.tracker.Dec()
+		c.flushIssue()
+		return
+	}
+	c.tracker.Dec()
+}
+
+// probe answers an intervention from the home: inv=false downgrades to
+// Shared (read fetch), inv=true invalidates (exclusive fetch). The freshest
+// copy (L1 if dirty there) is returned.
+func (c *CacheCtrl) probe(line arch.LineAddr, inv bool, homeNode arch.NodeID) {
+	l2l := c.l2.Probe(line)
+	l1l := c.l1.Probe(line)
+	if l2l == nil && l1l != nil {
+		panic("coherence: L1 line not in L2 (inclusion violated)")
+	}
+	found := l2l != nil
+	var data arch.Data
+	dirty := false
+	if found {
+		data = l2l.Data
+		dirty = l2l.State == cache.Modified
+		if l1l != nil && l1l.State == cache.Modified {
+			// The L1 holds the freshest bytes; fold them into the L2
+			// copy, which survives the downgrade as a clean line.
+			data, dirty = l1l.Data, true
+			l2l.Data = l1l.Data
+		}
+		if inv {
+			c.l1.Invalidate(line)
+			c.l2.Invalidate(line)
+		} else {
+			if l1l != nil {
+				l1l.State = cache.Shared
+			}
+			l2l.State = cache.Shared
+		}
+	}
+	bytes := network.ControlBytes
+	if found {
+		bytes = network.DataBytes
+	}
+	t := c.l2.Access()
+	dir := c.dirs[homeNode]
+	self := c.node
+	c.sendToDir(homeNode, bytes, stats.ClassRead, t, func() {
+		dir.fetchResp(self, line, found, dirty, data)
+	})
+}
+
+// inval drops a shared copy and acknowledges, even when the copy was
+// already silently evicted (the directory's sharer list may be stale).
+func (c *CacheCtrl) inval(line arch.LineAddr, homeNode arch.NodeID) {
+	if l, found := c.l1.Invalidate(line); found && l.State == cache.Modified {
+		panic("coherence: invalidation of dirty L1 line")
+	}
+	if l, found := c.l2.Invalidate(line); found && l.State == cache.Modified {
+		panic("coherence: invalidation of dirty L2 line")
+	}
+	t := c.l2.Access()
+	dir := c.dirs[homeNode]
+	c.sendToDir(homeNode, network.ControlBytes, stats.ClassRead, t, func() {
+		dir.invAck(line)
+	})
+}
+
+// --- checkpoint support ---
+
+// FlushDirty writes every dirty line back to memory, retaining clean
+// exclusive copies (the checkpoint flush of section 3.2.3). done runs when
+// every write-back has been acknowledged. Call only with PendingOps() == 0.
+func (c *CacheCtrl) FlushDirty(done func()) {
+	if c.flushDone != nil {
+		panic("coherence: concurrent flushes")
+	}
+	// Fold dirty L1 lines into L2 first, paying one L1+L2 access each.
+	t := c.engine.Now()
+	for _, l1l := range c.l1.DirtyLines() {
+		c.mergeDirtyL1(l1l)
+		if p := c.l1.Probe(l1l.Addr); p != nil {
+			p.State = cache.Exclusive
+		}
+		t = c.l2.AccessAt(c.l1.Access())
+	}
+	c.flushQueue = c.flushQueue[:0]
+	for _, l2l := range c.l2.DirtyLines() {
+		c.flushQueue = append(c.flushQueue, l2l.Addr)
+	}
+	c.flushDone = done
+	c.engine.At(t, c.flushIssue)
+}
+
+// flushWindow bounds the write-backs a node keeps in flight during a flush
+// (a hardware write buffer's depth; the flush is memory-port bound well
+// before this limit).
+const flushWindow = 16
+
+func (c *CacheCtrl) flushIssue() {
+	if c.flushDone == nil {
+		return
+	}
+	for c.flushInflight < flushWindow && len(c.flushQueue) > 0 {
+		line := c.flushQueue[0]
+		c.flushQueue = c.flushQueue[1:]
+		l2l := c.l2.Probe(line)
+		if l2l == nil || l2l.State != cache.Modified {
+			continue // lost to an intervention since enumeration
+		}
+		data := l2l.Data
+		if l1l := c.l1.Probe(line); l1l != nil && l1l.State == cache.Modified {
+			data = l1l.Data // dirtied again after the merge? defensive
+		}
+		c.flushing[line] = true
+		c.flushInflight++
+		c.tracker.Inc()
+		c.l2.Access() // enumeration/tag access
+		c.writeBackFlush(line, data)
+	}
+	if c.flushInflight == 0 && len(c.flushQueue) == 0 {
+		done := c.flushDone
+		c.flushDone = nil
+		done()
+	}
+}
+
+func (c *CacheCtrl) writeBackFlush(line arch.LineAddr, data arch.Data) {
+	homeNode := c.home(line)
+	dir := c.dirs[homeNode]
+	self := c.node
+	c.sendToDir(homeNode, network.DataBytes, stats.ClassCkpWB, c.engine.Now(), func() {
+		dir.WB(self, line, data, true, true)
+	})
+}
+
+// InvalidateAll drops every cached line on this node. Rollback recovery
+// uses it: everything modified since the checkpoint is discarded. It must
+// only run with no outstanding operations.
+func (c *CacheCtrl) InvalidateAll() {
+	if c.PendingOps() != 0 || c.flushDone != nil {
+		panic("coherence: InvalidateAll with operations in flight")
+	}
+	c.l1.InvalidateAll()
+	c.l2.InvalidateAll()
+}
+
+func (c *CacheCtrl) String() string {
+	return fmt.Sprintf("cachectrl(node %d)", c.node)
+}
+
+// Reset models the hardware reset of recovery Phase 1: all cached data is
+// invalidated and every in-flight request, buffered store and flush is
+// abandoned (their completions were dropped with the engine's events).
+func (c *CacheCtrl) Reset() {
+	c.l1.InvalidateAll()
+	c.l2.InvalidateAll()
+	c.pending = make(map[arch.LineAddr]*mshr)
+	c.sb = nil
+	c.sbStalled = nil
+	c.draining = false
+	c.flushQueue = nil
+	c.flushInflight = 0
+	c.flushDone = nil
+	c.flushing = make(map[arch.LineAddr]bool)
+}
+
+// BusBusy reports the node bus's cumulative busy time (utilization
+// reporting).
+func (c *CacheCtrl) BusBusy() sim.Time { return c.bus.BusyTime() }

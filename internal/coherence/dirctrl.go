@@ -1,0 +1,660 @@
+package coherence
+
+import (
+	"fmt"
+
+	"revive/internal/arch"
+	"revive/internal/mem"
+	"revive/internal/network"
+	"revive/internal/sim"
+	"revive/internal/stats"
+)
+
+// dirState is the stable directory state of a line at its home.
+type dirState uint8
+
+const (
+	dirUncached dirState = iota // no cached copies
+	dirShared                   // read-only copies at `sharers`
+	dirExcl                     // single (possibly dirty) copy at `owner`
+)
+
+// reqKind tags a request in a directory entry's pending queue.
+type reqKind uint8
+
+const (
+	reqGETS reqKind = iota
+	reqGETX
+	reqUPG
+	reqWB
+	reqRepl
+)
+
+// pendingReq is one queued request for a busy line. Typed (rather than an
+// opaque closure) so that a transaction waiting for the owner's data can
+// find and consume a queued eviction from that owner.
+type pendingReq struct {
+	kind reqKind
+	req  arch.NodeID
+	data arch.Data
+	ckp  bool
+	keep bool
+}
+
+// evictKind tags the message that answers a transaction's wait for the
+// owner's copy.
+type evictKind uint8
+
+const (
+	evFetchResp evictKind = iota // intervention answered from the owner's cache
+	evWB                         // owner's write-back crossed the intervention
+	evRepl                       // owner's clean replacement hint crossed it
+)
+
+// ownerData is the answer a transaction receives when it asked the owner
+// for a line: either the intervention response, or — when the probe missed
+// because the owner evicted the line concurrently — the eviction message
+// itself, consumed by the waiting transaction.
+type ownerData struct {
+	kind  evictKind
+	dirty bool
+	data  arch.Data
+	ckp   bool // consumed WB was checkpoint-flush traffic
+}
+
+// dirEntry is the per-line directory state plus transaction serialization.
+type dirEntry struct {
+	state   dirState
+	sharers uint32
+	owner   arch.NodeID
+
+	busy    bool
+	waiting []pendingReq
+
+	// Active-transaction continuations. ownerWait is non-nil while the
+	// transaction waits for data from the owner (a crossing WB/REPL from
+	// that owner is consumed by it); invWait counts outstanding
+	// invalidation acknowledgments.
+	ownerWait     func(ownerData)
+	ownerWaitNode arch.NodeID
+	// staleProbeResp counts probe responses that are still in flight but
+	// already answered by a crossing eviction message (the eviction is
+	// FIFO-ordered ahead of the probe's miss response, so the response
+	// must be discarded when it arrives).
+	staleProbeResp int
+	invWait        int
+	invDone        func()
+}
+
+// DirCtrl is one node's home directory controller: it serializes all
+// transactions for lines homed at this node, drives the local memory, and
+// invokes the ReVive extension hooks at the protocol points of Figures 4
+// and 5 of the paper.
+//
+// Protocol state changes take effect at message arrival; timing (pipeline
+// occupancy, memory latency, network latency) only delays the visible
+// completions. This keeps state transitions atomic in arrival order, which
+// is what the real controller's serialization guarantees.
+type DirCtrl struct {
+	engine  *sim.Engine
+	node    arch.NodeID
+	cfg     DirConfig
+	mem     *mem.Memory
+	net     *network.Network
+	amap    *arch.AddressMap
+	st      *stats.Stats
+	tracker *Tracker
+	ext     Extension
+	caches  []*CacheCtrl
+	pipe    *sim.Resource
+	entries map[arch.LineAddr]*dirEntry
+
+	// DroppedWBKeep counts checkpoint write-backs that arrived after
+	// ownership had already migrated (benign race; the data traveled
+	// with the intervention instead).
+	DroppedWBKeep uint64
+}
+
+// NewDirCtrl builds the home controller for one node. Wire the cache
+// controllers afterwards with SetCaches.
+func NewDirCtrl(engine *sim.Engine, node arch.NodeID, cfg DirConfig, m *mem.Memory,
+	net *network.Network, amap *arch.AddressMap, st *stats.Stats, tracker *Tracker) *DirCtrl {
+	return &DirCtrl{
+		engine: engine, node: node, cfg: cfg, mem: m, net: net, amap: amap,
+		st: st, tracker: tracker,
+		pipe:    sim.NewResource(engine),
+		entries: make(map[arch.LineAddr]*dirEntry),
+	}
+}
+
+// SetCaches wires the machine's cache controllers (indexed by node).
+func (d *DirCtrl) SetCaches(caches []*CacheCtrl) { d.caches = caches }
+
+// SetExtension installs the ReVive hooks. nil is the baseline machine.
+func (d *DirCtrl) SetExtension(ext Extension) { d.ext = ext }
+
+// Node returns the controller's node.
+func (d *DirCtrl) Node() arch.NodeID { return d.node }
+
+// Mem returns the node's local memory (the ReVive extension drives it for
+// log writes and parity updates).
+func (d *DirCtrl) Mem() *mem.Memory { return d.mem }
+
+// Occupy books one pass through the controller pipeline and returns the
+// completion time. The ReVive parity handler at a parity page's home uses
+// this, so parity updates contend with regular directory work exactly as
+// in the paper.
+func (d *DirCtrl) Occupy() sim.Time {
+	return d.pipe.Reserve(d.cfg.Occupancy) + d.cfg.Latency
+}
+
+func (d *DirCtrl) entry(line arch.LineAddr) *dirEntry {
+	e := d.entries[line]
+	if e == nil {
+		e = &dirEntry{}
+		d.entries[line] = e
+	}
+	return e
+}
+
+// Entries returns the number of directory entries materialized.
+func (d *DirCtrl) Entries() int { return len(d.entries) }
+
+// dispatch starts pr as the line's active transaction, or queues it.
+func (d *DirCtrl) dispatch(line arch.LineAddr, pr pendingReq) {
+	e := d.entry(line)
+	if e.busy {
+		e.waiting = append(e.waiting, pr)
+		return
+	}
+	e.busy = true
+	d.tracker.Inc()
+	d.run(line, pr)
+}
+
+func (d *DirCtrl) run(line arch.LineAddr, pr pendingReq) {
+	switch pr.kind {
+	case reqGETS:
+		d.doGETS(pr.req, line)
+	case reqGETX:
+		d.doGETX(pr.req, line)
+	case reqUPG:
+		d.doUPG(pr.req, line)
+	case reqWB:
+		d.doWB(pr.req, line, pr.data, pr.ckp, pr.keep)
+	case reqRepl:
+		d.doRepl(pr.req, line)
+	}
+}
+
+// release ends the line's active transaction and starts the next queued
+// request, if any.
+func (d *DirCtrl) release(line arch.LineAddr) {
+	e := d.entry(line)
+	if !e.busy {
+		panic("coherence: release of idle entry")
+	}
+	if e.ownerWait != nil || e.invWait != 0 {
+		panic("coherence: release with pending continuations")
+	}
+	e.busy = false
+	d.tracker.Dec()
+	if len(e.waiting) > 0 {
+		next := e.waiting[0]
+		e.waiting = e.waiting[1:]
+		e.busy = true
+		d.tracker.Inc()
+		d.run(line, next)
+	}
+}
+
+func (d *DirCtrl) phys(line arch.LineAddr) arch.PhysLine {
+	p, ok := d.amap.LookupLine(line)
+	if !ok || p.Node != d.node {
+		panic(fmt.Sprintf("coherence: node %d is not home of line %#x", d.node, line))
+	}
+	return p
+}
+
+// sendToCache delivers a protocol action at dst's cache controller after
+// one controller-pipeline pass and the network latency.
+func (d *DirCtrl) sendToCache(dst arch.NodeID, bytes int, class stats.Class, fn func()) {
+	d.net.Send(network.Message{Src: d.node, Dst: dst, Bytes: bytes, Class: class, Deliver: fn})
+}
+
+// feedOwnerWait hands the waiting transaction its answer. When the answer
+// is a crossing eviction message (not the probe response itself), the
+// probe's eventual miss response becomes stale and will be discarded.
+func (d *DirCtrl) feedOwnerWait(line arch.LineAddr, od ownerData) {
+	e := d.entry(line)
+	w := e.ownerWait
+	e.ownerWait = nil
+	if od.kind != evFetchResp {
+		e.staleProbeResp++
+	}
+	w(od)
+}
+
+// --- request entry points (called from network Deliver closures) ---
+
+// GETS handles a read miss request from node req.
+func (d *DirCtrl) GETS(req arch.NodeID, line arch.LineAddr) {
+	d.engine.At(d.Occupy(), func() {
+		d.dispatch(line, pendingReq{kind: reqGETS, req: req})
+	})
+}
+
+// GETX handles a read-exclusive (write miss) request from node req.
+func (d *DirCtrl) GETX(req arch.NodeID, line arch.LineAddr) {
+	d.engine.At(d.Occupy(), func() {
+		d.dispatch(line, pendingReq{kind: reqGETX, req: req})
+	})
+}
+
+// UPG handles an upgrade (write hit on a shared line) request.
+func (d *DirCtrl) UPG(req arch.NodeID, line arch.LineAddr) {
+	d.engine.At(d.Occupy(), func() {
+		d.dispatch(line, pendingReq{kind: reqUPG, req: req})
+	})
+}
+
+// WB handles a write-back. keep=false is an eviction (the owner gives the
+// line up); keep=true is a checkpoint-flush write-back where the owner
+// retains a clean exclusive copy. ckp marks checkpoint traffic.
+func (d *DirCtrl) WB(req arch.NodeID, line arch.LineAddr, data arch.Data, ckp, keep bool) {
+	d.engine.At(d.Occupy(), func() { d.wbArrived(req, line, data, ckp, keep) })
+}
+
+func (d *DirCtrl) wbArrived(req arch.NodeID, line arch.LineAddr, data arch.Data, ckp, keep bool) {
+	e := d.entry(line)
+	// A write-back crossing an intervention in flight is consumed by the
+	// waiting transaction as the owner's answer. The evictor is still
+	// acknowledged (it tracks the write-back as outstanding).
+	if e.ownerWait != nil && e.ownerWaitNode == req && !keep {
+		d.ackWB(req, line, ckp)
+		d.feedOwnerWait(line, ownerData{kind: evWB, dirty: true, data: data, ckp: ckp})
+		return
+	}
+	d.dispatch(line, pendingReq{kind: reqWB, req: req, data: data, ckp: ckp, keep: keep})
+}
+
+// Repl handles a clean-exclusive replacement hint.
+func (d *DirCtrl) Repl(req arch.NodeID, line arch.LineAddr) {
+	d.engine.At(d.Occupy(), func() { d.replArrived(req, line) })
+}
+
+func (d *DirCtrl) replArrived(req arch.NodeID, line arch.LineAddr) {
+	e := d.entry(line)
+	if e.ownerWait != nil && e.ownerWaitNode == req {
+		d.feedOwnerWait(line, ownerData{kind: evRepl})
+		return
+	}
+	d.dispatch(line, pendingReq{kind: reqRepl, req: req})
+}
+
+// fetchResp delivers an intervention answer to the waiting transaction.
+func (d *DirCtrl) fetchResp(from arch.NodeID, line arch.LineAddr, found, dirty bool, data arch.Data) {
+	d.engine.At(d.Occupy(), func() { d.fetchRespArrived(from, line, found, dirty, data) })
+}
+
+func (d *DirCtrl) fetchRespArrived(from arch.NodeID, line arch.LineAddr, found, dirty bool, data arch.Data) {
+	e := d.entry(line)
+	if e.ownerWait == nil || e.ownerWaitNode != from {
+		if e.staleProbeResp > 0 && !found {
+			// The transaction already consumed the owner's crossing
+			// eviction; this is the probe's late miss response.
+			e.staleProbeResp--
+			return
+		}
+		panic("coherence: unexpected fetch response")
+	}
+	if found {
+		d.feedOwnerWait(line, ownerData{kind: evFetchResp, dirty: dirty, data: data})
+		return
+	}
+	// The owner evicted concurrently. Its WB or Repl either already sits
+	// in this line's queue (it arrived while the entry was busy) or is
+	// still in flight (it will be consumed on arrival).
+	for i, pr := range e.waiting {
+		if pr.req != from || (pr.kind != reqWB && pr.kind != reqRepl) || pr.keep {
+			continue
+		}
+		e.waiting = append(e.waiting[:i], e.waiting[i+1:]...)
+		if pr.kind == reqWB {
+			d.ackWB(from, line, pr.ckp)
+		}
+		w := e.ownerWait
+		e.ownerWait = nil
+		if pr.kind == reqWB {
+			w(ownerData{kind: evWB, dirty: true, data: pr.data, ckp: pr.ckp})
+		} else {
+			w(ownerData{kind: evRepl})
+		}
+		return
+	}
+	// Keep waiting: the eviction message is still in flight and will be
+	// consumed on arrival (this response itself resolves nothing).
+}
+
+// invAck delivers one invalidation acknowledgment to the waiting
+// transaction.
+func (d *DirCtrl) invAck(line arch.LineAddr) {
+	d.engine.At(d.Occupy(), func() { d.invAckArrived(line) })
+}
+
+func (d *DirCtrl) invAckArrived(line arch.LineAddr) {
+	e := d.entry(line)
+	if e.invWait <= 0 {
+		panic("coherence: unexpected invalidation ack")
+	}
+	e.invWait--
+	if e.invWait == 0 {
+		fn := e.invDone
+		e.invDone = nil
+		fn()
+	}
+}
+
+// --- transaction bodies (run with the entry busy) ---
+
+func (d *DirCtrl) doGETS(req arch.NodeID, line arch.LineAddr) {
+	e := d.entry(line)
+	switch e.state {
+	case dirUncached:
+		d.replyFromMemory(req, line, cacheFillExclusive, func() {
+			e.state, e.owner = dirExcl, req
+			d.release(line)
+		})
+	case dirShared:
+		d.replyFromMemory(req, line, cacheFillShared, func() {
+			e.sharers |= 1 << uint(req)
+			d.release(line)
+		})
+	case dirExcl:
+		if e.owner == req {
+			panic("coherence: GETS from current owner")
+		}
+		owner := e.owner
+		d.probeOwner(owner, line, false, func(od ownerData) {
+			switch od.kind {
+			case evFetchResp:
+				d.reply(req, line, cacheFillShared, od.data)
+				e.state = dirShared
+				e.sharers = 1<<uint(owner) | 1<<uint(req)
+				if od.dirty {
+					// Sharing write-back: the owner's dirty data is
+					// written to memory — a memory write, so ReVive
+					// logs and updates parity (section 3.2.1).
+					d.writeMemory(line, od.data, false, func() {}, func() {
+						d.release(line)
+					})
+					return
+				}
+				d.release(line)
+			case evWB:
+				// Owner gave the line up; requester becomes exclusive.
+				d.reply(req, line, cacheFillExclusive, od.data)
+				e.state, e.owner = dirExcl, req
+				d.writeMemory(line, od.data, od.ckp, func() {}, func() {
+					d.release(line)
+				})
+			case evRepl:
+				d.replyFromMemory(req, line, cacheFillExclusive, func() {
+					e.state, e.owner = dirExcl, req
+					d.release(line)
+				})
+			}
+		})
+	}
+}
+
+func (d *DirCtrl) doGETX(req arch.NodeID, line arch.LineAddr) {
+	e := d.entry(line)
+	switch e.state {
+	case dirUncached:
+		d.replyFromMemory(req, line, cacheFillModified, func() {
+			e.state, e.owner = dirExcl, req
+			d.writeIntent(line)
+		})
+	case dirShared:
+		d.invalidateSharers(line, e.sharers&^(1<<uint(req)), func() {
+			d.replyFromMemory(req, line, cacheFillModified, func() {
+				e.state, e.owner, e.sharers = dirExcl, req, 0
+				d.writeIntent(line)
+			})
+		})
+	case dirExcl:
+		if e.owner == req {
+			panic("coherence: GETX from current owner")
+		}
+		d.probeOwner(e.owner, line, true, func(od ownerData) {
+			switch od.kind {
+			case evFetchResp:
+				// Ownership transfer: memory is not written. The
+				// checkpoint content stays in memory; it was logged
+				// when the first writer took ownership, or will be
+				// logged at the eventual write-back (Figure 5(b)).
+				d.reply(req, line, cacheFillModified, od.data)
+				e.state, e.owner = dirExcl, req
+				d.writeIntent(line)
+			case evWB:
+				d.reply(req, line, cacheFillModified, od.data)
+				e.state, e.owner = dirExcl, req
+				d.writeMemory(line, od.data, od.ckp, func() {}, func() {
+					d.writeIntent(line)
+				})
+			case evRepl:
+				d.replyFromMemory(req, line, cacheFillModified, func() {
+					e.state, e.owner = dirExcl, req
+					d.writeIntent(line)
+				})
+			}
+		})
+	}
+}
+
+func (d *DirCtrl) doUPG(req arch.NodeID, line arch.LineAddr) {
+	e := d.entry(line)
+	if e.state != dirShared || e.sharers&(1<<uint(req)) == 0 {
+		// The requester's shared copy is gone (invalidated by an
+		// earlier-serialized write): fall back to a full read-exclusive.
+		d.doGETX(req, line)
+		return
+	}
+	d.invalidateSharers(line, e.sharers&^(1<<uint(req)), func() {
+		// Upgrade permission is granted immediately (Figure 5(a)); no
+		// data reply is needed.
+		e.state, e.owner, e.sharers = dirExcl, req, 0
+		d.sendToCache(req, network.ControlBytes, stats.ClassRead, func() {
+			d.caches[req].upgAck(line)
+		})
+		d.writeIntent(line)
+	})
+}
+
+func (d *DirCtrl) doWB(req arch.NodeID, line arch.LineAddr, data arch.Data, ckp, keep bool) {
+	e := d.entry(line)
+	if e.state != dirExcl || e.owner != req {
+		if keep {
+			// Ownership migrated while the checkpoint write-back was
+			// in flight; the data traveled with the intervention.
+			d.DroppedWBKeep++
+			d.ackWB(req, line, ckp)
+			d.release(line)
+			return
+		}
+		panic(fmt.Sprintf("coherence: WB from non-owner (state=%d owner=%d req=%d)",
+			e.state, e.owner, req))
+	}
+	if !keep {
+		e.state, e.owner = dirUncached, 0
+	}
+	d.writeMemory(line, data, ckp, func() {
+		// Acknowledgment point: after the data write (Figure 4), delayed
+		// by logging in the not-yet-logged case (Figure 5(b)).
+		d.ackWB(req, line, ckp)
+	}, func() {
+		d.release(line)
+	})
+}
+
+func (d *DirCtrl) doRepl(req arch.NodeID, line arch.LineAddr) {
+	e := d.entry(line)
+	switch {
+	case e.state == dirExcl && e.owner == req:
+		e.state, e.owner = dirUncached, 0
+	case e.state == dirShared:
+		e.sharers &^= 1 << uint(req)
+		if e.sharers == 0 {
+			e.state = dirUncached
+		}
+	}
+	d.release(line)
+}
+
+// --- building blocks ---
+
+func wbClass(ckp bool) stats.Class {
+	if ckp {
+		return stats.ClassCkpWB
+	}
+	return stats.ClassExeWB
+}
+
+func (d *DirCtrl) ackWB(req arch.NodeID, line arch.LineAddr, ckp bool) {
+	d.sendToCache(req, network.ControlBytes, wbClass(ckp), func() {
+		d.caches[req].wbAck(line)
+	})
+}
+
+// replyFromMemory reads the line from local memory and sends it to req,
+// then runs then (at reply time; the entry's fate is the caller's concern).
+func (d *DirCtrl) replyFromMemory(req arch.NodeID, line arch.LineAddr, fill cacheFill, then func()) {
+	d.st.Mem(stats.ClassRead)
+	d.mem.Read(d.phys(line).MemAddr(), func(data arch.Data) {
+		d.reply(req, line, fill, data)
+		then()
+	})
+}
+
+// reply sends a data reply to the requester's cache controller.
+func (d *DirCtrl) reply(req arch.NodeID, line arch.LineAddr, fill cacheFill, data arch.Data) {
+	d.sendToCache(req, network.DataBytes, stats.ClassRead, func() {
+		d.caches[req].fill(line, fill, data)
+	})
+}
+
+// probeOwner sends an intervention (inv=false: downgrading fetch, inv=true:
+// invalidating fetch) and parks the transaction until the owner's answer —
+// or a crossing eviction message — arrives.
+func (d *DirCtrl) probeOwner(owner arch.NodeID, line arch.LineAddr, inv bool, cont func(ownerData)) {
+	e := d.entry(line)
+	e.ownerWait = cont
+	e.ownerWaitNode = owner
+	d.sendToCache(owner, network.ControlBytes, stats.ClassRead, func() {
+		d.caches[owner].probe(line, inv, d.node)
+	})
+}
+
+// invalidateSharers sends invalidations to every node in mask and runs done
+// once all acknowledgments are in. An empty mask completes immediately.
+func (d *DirCtrl) invalidateSharers(line arch.LineAddr, mask uint32, done func()) {
+	e := d.entry(line)
+	count := 0
+	for n := arch.NodeID(0); int(n) < d.net.Nodes(); n++ {
+		if mask&(1<<uint(n)) != 0 {
+			count++
+		}
+	}
+	if count == 0 {
+		done()
+		return
+	}
+	e.invWait = count
+	e.invDone = done
+	for n := arch.NodeID(0); int(n) < d.net.Nodes(); n++ {
+		if mask&(1<<uint(n)) == 0 {
+			continue
+		}
+		dst := n
+		d.sendToCache(dst, network.ControlBytes, stats.ClassRead, func() {
+			d.caches[dst].inval(line, d.node)
+		})
+	}
+}
+
+// writeMemory performs the (possibly ReVive-extended) memory write: in the
+// baseline it is a plain DRAM write; with the extension installed it is the
+// full log-then-write-then-parity sequence of Figures 4 and 5(b).
+func (d *DirCtrl) writeMemory(line arch.LineAddr, data arch.Data, ckp bool, ack, release func()) {
+	phys := d.phys(line)
+	if d.ext == nil {
+		d.st.Mem(wbClass(ckp))
+		d.mem.Write(phys.MemAddr(), data, func() {
+			ack()
+			release()
+		})
+		return
+	}
+	d.ext.Write(line, phys, data, ckp, ack, release)
+}
+
+// writeIntent runs the Figure 5(a) hook after an exclusive grant and
+// releases the entry when the background logging completes.
+func (d *DirCtrl) writeIntent(line arch.LineAddr) {
+	if d.ext == nil {
+		d.release(line)
+		return
+	}
+	d.ext.WriteIntent(line, d.phys(line), func() { d.release(line) })
+}
+
+// StateOf reports the directory's view of a line (for tests and invariant
+// checks).
+func (d *DirCtrl) StateOf(line arch.LineAddr) (state string, owner arch.NodeID, sharers uint32, busy bool) {
+	e := d.entries[line]
+	if e == nil {
+		return "uncached", 0, 0, false
+	}
+	switch e.state {
+	case dirUncached:
+		state = "uncached"
+	case dirShared:
+		state = "shared"
+	case dirExcl:
+		state = "exclusive"
+	}
+	return state, e.owner, e.sharers, e.busy
+}
+
+// Reset drops all directory entries and transaction state (recovery
+// Phase 1 "invalidating the caches and directory entries").
+func (d *DirCtrl) Reset() {
+	d.entries = make(map[arch.LineAddr]*dirEntry)
+}
+
+// EntryView is a read-only snapshot of one directory entry for invariant
+// checking.
+type EntryView struct {
+	Line    arch.LineAddr
+	State   string // "uncached", "shared", "exclusive"
+	Owner   arch.NodeID
+	Sharers uint32
+	Busy    bool
+}
+
+// ForEachEntry visits every materialized directory entry.
+func (d *DirCtrl) ForEachEntry(fn func(EntryView)) {
+	for line, e := range d.entries {
+		v := EntryView{Line: line, Owner: e.owner, Sharers: e.sharers, Busy: e.busy}
+		switch e.state {
+		case dirUncached:
+			v.State = "uncached"
+		case dirShared:
+			v.State = "shared"
+		case dirExcl:
+			v.State = "exclusive"
+		}
+		fn(v)
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"revive/internal/coherence"
+	"revive/internal/sim"
+	"revive/internal/stats"
+)
+
+// Processor is the checkpoint manager's view of a CPU.
+type Processor interface {
+	// Interrupt asks the processor to stop at its next instruction
+	// boundary; parked runs once it has (immediately if it is already
+	// stopped or finished).
+	Interrupt(parked func())
+	// Resume restarts execution after the checkpoint commits.
+	Resume()
+}
+
+// CheckpointConfig carries the global-checkpoint timing of section 3.3.1.
+// The paper's real-machine constants are 100 ms intervals, 5 µs interrupt
+// delivery, 10 µs barriers; simulations scale all of them together (the
+// paper itself runs at 10 ms; see DESIGN.md section 6).
+type CheckpointConfig struct {
+	Interval      sim.Time // time between checkpoint starts; 0 disables periodic checkpoints
+	InterruptCost sim.Time // cross-processor interrupt delivery
+	BarrierCost   sim.Time // one global barrier synchronization
+	CtxSaveCost   sim.Time // storing each processor's execution context
+	// Retain is how many of the most recent checkpoints stay
+	// recoverable (default 2, the paper's choice for short detection
+	// latencies; larger error-detection latencies need more, which
+	// section 3.2.3 notes costs only log space, no extra hardware).
+	Retain int
+}
+
+// DefaultCheckpointConfig returns the paper's simulation regime (Cp10ms)
+// scaled by the given factor: interval 10 ms/scale, interrupt 5 µs/scale,
+// barriers 10 µs/scale.
+func DefaultCheckpointConfig(scale int) CheckpointConfig {
+	if scale < 1 {
+		scale = 1
+	}
+	return CheckpointConfig{
+		Interval:      10 * sim.Millisecond / sim.Time(scale),
+		InterruptCost: 5 * sim.Microsecond / sim.Time(scale),
+		BarrierCost:   10 * sim.Microsecond / sim.Time(scale),
+		CtxSaveCost:   200 * sim.Nanosecond,
+		Retain:        2,
+	}
+}
+
+// CheckpointManager drives the global checkpoint algorithm of section
+// 3.2.3: interrupt all processors, drain outstanding operations, flush all
+// dirty cached data (through the ReVive write path, so logging and parity
+// stay consistent), then a two-phase commit — barrier, per-node log
+// markers, barrier — and finally epoch advance, L-bit gang-clear and log
+// reclamation.
+type CheckpointManager struct {
+	engine  *sim.Engine
+	cfg     CheckpointConfig
+	procs   []Processor
+	caches  []*coherence.CacheCtrl
+	ctrls   []*Controller
+	tracker *coherence.Tracker
+	st      *stats.Stats
+
+	epoch   uint64
+	stopped bool
+	active  bool
+
+	// OnCommit runs after each checkpoint fully commits (tests snapshot
+	// the memory image here to verify rollback).
+	OnCommit func(epoch uint64)
+}
+
+// NewCheckpointManager wires the manager. Call Start to begin periodic
+// checkpointing.
+func NewCheckpointManager(engine *sim.Engine, cfg CheckpointConfig, procs []Processor,
+	caches []*coherence.CacheCtrl, ctrls []*Controller, tracker *coherence.Tracker,
+	st *stats.Stats) *CheckpointManager {
+	return &CheckpointManager{
+		engine: engine, cfg: cfg, procs: procs, caches: caches, ctrls: ctrls,
+		tracker: tracker, st: st,
+	}
+}
+
+// Epoch returns the most recently committed checkpoint epoch.
+func (cm *CheckpointManager) Epoch() uint64 { return cm.epoch }
+
+// Start schedules periodic checkpoints (no-op if Interval is zero).
+func (cm *CheckpointManager) Start() {
+	if cm.cfg.Interval <= 0 {
+		return
+	}
+	cm.engine.After(cm.cfg.Interval, cm.tick)
+}
+
+// Stop disables further periodic checkpoints.
+func (cm *CheckpointManager) Stop() { cm.stopped = true }
+
+func (cm *CheckpointManager) tick() {
+	if cm.stopped {
+		return
+	}
+	start := cm.engine.Now()
+	cm.Run(func() {
+		if cm.stopped {
+			return
+		}
+		next := start + cm.cfg.Interval
+		if now := cm.engine.Now(); next <= now {
+			next = now + cm.cfg.Interval
+		}
+		cm.engine.At(next, cm.tick)
+	})
+}
+
+// Run executes one full global checkpoint and calls done after commit.
+func (cm *CheckpointManager) Run(done func()) {
+	if cm.active {
+		panic("core: overlapping checkpoints")
+	}
+	cm.active = true
+
+	// Phase: interrupt all processors and wait for them to park, then
+	// for all outstanding memory operations to drain.
+	intStart := cm.engine.Now()
+	waitAll(len(cm.procs), func(one func()) {
+		for _, p := range cm.procs {
+			p.Interrupt(one)
+		}
+	}, func() {
+		cm.tracker.NotifyQuiescent(func() {
+			cm.st.CkpInterruptTime += cm.engine.Now() - intStart
+			// Interrupt delivery and context save cost.
+			cm.engine.After(cm.cfg.InterruptCost+cm.cfg.CtxSaveCost, cm.flushPhase(done))
+		})
+	})
+}
+
+func (cm *CheckpointManager) flushPhase(done func()) func() {
+	return func() {
+		flushStart := cm.engine.Now()
+		waitAll(len(cm.caches), func(one func()) {
+			for _, cc := range cm.caches {
+				cc.FlushDirty(one)
+			}
+		}, func() {
+			// Flush write-backs spawn background parity updates; the
+			// "outstanding operations complete" requirement covers them.
+			cm.tracker.NotifyQuiescent(func() {
+				cm.st.CkpFlushTime += cm.engine.Now() - flushStart
+				cm.engine.After(cm.cfg.BarrierCost, func() {
+					cm.st.CkpBarrierTime += cm.cfg.BarrierCost
+					cm.commitPhase(done)
+				})
+			})
+		})
+	}
+}
+
+func (cm *CheckpointManager) commitPhase(done func()) {
+	// Tentative commit: every node writes its checkpoint marker
+	// (checkpoint-commit race, section 4.2).
+	next := cm.epoch + 1
+	waitAll(len(cm.ctrls), func(one func()) {
+		for _, ctrl := range cm.ctrls {
+			ctrl.writeCkptMarker(next, one)
+		}
+	}, func() {
+		cm.tracker.NotifyQuiescent(func() {
+			// Second barrier: all processors have marked the checkpoint.
+			cm.engine.After(cm.cfg.BarrierCost, func() {
+				cm.st.CkpBarrierTime += cm.cfg.BarrierCost
+				cm.epoch = next
+				retain := cm.cfg.Retain
+				if retain < 2 {
+					retain = 2
+				}
+				for _, ctrl := range cm.ctrls {
+					ctrl.CommitEpoch(next, retain)
+					if pb := ctrl.Log().PeakBytes; pb > cm.st.LogBytesPeak {
+						cm.st.LogBytesPeak = pb
+					}
+				}
+				cm.st.Checkpoints++
+				cm.active = false
+				if cm.OnCommit != nil {
+					cm.OnCommit(next)
+				}
+				for _, p := range cm.procs {
+					p.Resume()
+				}
+				done()
+			})
+		})
+	})
+}
+
+// waitAll runs start, which must invoke its argument exactly n times; after
+// the n-th invocation, then runs. With n == 0, then runs immediately.
+func waitAll(n int, start func(one func()), then func()) {
+	if n == 0 {
+		then()
+		return
+	}
+	remaining := n
+	start(func() {
+		remaining--
+		if remaining == 0 {
+			then()
+		}
+	})
+}
+
+// ResetTo rewinds the manager to a rolled-back epoch and re-arms periodic
+// checkpointing (recovery resumption).
+func (cm *CheckpointManager) ResetTo(epoch uint64) {
+	cm.epoch = epoch
+	cm.active = false
+	cm.stopped = false
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"revive/internal/coherence"
+	"revive/internal/sim"
+	"revive/internal/stats"
+)
+
+// fakeProc is a Processor that parks on demand after a configurable delay.
+type fakeProc struct {
+	engine *sim.Engine
+	delay  sim.Time
+	parked int
+	resume int
+}
+
+func (p *fakeProc) Interrupt(parked func()) {
+	p.engine.After(p.delay, func() {
+		p.parked++
+		parked()
+	})
+}
+
+func (p *fakeProc) Resume() { p.resume++ }
+
+func newCkptRig(nprocs int, cfg CheckpointConfig) (*sim.Engine, *CheckpointManager, []*fakeProc) {
+	engine := sim.NewEngine()
+	tracker := &coherence.Tracker{}
+	st := stats.New()
+	procs := make([]Processor, nprocs)
+	fakes := make([]*fakeProc, nprocs)
+	for i := range procs {
+		fakes[i] = &fakeProc{engine: engine, delay: sim.Time(10 * (i + 1))}
+		procs[i] = fakes[i]
+	}
+	cm := NewCheckpointManager(engine, cfg, procs, nil, nil, tracker, st)
+	return engine, cm, fakes
+}
+
+func TestDefaultCheckpointConfigScales(t *testing.T) {
+	c1 := DefaultCheckpointConfig(1)
+	c10 := DefaultCheckpointConfig(10)
+	if c1.Interval != 10*sim.Millisecond || c10.Interval != sim.Millisecond {
+		t.Fatalf("intervals: %v, %v", c1.Interval, c10.Interval)
+	}
+	if c10.InterruptCost != c1.InterruptCost/10 || c10.BarrierCost != c1.BarrierCost/10 {
+		t.Fatal("fixed costs did not scale")
+	}
+	if c1.Retain != 2 {
+		t.Fatalf("default retain = %d, want 2", c1.Retain)
+	}
+	if DefaultCheckpointConfig(0).Interval != 10*sim.Millisecond {
+		t.Fatal("scale 0 not clamped to 1")
+	}
+}
+
+func TestCheckpointSequenceTiming(t *testing.T) {
+	cfg := CheckpointConfig{
+		InterruptCost: 100,
+		BarrierCost:   50,
+		CtxSaveCost:   25,
+		Retain:        2,
+	}
+	engine, cm, fakes := newCkptRig(4, cfg)
+	done := false
+	cm.Run(func() { done = true })
+	engine.Run()
+	if !done {
+		t.Fatal("checkpoint never committed")
+	}
+	// Slowest proc parks at t=40; then interrupt+ctx (125); then flush
+	// (no caches: instant); barrier (50); markers (no ctrls: instant);
+	// barrier (50) => commit at 265.
+	if engine.Now() != 40+125+50+50 {
+		t.Fatalf("commit at %d, want 265", engine.Now())
+	}
+	for i, f := range fakes {
+		if f.parked != 1 || f.resume != 1 {
+			t.Fatalf("proc %d parked=%d resumed=%d", i, f.parked, f.resume)
+		}
+	}
+	if cm.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", cm.Epoch())
+	}
+}
+
+func TestOverlappingCheckpointsPanic(t *testing.T) {
+	_, cm, _ := newCkptRig(1, CheckpointConfig{Retain: 2})
+	cm.Run(func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping Run did not panic")
+		}
+	}()
+	cm.Run(func() {})
+}
+
+func TestPeriodicTicksRespectInterval(t *testing.T) {
+	cfg := CheckpointConfig{Interval: 1000, Retain: 2}
+	engine, cm, _ := newCkptRig(2, cfg)
+	cm.Start()
+	engine.RunUntil(4500)
+	if got := cm.Epoch(); got != 4 {
+		t.Fatalf("epochs after 4.5 intervals = %d, want 4", got)
+	}
+	cm.Stop()
+	engine.Run()
+	if cm.Epoch() != 4 {
+		t.Fatal("checkpoints continued after Stop")
+	}
+}
+
+func TestResetToReArms(t *testing.T) {
+	cfg := CheckpointConfig{Interval: 1000, Retain: 2}
+	engine, cm, _ := newCkptRig(1, cfg)
+	cm.Start()
+	engine.RunUntil(2500)
+	cm.Stop()
+	cm.ResetTo(1)
+	if cm.Epoch() != 1 {
+		t.Fatalf("epoch after reset = %d", cm.Epoch())
+	}
+	cm.Start()
+	engine.RunUntil(engine.Now() + 1500)
+	if cm.Epoch() < 2 {
+		t.Fatal("periodic checkpoints did not resume after ResetTo")
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	ran := false
+	waitAll(0, func(func()) { t.Fatal("start called for n=0") }, func() { ran = true })
+	if !ran {
+		t.Fatal("waitAll(0) did not complete")
+	}
+	count := 0
+	waitAll(3, func(one func()) {
+		for i := 0; i < 3; i++ {
+			one()
+		}
+	}, func() { count++ })
+	if count != 1 {
+		t.Fatalf("then ran %d times, want 1", count)
+	}
+}

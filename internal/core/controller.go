@@ -1,0 +1,530 @@
+package core
+
+import (
+	"revive/internal/arch"
+	"revive/internal/coherence"
+	"revive/internal/mem"
+	"revive/internal/network"
+	"revive/internal/sim"
+	"revive/internal/stats"
+)
+
+// Step identifies an ordered point in ReVive's log/parity/data update
+// sequence. The race-condition tests of section 4.2 inject node loss at
+// exactly these points and verify that recovery still restores the
+// checkpoint state.
+type Step int
+
+const (
+	// StepLogDataWritten: the log entry's old-data line and (unvalidated)
+	// header are in memory.
+	StepLogDataWritten Step = iota
+	// StepLogMarkerWritten: the entry's Marker is validated in memory.
+	StepLogMarkerWritten
+	// StepLogParityApplied: the parity of the entry's data line is
+	// updated at the parity home.
+	StepLogParityApplied
+	// StepLogMarkerParityApplied: the parity of the entry's header line
+	// (with the Marker) is updated — strictly after StepLogParityApplied
+	// per the atomic-log-update race rule.
+	StepLogMarkerParityApplied
+	// StepDataWritten: the new data D' is in memory.
+	StepDataWritten
+	// StepDataParityApplied: the data parity update is applied.
+	StepDataParityApplied
+)
+
+// String returns a short label for logging and tests.
+func (s Step) String() string {
+	return [...]string{"log-data", "log-marker", "log-parity", "log-marker-parity",
+		"data", "data-parity"}[s]
+}
+
+// EventCounts tallies the Table 1 event classes.
+type EventCounts struct {
+	WBLogged     uint64 // write-back to memory, already logged (Figure 4)
+	RDXNotLogged uint64 // read-exclusive/upgrade, not yet logged (Figure 5(a))
+	WBNotLogged  uint64 // write-back, not yet logged (Figure 5(b))
+}
+
+// Controller is one node's ReVive directory-controller extension: the
+// Logged-bit table, the hardware log, and the parity-update engine. It
+// implements coherence.Extension for lines homed at its node, and handles
+// incoming parity updates for parity pages it hosts.
+type Controller struct {
+	engine  *sim.Engine
+	node    arch.NodeID
+	topo    arch.Topology
+	amap    *arch.AddressMap
+	dirs    []*coherence.DirCtrl
+	net     *network.Network
+	st      *stats.Stats
+	tracker *coherence.Tracker
+	peers   []*Controller // indexed by node; set by Wire
+
+	log   *HWLog
+	lbits map[arch.LineAddr]bool
+	epoch uint64
+	// debt is the parity ledger: for every memory line this controller
+	// has written whose parity update has not yet been applied remotely,
+	// the accumulated XOR delta owed to its parity line. It models the
+	// controller's transient-state buffers: writes accrue debt the
+	// instant they hit memory; the remote parity application pays it
+	// down; after a fail-stop error, recovery Phase 1 settles whatever
+	// remains (ReconcileParity). XOR accumulation makes the ledger
+	// order-independent.
+	debt map[arch.PhysLine]arch.Data
+
+	// DisableLBits is the section 4.1.2 ablation: without the L bit the
+	// old content is logged on *every* write-back (still correct; the
+	// log is restored newest-first).
+	DisableLBits bool
+	// DisableEagerLog is the acknowledgments-section ablation: without
+	// logging on read-exclusive/upgrade (Figure 5(a)), every first
+	// write-back takes the slow Figure 5(b) path that delays the
+	// acknowledgment.
+	DisableEagerLog bool
+	// StepHook, if set, observes every Step transition (race tests).
+	StepHook func(Step, arch.LineAddr)
+	// halted abandons in-progress update sequences at their next step
+	// boundary (fail-stop freeze injected from a StepHook).
+	halted bool
+
+	// Events tallies Table 1 event classes.
+	Events EventCounts
+}
+
+// NewController builds the ReVive extension for one node.
+func NewController(engine *sim.Engine, node arch.NodeID, topo arch.Topology,
+	amap *arch.AddressMap, dirs []*coherence.DirCtrl, net *network.Network,
+	st *stats.Stats, tracker *coherence.Tracker) *Controller {
+	return &Controller{
+		engine: engine, node: node, topo: topo, amap: amap, dirs: dirs, net: net,
+		st: st, tracker: tracker,
+		log:   NewHWLog(node, amap, dirs[node].Mem()),
+		lbits: make(map[arch.LineAddr]bool),
+		debt:  make(map[arch.PhysLine]arch.Data),
+	}
+}
+
+// Wire connects the per-node controllers so parity updates can be handled
+// at their destination.
+func (c *Controller) Wire(peers []*Controller) { c.peers = peers }
+
+// Log exposes the node's hardware log (statistics and recovery).
+func (c *Controller) Log() *HWLog { return c.log }
+
+// Node returns the controller's node.
+func (c *Controller) Node() arch.NodeID { return c.node }
+
+// Epoch returns the current checkpoint epoch.
+func (c *Controller) Epoch() uint64 { return c.epoch }
+
+// Logged reports the L bit of a line (tests).
+func (c *Controller) Logged(line arch.LineAddr) bool { return c.lbits[line] }
+
+func (c *Controller) hook(s Step, line arch.LineAddr) {
+	if c.StepHook != nil {
+		c.StepHook(s, line)
+	}
+}
+
+// hookAbort fires the step hook and reports whether the sequence must be
+// abandoned (the hook injected a fail-stop freeze).
+func (c *Controller) hookAbort(s Step, line arch.LineAddr) bool {
+	c.hook(s, line)
+	return c.halted
+}
+
+// Halt abandons all in-progress update sequences at their next step
+// boundary (fail-stop). Unhalt re-enables the controller for resumption.
+func (c *Controller) Halt()   { c.halted = true }
+func (c *Controller) Unhalt() { c.halted = false }
+
+func (c *Controller) needsLog(line arch.LineAddr) bool {
+	return !c.lbits[line] || c.DisableLBits
+}
+
+func (c *Controller) local(p arch.PhysLine) arch.PhysLine {
+	p.Node = c.node
+	return p
+}
+
+// --- coherence.Extension ---
+
+// WriteIntent implements the Figure 5(a) flow: on a read-exclusive or
+// upgrade for a not-yet-logged line, the memory (checkpoint) content is
+// copied to the log and the log parity updated, in the background after the
+// reply; the directory entry stays busy until release.
+func (c *Controller) WriteIntent(line arch.LineAddr, phys arch.PhysLine, release func()) {
+	if c.DisableEagerLog || !c.needsLog(line) {
+		release()
+		return
+	}
+	c.Events.RDXNotLogged++
+	c.lbits[line] = true
+	// The data read that supplied the requester also feeds the logger
+	// (Table 1 charges only 1 extra access: the log write).
+	old := c.dirs[c.node].Mem().Peek(phys.MemAddr())
+	c.appendLog(line, old, release)
+}
+
+// Write implements the write-back flows: Figure 5(b) when the line has not
+// been logged (log fully first, delaying the acknowledgment), then the
+// Figure 4 data write and data parity update.
+func (c *Controller) Write(line arch.LineAddr, phys arch.PhysLine, data arch.Data,
+	ckp bool, ack, release func()) {
+	doWrite := func() { c.dataWrite(line, phys, data, ckp, ack, release) }
+	if !c.needsLog(line) {
+		c.Events.WBLogged++
+		doWrite()
+		return
+	}
+	c.Events.WBNotLogged++
+	c.lbits[line] = true
+	old := c.dirs[c.node].Mem().Peek(phys.MemAddr())
+	// Log-data update race (section 4.2): the data write must not start
+	// before the log entry *and its parity* are fully updated. Table 1:
+	// "copy data to log" costs an extra read here (no reply read to
+	// reuse) plus the log write.
+	c.st.Mem(stats.ClassLog)
+	c.dirs[c.node].Mem().Read(phys.MemAddr(), func(arch.Data) {
+		c.appendLog(line, old, doWrite)
+	})
+}
+
+// dataWrite performs the Figure 4 sequence: read current D (the re-read the
+// paper keeps because the directory controller has no data cache), write
+// D', acknowledge, update the data parity, release. Under mirroring the
+// reads and XOR are omitted (section 3.2.1).
+func (c *Controller) dataWrite(line arch.LineAddr, phys arch.PhysLine, data arch.Data,
+	ckp bool, ack, release func()) {
+	m := c.dirs[c.node].Mem()
+	old := m.Peek(phys.MemAddr())
+	write := func() {
+		c.st.Mem(wbClass(ckp))
+		c.accrue(c.local(phys), old, data)
+		m.Write(phys.MemAddr(), data, func() {
+			if c.hookAbort(StepDataWritten, line) {
+				return
+			}
+			ack()
+			delta := old
+			delta.XOR(&data)
+			c.sendParity(parityUpdate{
+				target: c.topo.ParityOf(c.local(phys)),
+				delta:  delta,
+				step:   StepDataParityApplied,
+				line:   line,
+			}, release)
+		})
+	}
+	if c.topo.MirroredFrame(phys.Frame) {
+		// Mirroring omits the old-data read and the XOR (section
+		// 3.2.1); the delta it ships degenerates to the new content
+		// because the mirror copy equals the old data.
+		write()
+		return
+	}
+	c.st.Mem(stats.ClassParity) // Table 1: the extra read of D
+	m.Read(phys.MemAddr(), func(arch.Data) { write() })
+}
+
+func wbClass(ckp bool) stats.Class {
+	if ckp {
+		return stats.ClassCkpWB
+	}
+	return stats.ClassExeWB
+}
+
+// appendLog writes one log entry (old content of line) and updates the log
+// parity, then runs done. Sequence per section 4.2: entry data + header
+// written, marker validated, then one parity round covering the entry (data
+// line parity strictly before header/marker parity).
+func (c *Controller) appendLog(line arch.LineAddr, old arch.Data, done func()) {
+	m := c.dirs[c.node].Mem()
+	s := c.log.Reserve()
+	hdr := c.local(s.headerLine())
+	dat := c.local(s.dataLine())
+
+	// Old content of the log lines (reused slots hold stale entries) for
+	// the parity delta. Table 1 charges this read to the log-parity step.
+	oldHdr := m.Peek(hdr.MemAddr())
+	oldDat := m.Peek(dat.MemAddr())
+
+	// Write the entry: data line (timed, the Table 1 "copy data to log"
+	// access) and header without marker (piggybacked on the same burst).
+	bareHdr := encodeHeader(header{line: line, epoch: c.epoch})
+	c.accrue(hdr, oldHdr, bareHdr)
+	m.Poke(hdr.MemAddr(), bareHdr)
+	c.st.Mem(stats.ClassLog)
+	c.accrue(dat, oldDat, old)
+	m.Write(dat.MemAddr(), old, func() {
+		if c.hookAbort(StepLogDataWritten, line) {
+			return
+		}
+		// Validate the Marker (atomic-log-update race: an entry is used
+		// by recovery only once its marker is in memory).
+		newHdr := encodeHeader(header{line: line, epoch: c.epoch, marker: markerValid})
+		c.accrue(hdr, bareHdr, newHdr)
+		m.Poke(hdr.MemAddr(), newHdr)
+		if c.hookAbort(StepLogMarkerWritten, line) {
+			return
+		}
+
+		deltaDat := oldDat
+		deltaDat.XOR(&old)
+		deltaHdr := oldHdr
+		deltaHdr.XOR(&newHdr)
+		send := func() {
+			c.sendParity(parityUpdate{
+				target:    c.topo.ParityOf(dat),
+				delta:     deltaDat,
+				step:      StepLogParityApplied,
+				line:      line,
+				auxValid:  true,
+				auxTarget: c.topo.ParityOf(hdr),
+				auxDelta:  deltaHdr,
+				auxStep:   StepLogMarkerParityApplied,
+			}, done)
+		}
+		if c.topo.MirroredFrame(dat.Frame) {
+			send()
+			return
+		}
+		// Table 1: "update log parity" includes reading the old log
+		// line content at the home (skipped under mirroring).
+		c.st.Mem(stats.ClassParity)
+		m.Read(dat.MemAddr(), func(arch.Data) { send() })
+	})
+}
+
+// writeCkptMarker appends the checkpoint-commit marker entry for epoch
+// (phase two of the two-phase commit, section 4.2), then runs done.
+func (c *Controller) writeCkptMarker(epoch uint64, done func()) {
+	if !c.topo.HasDataFrames(c.node) {
+		// A dedicated parity node homes no data, so its log is empty
+		// and needs no commit marker.
+		done()
+		return
+	}
+	m := c.dirs[c.node].Mem()
+	s := c.log.Reserve()
+	hdr := c.local(s.headerLine())
+	oldHdr := m.Peek(hdr.MemAddr())
+	newHdr := encodeHeader(header{epoch: epoch, marker: markerCkpt})
+	c.st.Mem(stats.ClassLog)
+	c.accrue(hdr, oldHdr, newHdr)
+	m.Write(hdr.MemAddr(), newHdr, func() {
+		delta := oldHdr
+		delta.XOR(&newHdr)
+		c.sendParity(parityUpdate{
+			target: c.topo.ParityOf(hdr),
+			delta:  delta,
+			step:   StepLogMarkerParityApplied,
+			line:   0,
+		}, done)
+	})
+}
+
+// CommitEpoch advances the checkpoint epoch: gang-clear the L bits and
+// reclaim log space older than the oldest retained checkpoint's marker
+// (section 3.2.3: retain covers the error-detection latency; the paper's
+// default keeps the two most recent checkpoints).
+func (c *Controller) CommitEpoch(epoch uint64, retain int) {
+	c.epoch = epoch
+	c.lbits = make(map[arch.LineAddr]bool)
+	if retain < 2 {
+		retain = 2
+	}
+	if epoch+1 >= uint64(retain) {
+		c.log.ReclaimTo(epoch + 1 - uint64(retain))
+	}
+}
+
+// --- distributed parity protocol ---
+
+// parityUpdate is one parity-update message: the XOR delta for a target
+// parity line (or the full new content under mirroring), optionally
+// carrying a piggybacked header-line update for log entries.
+//
+// Each update is registered with its originating controller until the
+// acknowledgment returns. The registry models the controller's transient-
+// state buffers: on a fail-stop error, surviving controllers reconcile
+// their in-flight updates during recovery Phase 1 (the messages are
+// protected by error-detection codes, section 3.1.2); only updates whose
+// originating or target controller died are genuinely lost, and those are
+// exactly the cases the section 4.2 race arguments cover.
+type parityUpdate struct {
+	from   *Controller // originator, for ledger pay-down
+	target arch.PhysLine
+	delta  arch.Data
+	step   Step
+	line   arch.LineAddr
+
+	auxValid  bool
+	auxTarget arch.PhysLine
+	auxDelta  arch.Data
+	auxStep   Step
+}
+
+// accrue records parity debt for a write of new over old at data line
+// phys, at the instant the memory content changes.
+func (c *Controller) accrue(phys arch.PhysLine, old, new arch.Data) {
+	target := c.topo.ParityOf(phys)
+	d := c.debt[target]
+	d.XOR(&old)
+	d.XOR(&new)
+	if d.IsZero() {
+		delete(c.debt, target)
+	} else {
+		c.debt[target] = d
+	}
+}
+
+// payDebt cancels delta from the ledger once the remote parity application
+// has happened.
+func (c *Controller) payDebt(target arch.PhysLine, delta arch.Data) {
+	d := c.debt[target]
+	d.XOR(&delta)
+	if d.IsZero() {
+		delete(c.debt, target)
+	} else {
+		c.debt[target] = d
+	}
+}
+
+// ReconcileParity settles the ledger after a fail-stop error (recovery
+// Phase 1): every outstanding delta whose parity memory survives is applied
+// directly. A lost node's own controller must call DropPending instead —
+// its buffers died with it (and its data is reconstructed anyway).
+func (c *Controller) ReconcileParity() {
+	for target, delta := range c.debt {
+		m := c.dirs[target.Node].Mem()
+		if m.Lost() {
+			continue
+		}
+		cur := m.Peek(target.MemAddr())
+		cur.XOR(&delta)
+		m.Poke(target.MemAddr(), cur)
+	}
+	c.debt = make(map[arch.PhysLine]arch.Data)
+}
+
+// DropPending discards the ledger (the controller itself was lost).
+func (c *Controller) DropPending() {
+	c.debt = make(map[arch.PhysLine]arch.Data)
+}
+
+// PendingDebts reports outstanding ledger entries (tests).
+func (c *Controller) PendingDebts() int { return len(c.debt) }
+
+// sendParity transmits the update to the parity line's home node and runs
+// done when the acknowledgment returns (Figure 4's messages 3 and 4). The
+// caller's directory entry stays busy for the duration.
+func (c *Controller) sendParity(u parityUpdate, done func()) {
+	c.tracker.Inc()
+	u.from = c
+	self := c.node
+	c.net.Send(network.Message{
+		Src: self, Dst: u.target.Node, Bytes: network.DataBytes, Class: stats.ClassParity,
+		Deliver: func() {
+			c.peers[u.target.Node].handleParityUpdate(u, func() {
+				c.net.Send(network.Message{
+					Src: u.target.Node, Dst: self, Bytes: network.ControlBytes,
+					Class: stats.ClassParity,
+					Deliver: func() {
+						c.tracker.Dec()
+						done()
+					},
+				})
+			})
+		},
+	})
+}
+
+// handleParityUpdate applies an incoming update at the parity line's home:
+// one controller-pipeline pass, then read-XOR-write of the parity line
+// (the same XOR functionally under mirroring, where the "parity" is a copy
+// and the reads are skipped — only the timing differs), then the
+// piggybacked header update — strictly after the data parity, per the
+// atomic-log-update race rule. Each application pays down the originator's
+// ledger at the instant the parity content changes.
+func (c *Controller) handleParityUpdate(u parityUpdate, ackSend func()) {
+	m := c.dirs[c.node].Mem()
+	apply := func() {
+		finish := func() {
+			if u.auxValid {
+				c.applyDelta(m, u.auxTarget, u.auxDelta)
+				u.from.payDebt(u.auxTarget, u.auxDelta)
+				c.hook(u.auxStep, u.line)
+			}
+			ackSend()
+		}
+		newVal := m.Peek(u.target.MemAddr())
+		newVal.XOR(&u.delta)
+		u.from.payDebt(u.target, u.delta)
+		if c.topo.MirroredFrame(u.target.Frame) {
+			c.st.Mem(stats.ClassParity)
+			m.Write(u.target.MemAddr(), newVal, func() {
+				if c.hookAbort(u.step, u.line) {
+					return
+				}
+				finish()
+			})
+			return
+		}
+		c.st.Mem(stats.ClassParity)
+		c.st.Mem(stats.ClassParity)
+		delta := u.delta
+		m.ReadModifyWrite(u.target.MemAddr(), func(p *arch.Data) { p.XOR(&delta) },
+			func(arch.Data) {
+				if c.hookAbort(u.step, u.line) {
+					return
+				}
+				finish()
+			})
+	}
+	c.engine.At(c.dirs[c.node].Occupy(), apply)
+}
+
+// applyDelta folds a piggybacked (uncharged) line update into memory.
+// Under mirroring the "parity" copy equals the old data, so the XOR yields
+// exactly the new data — one formula covers both organizations.
+func (c *Controller) applyDelta(m *mem.Memory, target arch.PhysLine, delta arch.Data) {
+	cur := m.Peek(target.MemAddr())
+	cur.XOR(&delta)
+	m.Poke(target.MemAddr(), cur)
+}
+
+// InitEpoch writes the initial checkpoint marker (epoch 0) directly with
+// consistent parity, modeling machine initialization: the boot image is
+// checkpoint 0, so a rollback before the first periodic checkpoint is
+// well-defined.
+func (c *Controller) InitEpoch() {
+	if !c.topo.HasDataFrames(c.node) {
+		return
+	}
+	s := c.log.Reserve()
+	c.pokeWithParity(c.local(s.headerLine()),
+		encodeHeader(header{epoch: 0, marker: markerCkpt}))
+}
+
+// pokeWithParity updates a line and its parity functionally (no simulated
+// time). Initialization and recovery's restoration writes use it; both
+// happen outside normal timed execution. The XOR covers mirroring too (the
+// copy equals the old data).
+func (c *Controller) pokeWithParity(p arch.PhysLine, newData arch.Data) {
+	m := c.dirs[p.Node].Mem()
+	old := m.Peek(p.MemAddr())
+	m.Poke(p.MemAddr(), newData)
+	par := c.topo.ParityOf(p)
+	pmem := c.dirs[par.Node].Mem()
+	if pmem.Lost() {
+		return // the parity copy is gone; phase 4 will rebuild the group
+	}
+	cur := pmem.Peek(par.MemAddr())
+	cur.XOR(&old)
+	cur.XOR(&newData)
+	pmem.Poke(par.MemAddr(), cur)
+}

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"fmt"
+
+	"revive/internal/arch"
+	"revive/internal/mem"
+	"revive/internal/sim"
+)
+
+// RecoveryConfig carries the recovery timing model (section 3.3.2). The
+// per-operation costs derive from Table 3; phase durations scale with the
+// amount of state to restore, which is what gives Figure 12 its shape
+// (Radix's large log makes it the slowest to recover).
+//
+// Phase timing is computed from these constants rather than event-driven:
+// after a fail-stop error the machine's normal timing state is undefined
+// (that is the point of fail-stop), and the paper's own recovery-time
+// discussion is a throughput model — time proportional to log and page
+// counts over the effective rebuild bandwidth.
+type RecoveryConfig struct {
+	// HWRecovery is Phase 1: diagnosis, reconfiguration, protocol reset.
+	// The paper adopts 50 ms from Hive/FLASH; scaled runs scale it.
+	HWRecovery sim.Time
+	// RemoteLineRead is the effective per-line cost of streaming a
+	// remote line during reconstruction (no-contention latency ~191 ns,
+	// partially pipelined).
+	RemoteLineRead sim.Time
+	// LocalLineOp is a local memory line read or write (port-bound).
+	LocalLineOp sim.Time
+	// RebuildStreams is how many peer streams a rebuilding processor
+	// overlaps (limited by its directory controller and NI).
+	RebuildStreams int
+	// BackgroundShare is the fraction of compute devoted to Phase 4
+	// background rebuilding (the paper evaluates one half).
+	BackgroundShare float64
+	// RemoteLineReadSaturated is the effective per-line cost when the
+	// whole machine rebuilds at once (Phase 4 over a full node's
+	// memory): every survivor streams from every source memory, so the
+	// ports and links saturate far above the lightly-loaded Phase 2/3
+	// figure.
+	RemoteLineReadSaturated sim.Time
+}
+
+// DefaultRecoveryConfig returns the paper's constants scaled by the given
+// factor (50 ms hardware recovery at scale 1).
+func DefaultRecoveryConfig(scale int) RecoveryConfig {
+	if scale < 1 {
+		scale = 1
+	}
+	return RecoveryConfig{
+		HWRecovery:              50 * sim.Millisecond / sim.Time(scale),
+		RemoteLineRead:          200,
+		LocalLineOp:             20,
+		RebuildStreams:          2,
+		BackgroundShare:         0.5,
+		RemoteLineReadSaturated: 1200,
+	}
+}
+
+// Report summarizes one recovery: the phase durations of Figure 7 and the
+// work done. Phase4 overlaps normal execution (the machine is available);
+// Phases 1-3 are the unavailable time that Figure 12 reports.
+type Report struct {
+	LostNode    arch.NodeID // -1 for errors without memory loss
+	TargetEpoch uint64
+
+	Phase1 sim.Time // hardware recovery
+	Phase2 sim.Time // rebuild lost node's log pages from parity
+	Phase3 sim.Time // rollback: restore memory from logs
+	Phase4 sim.Time // background rebuild of remaining parity groups
+
+	LogPagesRebuilt  int // phase 2
+	EntriesRestored  int // phase 3
+	EntriesSkipped   int // invalid markers / stale rebuilt slots
+	DataPagesRebuilt int // phase 3, on demand (timing attribution)
+	BackgroundPages  int // phase 4
+}
+
+// Unavailable is the machine-down time (Phases 1-3).
+func (r Report) Unavailable() sim.Time { return r.Phase1 + r.Phase2 + r.Phase3 }
+
+func (r Report) String() string {
+	return fmt.Sprintf("recovery(lost=%d epoch=%d p1=%dns p2=%dns p3=%dns p4=%dns entries=%d pages=%d+%d)",
+		r.LostNode, r.TargetEpoch, r.Phase1, r.Phase2, r.Phase3, r.Phase4,
+		r.EntriesRestored, r.DataPagesRebuilt, r.BackgroundPages)
+}
+
+// Recovery performs rollback recovery over the machine's functional state.
+// It is constructed by the machine layer after an error is detected.
+//
+// Ordering discipline. Before Recovery runs, the machine reconciles every
+// surviving controller's in-flight parity updates (Controller.
+// ReconcileParity — recovery Phase 1), so parity is consistent for all
+// surviving data. Only updates that originated at, or targeted, the lost
+// node are gone — and for those the section 4.2 arguments apply: the
+// affected data lines either died with the node (their content is
+// reconstructed from parity and, if written since the checkpoint,
+// restored from the rebuilt log) or have their parity rebuilt from data.
+// Given that, the algorithm (1) reconstructs every frame of the lost node
+// — data frames from peers+parity, parity frames from the group's data —
+// *before* any restoration mutates survivor data, then (2) rolls the logs
+// back newest-first with parity-maintaining writes.
+type Recovery struct {
+	Topo  arch.Topology
+	AMap  *arch.AddressMap
+	Mems  []*mem.Memory
+	Ctrls []*Controller
+	Cfg   RecoveryConfig
+}
+
+// pageRebuildCost is the time for one processor to rebuild one page from
+// its parity group: stream GroupSize-1 peer pages (64 lines each) and write
+// the XOR locally.
+func (r *Recovery) pageRebuildCost() sim.Time {
+	peers := sim.Time(r.Topo.GroupSize - 1)
+	lines := sim.Time(arch.LinesPerPage)
+	streams := sim.Time(r.Cfg.RebuildStreams)
+	return lines*peers*r.Cfg.RemoteLineRead/streams + lines*r.Cfg.LocalLineOp
+}
+
+// maxFrames is the allocation high-water across all nodes: the scrub and
+// lost-node reconstruction must cover a node's parity frames even when the
+// node's own allocator never reached them (another group member's did).
+func (r *Recovery) maxFrames() arch.Frame {
+	var max arch.Frame
+	for n := 0; n < r.Topo.Nodes; n++ {
+		if !r.Topo.HasDataFrames(arch.NodeID(n)) {
+			continue
+		}
+		if f := r.AMap.FramesUsed(arch.NodeID(n)); f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// rebuildLine reconstructs one line of a lost node by XORing the rest of
+// its parity stripe, writing the result into the replaced module. Parity
+// lines are the XOR of the group's data lines; data lines are the XOR of
+// peers plus parity.
+func (r *Recovery) rebuildLine(p arch.PhysLine) {
+	var acc arch.Data
+	var stripe []arch.PhysLine
+	if r.Topo.IsParityFrame(p.Node, p.Frame) {
+		stripe = r.Topo.DataLinesOf(p)
+	} else {
+		stripe = append(r.Topo.StripePeers(p), r.Topo.ParityOf(p))
+	}
+	for _, q := range stripe {
+		d := r.Mems[q.Node].Peek(q.MemAddr())
+		acc.XOR(&d)
+	}
+	r.Mems[p.Node].Poke(p.MemAddr(), acc)
+}
+
+// rebuildPage reconstructs all 64 lines of one frame on a lost node.
+func (r *Recovery) rebuildPage(node arch.NodeID, f arch.Frame) {
+	for off := 0; off < arch.LinesPerPage; off++ {
+		r.rebuildLine(arch.PhysLine{Node: node, Frame: f, Off: uint8(off)})
+	}
+}
+
+// Recoverable reports whether the given set of lost nodes is within
+// ReVive's fault model: at most one lost node per parity group
+// (section 3.1.2 — "two malfunctioning memory modules on different nodes
+// may damage a parity group beyond ReVive's ability to repair").
+func (r *Recovery) Recoverable(lost []arch.NodeID) error {
+	perGroup := map[int]arch.NodeID{}
+	for _, n := range lost {
+		g := r.Topo.Group(n)
+		if prev, dup := perGroup[g]; dup {
+			return fmt.Errorf("core: nodes %d and %d are both lost in parity group %d; "+
+				"the group is damaged beyond ReVive's ability to repair (section 3.1.2)",
+				prev, n, g)
+		}
+		perGroup[g] = n
+	}
+	return nil
+}
+
+// NodeLoss recovers from the permanent loss of a node's memory content
+// (section 3.2.4's worst case, Figure 7): Phase 1 hardware recovery,
+// Phase 2 log reconstruction, Phase 3 rollback to targetEpoch with
+// on-demand page rebuilds, Phase 4 background rebuild of the remaining
+// pages. The lost module must already be marked lost.
+func (r *Recovery) NodeLoss(lost arch.NodeID, targetEpoch uint64) Report {
+	return r.MultiNodeLoss([]arch.NodeID{lost}, targetEpoch)
+}
+
+// MultiNodeLoss recovers from simultaneous loss of several nodes, provided
+// no two share a parity group (each group tolerates one loss). The paper's
+// multi-node discussion (section 3.1.2) draws exactly this boundary.
+func (r *Recovery) MultiNodeLoss(lost []arch.NodeID, targetEpoch uint64) Report {
+	if err := r.Recoverable(lost); err != nil {
+		panic(err)
+	}
+	rep := Report{LostNode: -1, TargetEpoch: targetEpoch, Phase1: r.Cfg.HWRecovery}
+	if len(lost) == 1 {
+		rep.LostNode = lost[0]
+	}
+	lostSet := map[arch.NodeID]bool{}
+	for _, n := range lost {
+		if !r.Mems[n].Lost() {
+			panic("core: NodeLoss recovery for a node that is not lost")
+		}
+		lostSet[n] = true
+		r.Mems[n].Restore()
+	}
+
+	// Reconstruct every frame of each lost node from parity before any
+	// restoration mutates survivor data (see the ordering discipline in
+	// the type comment). Groups are disjoint, so each stripe has at most
+	// one missing member and reconstructions are independent. Timing is
+	// attributed per the paper's phases: log frames to Phase 2; frames
+	// the rollback touches to Phase 3 (on-demand); the rest to Phase 4
+	// (background).
+	max := r.maxFrames()
+	logFrames := map[arch.NodeID]map[arch.Frame]bool{}
+	for _, n := range lost {
+		lf := map[arch.Frame]bool{}
+		for _, f := range r.Ctrls[n].Log().Frames() {
+			lf[f] = true
+		}
+		logFrames[n] = lf
+		for f := arch.Frame(0); f < max; f++ {
+			r.rebuildPage(n, f)
+		}
+		rep.LogPagesRebuilt += len(lf)
+	}
+	survivors := r.Topo.Nodes - len(lost)
+	rep.Phase2 = r.pageRebuildCost() * sim.Time(ceilDiv(rep.LogPagesRebuilt, survivors))
+
+	// Phase 3: every node's log rolls back its own memory; lost nodes'
+	// (rebuilt) logs are processed by the survivors. A page of a lost
+	// node counts as an on-demand rebuild the first time the rollback
+	// restores into it.
+	demand := map[arch.NodeID]map[arch.Frame]bool{}
+	for _, n := range lost {
+		demand[n] = map[arch.Frame]bool{}
+	}
+	perNode := make([]sim.Time, r.Topo.Nodes)
+	for n := 0; n < r.Topo.Nodes; n++ {
+		node := arch.NodeID(n)
+		r.rollbackNode(node, targetEpoch, lostSet, demand, &rep, &perNode[n])
+	}
+	var maxT sim.Time
+	for n := 0; n < r.Topo.Nodes; n++ {
+		t := perNode[n]
+		if lostSet[arch.NodeID(n)] {
+			t /= sim.Time(survivors)
+		}
+		if t > maxT {
+			maxT = t
+		}
+	}
+	rep.Phase3 = maxT
+
+	// Phase 4: the remaining frames (rebuilt above; timing only).
+	for _, n := range lost {
+		for f := arch.Frame(0); f < max; f++ {
+			if !logFrames[n][f] && !demand[n][f] {
+				rep.BackgroundPages++
+			}
+		}
+	}
+	rep.Phase4 = sim.Time(float64(r.pageRebuildCost()) *
+		float64(ceilDiv(rep.BackgroundPages, survivors)) / r.Cfg.BackgroundShare)
+	return rep
+}
+
+// Rollback recovers from errors that leave all memory intact (processor or
+// cache errors, interconnect glitches): Phase 1 plus the Phase 3 rollback,
+// then the parity scrub (in the background; the paper's Phases 2 and 4
+// vanish in this case).
+func (r *Recovery) Rollback(targetEpoch uint64) Report {
+	rep := Report{LostNode: -1, TargetEpoch: targetEpoch, Phase1: r.Cfg.HWRecovery}
+	var maxT sim.Time
+	for n := 0; n < r.Topo.Nodes; n++ {
+		var t sim.Time
+		r.rollbackNode(arch.NodeID(n), targetEpoch, nil, nil, &rep, &t)
+		if t > maxT {
+			maxT = t
+		}
+	}
+	rep.Phase3 = maxT
+	return rep
+}
+
+// rollbackNode undoes node's log entries newest-first down to the commit
+// marker of targetEpoch, restoring old contents into memory. Entries
+// without a valid marker are incomplete and skipped; entries carrying an
+// *older* epoch under a valid marker are stale bytes of a reused slot whose
+// in-flight parity update was lost (possible only in rebuilt logs) and are
+// skipped too. t accumulates the node's rollback time.
+func (r *Recovery) rollbackNode(node arch.NodeID, targetEpoch uint64, lost map[arch.NodeID]bool,
+	demand map[arch.NodeID]map[arch.Frame]bool, rep *Report, t *sim.Time) {
+	log := r.Ctrls[node].Log()
+	m := r.Mems[node]
+	log.walkNewest(func(s slotAddr) bool {
+		hdr := decodeHeader(m.Peek(arch.PhysLine{Node: node, Frame: s.frame,
+			Off: uint8(s.slot * entryLines)}.MemAddr()))
+		*t += 2 * r.Cfg.LocalLineOp // read the entry
+		switch {
+		case hdr.marker == markerCkpt && hdr.epoch == targetEpoch:
+			return false // reached the target checkpoint: done
+		case hdr.marker == markerCkpt:
+			return true // newer (or stale older) checkpoint marker
+		case hdr.marker != markerValid || hdr.epoch < targetEpoch:
+			rep.EntriesSkipped++
+			return true
+		}
+		phys, ok := r.AMap.LookupLine(hdr.line)
+		if !ok {
+			panic("core: log entry for unmapped line")
+		}
+		if lost[phys.Node] && demand[phys.Node] != nil && !demand[phys.Node][phys.Frame] {
+			// First restore into this lost page: the paper rebuilds
+			// the parity group on demand here (Phase 3 timing).
+			demand[phys.Node][phys.Frame] = true
+			rep.DataPagesRebuilt++
+			*t += r.pageRebuildCost()
+		}
+		old := m.Peek(arch.PhysLine{Node: node, Frame: s.frame,
+			Off: uint8(s.slot*entryLines + 1)}.MemAddr())
+		r.Ctrls[node].pokeWithParity(phys, old)
+		rep.EntriesRestored++
+		*t += r.Cfg.LocalLineOp * 4 // write + parity read-modify-write
+		return true
+	})
+}
+
+// ProjectPhase4 estimates the section 3.3.2 full-memory background
+// rebuild: reconstructing an entire lost node of nodeMemBytes while the
+// survivors devote BackgroundShare of their compute to it. The paper's
+// reference point: a 16-processor machine with 7+1 parity rebuilds a 2 GB
+// node in about 20 seconds at half compute.
+func (r *Recovery) ProjectPhase4(nodeMemBytes uint64) sim.Time {
+	pages := int(nodeMemBytes / arch.PageBytes)
+	survivors := r.Topo.Nodes - 1
+	peers := sim.Time(r.Topo.GroupSize - 1)
+	lines := sim.Time(arch.LinesPerPage)
+	perPage := lines*peers*r.Cfg.RemoteLineReadSaturated/sim.Time(r.Cfg.RebuildStreams) +
+		lines*r.Cfg.LocalLineOp
+	return sim.Time(float64(perPage) * float64(ceilDiv(pages, survivors)) /
+		r.Cfg.BackgroundShare)
+}
+
+func ceilDiv(a, b int) int {
+	if a == 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

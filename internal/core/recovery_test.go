@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"revive/internal/arch"
+	"revive/internal/sim"
+)
+
+func TestProjectPhase4MatchesPaperReference(t *testing.T) {
+	// Section 3.3.2: "if the lost node had 2GB of memory and 7+1 parity
+	// was used, a 16-processor machine requires about 20 seconds to
+	// fully rebuild all affected parity groups, if it devotes half of
+	// its computation to rebuilding".
+	r := &Recovery{
+		Topo: arch.Topology{Nodes: 16, GroupSize: 8},
+		Cfg:  DefaultRecoveryConfig(1),
+	}
+	got := r.ProjectPhase4(2 << 30)
+	if got < 10*sim.Second || got > 40*sim.Second {
+		t.Fatalf("2GB rebuild projection = %v s, want ~20s", float64(got)/1e9)
+	}
+}
+
+func TestProjectPhase4ScalesWithMemoryAndGroup(t *testing.T) {
+	r := &Recovery{Topo: arch.Topology{Nodes: 16, GroupSize: 8}, Cfg: DefaultRecoveryConfig(1)}
+	if r.ProjectPhase4(4<<30) <= r.ProjectPhase4(2<<30) {
+		t.Fatal("projection does not scale with memory size")
+	}
+	mirror := &Recovery{Topo: arch.Topology{Nodes: 16, GroupSize: 2}, Cfg: DefaultRecoveryConfig(1)}
+	if mirror.ProjectPhase4(2<<30) >= r.ProjectPhase4(2<<30) {
+		t.Fatal("mirroring rebuild (1 source page) should beat 7+1 (7 source pages)")
+	}
+}
+
+func TestRecoverableBoundaries(t *testing.T) {
+	r := &Recovery{Topo: arch.Topology{Nodes: 16, GroupSize: 8}}
+	if err := r.Recoverable(nil); err != nil {
+		t.Fatal("empty loss set must be recoverable")
+	}
+	if err := r.Recoverable([]arch.NodeID{3}); err != nil {
+		t.Fatal("single loss must be recoverable")
+	}
+	if err := r.Recoverable([]arch.NodeID{3, 12}); err != nil {
+		t.Fatal("disjoint-group losses must be recoverable")
+	}
+	if err := r.Recoverable([]arch.NodeID{3, 6}); err == nil {
+		t.Fatal("same-group double loss must be rejected")
+	}
+}
+
+func TestReportUnavailableComposition(t *testing.T) {
+	rep := Report{Phase1: 100, Phase2: 20, Phase3: 30, Phase4: 1000}
+	if rep.Unavailable() != 150 {
+		t.Fatalf("Unavailable = %d, want phases 1-3 only (150)", rep.Unavailable())
+	}
+}

@@ -1,0 +1,95 @@
+package machine
+
+import (
+	"testing"
+
+	"revive/internal/sim"
+)
+
+func TestScheduledTransientDetectAndRecover(t *testing.T) {
+	m := New(verifyCfg())
+	m.Load(testProfile(250000))
+	var rep DetectionReport
+	fired := false
+	// Error mid-run, detected 80 us later (about half an interval).
+	m.ScheduleTransientError(400*sim.Microsecond, 80*sim.Microsecond, func(r DetectionReport) {
+		rep = r
+		fired = true
+	})
+	st := m.Run()
+	if !fired {
+		t.Fatal("detection never fired")
+	}
+	if !m.Done() {
+		t.Fatal("machine did not finish after automatic recovery")
+	}
+	if rep.DetectedAt-rep.ErrorAt != 80*sim.Microsecond {
+		t.Fatalf("detection latency = %d", rep.DetectedAt-rep.ErrorAt)
+	}
+	// Lost work includes the detection window plus work since the target.
+	if rep.LostWork < 80*sim.Microsecond {
+		t.Fatalf("lost work %d below detection latency", rep.LostWork)
+	}
+	if err := m.VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions == 0 {
+		t.Fatal("no instructions recorded")
+	}
+}
+
+func TestScheduledNodeLossDetectAndRecover(t *testing.T) {
+	m := New(verifyCfg())
+	m.Load(testProfile(250000))
+	fired := false
+	m.ScheduleNodeLoss(380*sim.Microsecond, 60*sim.Microsecond, 2, func(r DetectionReport) {
+		fired = true
+		if r.Recovery.LogPagesRebuilt == 0 {
+			t.Error("no log pages rebuilt for the lost node")
+		}
+	})
+	m.Run()
+	if !fired {
+		t.Fatal("detection never fired")
+	}
+	if !m.Done() {
+		t.Fatal("machine did not finish")
+	}
+	if err := m.VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectionWindowWorkIsReExecuted(t *testing.T) {
+	// Instructions executed inside the rolled-back window are executed
+	// again: the total instruction count exceeds a fault-free run's.
+	clean := New(verifyCfg())
+	clean.Load(testProfile(200000))
+	cleanInstr := clean.Run().Instructions
+
+	m := New(verifyCfg())
+	m.Load(testProfile(200000))
+	m.ScheduleTransientError(350*sim.Microsecond, 100*sim.Microsecond, func(DetectionReport) {})
+	st := m.Run()
+	if st.Instructions <= cleanInstr {
+		t.Fatalf("faulted run executed %d instructions, clean run %d; lost work not re-executed",
+			st.Instructions, cleanInstr)
+	}
+}
+
+func TestDetectionTooLateForRetentionPanics(t *testing.T) {
+	// A detection latency far beyond the retention window must fail
+	// loudly, not mis-recover.
+	cfg := verifyCfg()
+	cfg.Checkpoint.Interval = 50 * sim.Microsecond
+	m := New(cfg)
+	m.Load(testProfile(250000))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stale target did not panic")
+		}
+	}()
+	// Detection after 5 intervals: the safe target ages out (retain=2).
+	m.ScheduleTransientError(60*sim.Microsecond, 250*sim.Microsecond, func(DetectionReport) {})
+	m.Run()
+}

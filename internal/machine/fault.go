@@ -1,0 +1,199 @@
+package machine
+
+import (
+	"fmt"
+
+	"revive/internal/arch"
+	"revive/internal/core"
+)
+
+// Fault injection and recovery orchestration. Errors are fail-stop
+// (section 3.1.2): at the instant of injection, every in-flight operation
+// is abandoned and the machine stops. Recovery then rebuilds lost memory
+// from parity, rolls logs back to the target checkpoint, and — optionally —
+// resumes execution from the restored processor contexts.
+
+// InjectNodeLoss destroys a node's memory content at the current simulated
+// instant and freezes the machine (all pending events dropped). The paper's
+// worst case: permanent loss of an entire node.
+func (m *Machine) InjectNodeLoss(node arch.NodeID) {
+	m.Mems[node].MarkLost()
+	m.freeze()
+}
+
+// InjectTransient models a system-wide transient error (e.g. a glitch that
+// resets every processor and loses all cached data) that leaves memory
+// intact. The machine freezes; memory, logs and parity survive.
+func (m *Machine) InjectTransient() {
+	m.freeze()
+}
+
+// freeze abandons all in-flight work (fail-stop). Controllers halt so that
+// an update sequence interrupted mid-event abandons its remaining steps.
+func (m *Machine) freeze() {
+	m.Engine.Reset()
+	m.Tracker.Reset()
+	for _, ctrl := range m.Ctrls {
+		ctrl.Halt()
+	}
+	if m.Ckpt != nil {
+		m.Ckpt.Stop()
+	}
+}
+
+// LostNodes returns the nodes whose memory is currently marked lost.
+func (m *Machine) LostNodes() []arch.NodeID {
+	var out []arch.NodeID
+	for n, mm := range m.Mems {
+		if mm.Lost() {
+			out = append(out, arch.NodeID(n))
+		}
+	}
+	return out
+}
+
+// Recoverable reports whether the current set of lost nodes is within
+// ReVive's fault model (at most one loss per parity group, section 3.1.2).
+func (m *Machine) Recoverable() error {
+	rec := &core.Recovery{Topo: m.Topo}
+	return rec.Recoverable(m.LostNodes())
+}
+
+// Recover runs rollback recovery to the given committed checkpoint epoch:
+// Phase 1 resets caches and directories, Phase 2 rebuilds a lost node's log
+// from parity, Phase 3 restores memory from the logs, Phase 4 rebuilds the
+// remaining pages of a lost node. lost is -1 for errors without memory
+// loss. The machine is left consistent but stopped; use Resume to continue
+// execution, or verify state against a retained snapshot.
+//
+// For simultaneous multi-node losses (one per parity group at most), mark
+// the modules lost and call RecoverAll; Recover panics if the damage
+// exceeds the fault model — check Recoverable first when that is possible.
+func (m *Machine) Recover(lost arch.NodeID, targetEpoch uint64) core.Report {
+	if m.Ctrls == nil {
+		panic("machine: recovery without ReVive support")
+	}
+	// Phase 1: hardware recovery — reset processors, invalidate caches
+	// and directory entries (cost accounted in the report's Phase1), and
+	// reconcile every surviving controller's in-flight parity updates
+	// (their transient-state buffers are protected; section 3.1.2).
+	for _, cc := range m.Caches {
+		cc.Reset()
+	}
+	for _, d := range m.Dirs {
+		d.Reset()
+	}
+	lostSet := map[arch.NodeID]bool{}
+	for _, n := range m.LostNodes() {
+		lostSet[n] = true
+	}
+	for _, ctrl := range m.Ctrls {
+		ctrl.Unhalt()
+		if lostSet[ctrl.Node()] {
+			ctrl.DropPending() // a lost controller's buffers died with it
+			continue
+		}
+		ctrl.ReconcileParity()
+	}
+	rec := &core.Recovery{
+		Topo: m.Topo, AMap: m.AMap, Mems: m.Mems, Ctrls: m.Ctrls,
+		Cfg: core.DefaultRecoveryConfig(1),
+	}
+	var rep core.Report
+	switch lostNodes := m.LostNodes(); {
+	case len(lostNodes) > 0:
+		rep = rec.MultiNodeLoss(lostNodes, targetEpoch)
+	case lost >= 0:
+		panic("machine: Recover(lost) but that node's memory is not marked lost")
+	default:
+		rep = rec.Rollback(targetEpoch)
+	}
+	// The restored log entries must never replay in a future rollback.
+	retain := m.Cfg.Checkpoint.Retain
+	if retain < 2 {
+		retain = 2
+	}
+	for _, ctrl := range m.Ctrls {
+		ctrl.Log().TruncateAtMarker(targetEpoch)
+		ctrl.CommitEpoch(targetEpoch, retain)
+	}
+	for _, d := range m.devices {
+		d.Rollback(targetEpoch)
+	}
+	m.Stats.RecoveryPhase1 = rep.Phase1
+	m.Stats.RecoveryPhase2 = rep.Phase2
+	m.Stats.RecoveryPhase3 = rep.Phase3
+	m.Stats.RecoveryPhase4 = rep.Phase4
+	return rep
+}
+
+// Resume restarts execution after Recover: processor contexts are restored
+// from the target checkpoint's snapshot, the clock advances past the
+// unavailable time, and the checkpoint timer re-arms. Requires Verify-mode
+// snapshots (contexts are recorded at every commit regardless, but the
+// epoch must still be retained).
+func (m *Machine) Resume(rep core.Report) error {
+	snap, ok := m.SnapshotAt(rep.TargetEpoch)
+	if !ok {
+		return fmt.Errorf("machine: no snapshot for epoch %d", rep.TargetEpoch)
+	}
+	m.finished = 0
+	for i, p := range m.Procs {
+		p.RestoreContext(snap.Contexts[i])
+	}
+	// The machine is unavailable for Phases 1-3; execution resumes after.
+	m.Engine.RunUntil(m.Engine.Now() + rep.Unavailable())
+	m.Ckpt.ResetTo(rep.TargetEpoch)
+	for _, p := range m.Procs {
+		p.Start()
+	}
+	m.Ckpt.Start()
+	return nil
+}
+
+// RecoverAll recovers from whatever combination of lost nodes is currently
+// marked, validating the fault model first.
+func (m *Machine) RecoverAll(targetEpoch uint64) (core.Report, error) {
+	if err := m.Recoverable(); err != nil {
+		return core.Report{}, err
+	}
+	return m.Recover(-1, targetEpoch), nil
+}
+
+// VerifyAgainstSnapshot checks that every page the address map knows about
+// holds, line for line, the content recorded in the snapshot. It is the
+// rollback-correctness oracle: after recovery, memory must equal the
+// checkpoint image byte for byte. Log and parity frames are excluded (the
+// log legitimately differs: it carries entries of surviving epochs).
+func (m *Machine) VerifyAgainstSnapshot(snap *Snapshot) error {
+	if snap.Mems == nil {
+		return fmt.Errorf("machine: snapshot of epoch %d has no memory image (Verify mode off)", snap.Epoch)
+	}
+	logFrames := make(map[arch.NodeID]map[arch.Frame]bool)
+	for _, ctrl := range m.Ctrls {
+		set := make(map[arch.Frame]bool)
+		for _, f := range ctrl.Log().AllFrames() {
+			set[f] = true
+		}
+		logFrames[ctrl.Node()] = set
+	}
+	for n := 0; n < m.Cfg.Nodes; n++ {
+		node := arch.NodeID(n)
+		maxFrame := m.AMap.FramesUsed(node)
+		for f := arch.Frame(0); f < maxFrame; f++ {
+			if m.Topo.IsParityFrame(node, f) || logFrames[node][f] {
+				continue
+			}
+			for off := 0; off < arch.LinesPerPage; off++ {
+				addr := arch.PhysLine{Node: node, Frame: f, Off: uint8(off)}.MemAddr()
+				got := m.Mems[node].Peek(addr)
+				want := snap.Mems[node][addr]
+				if got != want {
+					return fmt.Errorf("node %d frame %d off %d: got %x want %x",
+						node, f, off, got[:8], want[:8])
+				}
+			}
+		}
+	}
+	return nil
+}

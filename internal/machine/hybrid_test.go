@@ -1,0 +1,154 @@
+package machine
+
+import (
+	"testing"
+
+	"revive/internal/arch"
+	"revive/internal/sim"
+)
+
+// The hybrid mirror+parity organization of sections 6.1/8 and the
+// dedicated-parity-node comparison of section 3.1.
+
+func hybridCfg() Config {
+	cfg := Default(100)
+	cfg.Nodes = 8
+	cfg.GroupSize = 8
+	cfg.MirrorFrames = 64 // first 64 frames mirrored, rest 7+1
+	cfg.Checkpoint.Interval = 100 * sim.Microsecond
+	cfg.Checkpoint.InterruptCost = 500
+	cfg.Checkpoint.BarrierCost = 1000
+	cfg.Verify = true
+	return cfg
+}
+
+func TestHybridParityInvariantHolds(t *testing.T) {
+	m := New(hybridCfg())
+	m.Load(testProfile(80000))
+	m.Run()
+	if err := m.VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+	// Both regimes must actually be exercised: some touched frames below
+	// MirrorFrames, some above.
+	if m.AMap.FramesUsed(0) <= m.Cfg.MirrorFrames {
+		t.Skip("workload too small to reach the parity region")
+	}
+}
+
+func TestHybridRecoveryFromNodeLoss(t *testing.T) {
+	m := New(hybridCfg())
+	m.Load(testProfile(120000))
+	runToEpoch(t, m, 2, 40*sim.Microsecond)
+	m.InjectNodeLoss(3)
+	recoverAndCheck(t, m, 3, 2)
+}
+
+func TestHybridOverheadBetweenPureModes(t *testing.T) {
+	// Mirroring is the fast/expensive-in-memory end, 7+1 parity the
+	// slow/cheap end; a hybrid with a hot mirror region must land at or
+	// between them in execution time.
+	if testing.Short() {
+		t.Skip("three 8-node runs")
+	}
+	prof := testProfile(120000)
+	run := func(mirrorFrames arch.Frame, groupSize int) sim.Time {
+		cfg := hybridCfg()
+		cfg.Verify = false
+		cfg.GroupSize = groupSize
+		cfg.MirrorFrames = mirrorFrames
+		m := New(cfg)
+		m.Load(prof)
+		return m.Run().ExecTime
+	}
+	mirror := run(0, 2)
+	parity := run(0, 8)
+	hybrid := run(64, 8)
+	if !(mirror <= parity) {
+		t.Fatalf("mirroring (%d) slower than parity (%d)?", mirror, parity)
+	}
+	if hybrid > parity || hybrid < mirror-mirror/10 {
+		t.Fatalf("hybrid (%d) outside [mirror %d, parity %d]", hybrid, mirror, parity)
+	}
+}
+
+func TestDedicatedParityNodeHoldsNoData(t *testing.T) {
+	cfg := hybridCfg()
+	cfg.MirrorFrames = 0
+	cfg.DedicatedParity = true
+	m := New(cfg)
+	m.Load(testProfile(60000))
+	m.Run()
+	if err := m.VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+	// Node 7 (group 0's last) is the dedicated parity node: the address
+	// map must never home a page there.
+	if pages := m.AMap.PagesHomedAt(7); len(pages) != 0 {
+		t.Fatalf("dedicated parity node homes %d data pages", len(pages))
+	}
+	if m.Ctrls[7].Log().Entries() != 0 {
+		t.Fatal("dedicated parity node has log entries")
+	}
+}
+
+func TestDedicatedParityConcentratesTraffic(t *testing.T) {
+	// Section 3.1: distributing parity "avoids possible bottlenecks in
+	// the parity node(s)". With dedicated parity, all parity memory
+	// accesses of group 0 land on node 7.
+	cfg := hybridCfg()
+	cfg.MirrorFrames = 0
+	cfg.DedicatedParity = true
+	cfg.Verify = false
+	m := New(cfg)
+	m.Load(testProfile(60000))
+	m.Run()
+	var parityNodeAcc, othersAcc uint64
+	for n, mm := range m.Mems {
+		if n == 7 {
+			parityNodeAcc = mm.Accesses
+		} else {
+			othersAcc += mm.Accesses
+		}
+	}
+	avgOther := othersAcc / 7
+	if parityNodeAcc < 2*avgOther {
+		t.Fatalf("dedicated parity node accesses (%d) not a hot spot vs avg (%d)",
+			parityNodeAcc, avgOther)
+	}
+}
+
+func TestDedicatedParityRecovery(t *testing.T) {
+	cfg := hybridCfg()
+	cfg.MirrorFrames = 0
+	cfg.DedicatedParity = true
+	m := New(cfg)
+	m.Load(testProfile(120000))
+	runToEpoch(t, m, 2, 40*sim.Microsecond)
+	// Lose a data node; the dedicated parity node rebuilds it.
+	m.InjectNodeLoss(2)
+	recoverAndCheck(t, m, 2, 2)
+}
+
+func TestDedicatedParityNodeLossItself(t *testing.T) {
+	// Losing the dedicated parity node costs no data; recovery rebuilds
+	// its parity pages from the group's data.
+	cfg := hybridCfg()
+	cfg.MirrorFrames = 0
+	cfg.DedicatedParity = true
+	m := New(cfg)
+	m.Load(testProfile(120000))
+	runToEpoch(t, m, 2, 40*sim.Microsecond)
+	m.InjectNodeLoss(7)
+	recoverAndCheck(t, m, 7, 2)
+}
+
+func TestHybridTopologyValidation(t *testing.T) {
+	if err := (arch.Topology{Nodes: 16, GroupSize: 8, MirrorFrames: 3}).Validate(); err == nil {
+		t.Fatal("unaligned mirror region accepted")
+	}
+	if err := (arch.Topology{Nodes: 16, GroupSize: 8, MirrorFrames: 16,
+		DedicatedParity: true}).Validate(); err == nil {
+		t.Fatal("hybrid + dedicated accepted")
+	}
+}

@@ -1,0 +1,125 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"revive/internal/sim"
+)
+
+// End-to-end output-commit behaviour: devices attached to a running machine
+// with checkpoints and fault injection.
+
+func TestDeviceOutputsFollowCheckpoints(t *testing.T) {
+	m := New(verifyCfg())
+	m.Load(testProfile(200000))
+	nic := m.AttachDevice("nic", nil)
+	// Submit an output every 40 us of simulated time.
+	var pump func()
+	pump = func() {
+		nic.Submit([]byte(fmt.Sprintf("pkt@%d", m.Engine.Now())))
+		m.Engine.After(40*sim.Microsecond, pump)
+	}
+	m.Engine.After(sim.Microsecond, pump)
+	runToEpoch(t, m, 3, 0)
+	m.Engine.Reset() // stop the pump; we only inspect the device
+	if len(nic.Released()) == 0 {
+		t.Fatal("no outputs released after three checkpoints")
+	}
+	// Output-commit delay is bounded by roughly one checkpoint interval
+	// (plus the checkpoint's own duration).
+	if nic.MaxOutputDelay() > 2*m.Cfg.Checkpoint.Interval {
+		t.Fatalf("max output delay %d exceeds two intervals", nic.MaxOutputDelay())
+	}
+	// Everything released was produced before the last committed epoch.
+	for _, o := range nic.Released() {
+		if o.Epoch >= 3 {
+			t.Fatalf("output of epoch %d released at commit 3", o.Epoch)
+		}
+	}
+}
+
+func TestDeviceRollbackNeverUnsends(t *testing.T) {
+	m := New(verifyCfg())
+	m.Load(testProfile(200000))
+	nic := m.AttachDevice("nic", nil)
+	var pump func()
+	pump = func() {
+		nic.Submit([]byte("pkt"))
+		m.Engine.After(30*sim.Microsecond, pump)
+	}
+	m.Engine.After(sim.Microsecond, pump)
+	runToEpoch(t, m, 2, 80*sim.Microsecond)
+	releasedBefore := len(nic.Released())
+	pendingBefore := len(nic.Pending())
+	if pendingBefore == 0 {
+		t.Skip("no pending outputs at the error point")
+	}
+	m.InjectTransient()
+	m.Recover(-1, 2)
+	// Rollback discards the uncommitted outputs but recalls nothing.
+	if len(nic.Released()) != releasedBefore {
+		t.Fatal("rollback changed the released set")
+	}
+	if len(nic.Pending()) != 0 {
+		t.Fatal("uncommitted outputs survived the rollback")
+	}
+	if nic.Discarded != pendingBefore {
+		t.Fatalf("discarded %d, want %d", nic.Discarded, pendingBefore)
+	}
+}
+
+func TestDeviceInputReplayAcrossRecovery(t *testing.T) {
+	m := New(verifyCfg())
+	m.Load(testProfile(200000))
+	seq := 0
+	nic := m.AttachDevice("nic", func() ([]byte, bool) {
+		seq++
+		return []byte{byte(seq)}, true
+	})
+	// Consume inputs during execution.
+	var firstRun []byte
+	var pump func()
+	pump = func() {
+		if in, ok := nic.Consume(); ok {
+			firstRun = append(firstRun, in[0])
+		}
+		m.Engine.After(25*sim.Microsecond, pump)
+	}
+	m.Engine.After(sim.Microsecond, pump)
+	runToEpoch(t, m, 2, 70*sim.Microsecond)
+	m.InjectTransient()
+	rep := m.Recover(-1, 2)
+	_ = rep
+	// Re-execution: inputs consumed after checkpoint 2 replay identically.
+	consumedAfterCkpt2 := 0
+	for _, b := range firstRun {
+		_ = b
+		consumedAfterCkpt2++
+	}
+	// Count how many of the first run's inputs belong to epoch >= 2.
+	replayable := nic.Replayed // zero so far
+	var replay []byte
+	for {
+		in, ok := nic.Consume()
+		if !ok {
+			break
+		}
+		replay = append(replay, in[0])
+		if nic.Replayed == replayable {
+			// This one came fresh from the source: stop after one.
+			break
+		}
+		replayable = nic.Replayed
+	}
+	if nic.Replayed == 0 {
+		t.Skip("no inputs were consumed after checkpoint 2")
+	}
+	// The replayed prefix must equal the tail of the first run.
+	tail := firstRun[len(firstRun)-nic.Replayed:]
+	for i := 0; i < nic.Replayed; i++ {
+		if replay[i] != tail[i] {
+			t.Fatalf("replay[%d] = %d, want %d", i, replay[i], tail[i])
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package machine
+
+import (
+	"testing"
+
+	"revive/internal/arch"
+	"revive/internal/stats"
+	"revive/internal/workload"
+)
+
+// Table 1 verification: the exact extra memory accesses and network
+// messages of each ReVive event class, measured on directed single-line
+// scenarios against an 8-node 7+1-parity machine.
+
+// table1Machine is an 8-node, 7+1 parity ReVive machine with periodic
+// checkpoints off (events are driven manually).
+func table1Machine() *Machine {
+	cfg := Default(1)
+	cfg.Nodes = 8
+	cfg.GroupSize = 8
+	cfg.Checkpoint.Interval = 0
+	return New(cfg)
+}
+
+// delta captures the change in per-class counters across an action.
+type delta struct {
+	mem [stats.NumClasses]uint64
+	msg [stats.NumClasses]uint64
+}
+
+func measure(m *Machine, action func()) delta {
+	var before delta
+	before.mem = m.Stats.MemAccesses
+	before.msg = m.Stats.NetMsgs
+	action()
+	m.Engine.Run()
+	var d delta
+	for c := stats.Class(0); c < stats.NumClasses; c++ {
+		d.mem[c] = m.Stats.MemAccesses[c] - before.mem[c]
+		d.msg[c] = m.Stats.NetMsgs[c] - before.msg[c]
+	}
+	return d
+}
+
+func TestTable1ReadExclusiveNotLogged(t *testing.T) {
+	// Row 2+3: read-exclusive for a not-yet-logged line (Figure 5(a)):
+	// copy data to log = 1 extra access; update log parity = 3 extra
+	// accesses and 2 extra messages.
+	m := table1Machine()
+	m.Load(workload.Directed{Title: "directed"}) // drive caches directly
+	a := arch.Addr(1 << arch.PageShift)
+	d := measure(m, func() { m.Caches[0].Store(a, 1, func() {}) })
+	if got := d.mem[stats.ClassLog]; got != 1 {
+		t.Errorf("log accesses = %d, want 1 (copy data to log)", got)
+	}
+	if got := d.mem[stats.ClassParity]; got != 3 {
+		t.Errorf("parity accesses = %d, want 3 (update log parity)", got)
+	}
+	if got := d.msg[stats.ClassParity]; got != 2 {
+		t.Errorf("parity messages = %d, want 2", got)
+	}
+	if !m.Ctrls[0].Logged(a.Line()) {
+		t.Error("L bit not set after read-exclusive")
+	}
+	if m.Ctrls[0].Events.RDXNotLogged != 1 {
+		t.Errorf("RDXNotLogged = %d, want 1", m.Ctrls[0].Events.RDXNotLogged)
+	}
+}
+
+func TestTable1WriteBackAlreadyLogged(t *testing.T) {
+	// Row 1: write-back of a logged line (Figure 4): update data parity
+	// = 3 extra accesses (re-read D, read P, write P') and 2 messages;
+	// the data write itself (1 access) is baseline work.
+	m := table1Machine()
+	m.Load(workload.Directed{Title: "directed"})
+	a := arch.Addr(1 << arch.PageShift)
+	m.Caches[0].Store(a, 1, func() {}) // GETX: logs the line
+	m.Engine.Run()
+	d := measure(m, func() { m.Caches[0].FlushDirty(func() {}) })
+	if got := d.mem[stats.ClassParity]; got != 3 {
+		t.Errorf("parity accesses = %d, want 3", got)
+	}
+	if got := d.msg[stats.ClassParity]; got != 2 {
+		t.Errorf("parity messages = %d, want 2", got)
+	}
+	if got := d.mem[stats.ClassLog]; got != 0 {
+		t.Errorf("log accesses = %d, want 0 (already logged)", got)
+	}
+	if got := d.mem[stats.ClassCkpWB]; got != 1 {
+		t.Errorf("data writes = %d, want 1 (baseline write-back)", got)
+	}
+	if m.Ctrls[0].Events.WBLogged != 1 {
+		t.Errorf("WBLogged = %d, want 1", m.Ctrls[0].Events.WBLogged)
+	}
+}
+
+func TestTable1WriteBackNotLogged(t *testing.T) {
+	// Rows 4-6: write-back of a not-yet-logged line (Figure 5(b)): copy
+	// data to log = 2 accesses; update log parity = 3 accesses + 2
+	// messages; update data parity = 3 accesses + 2 messages. Total 8
+	// extra accesses, 4 extra messages.
+	m := table1Machine()
+	m.Load(workload.Directed{Title: "directed"})
+	a := arch.Addr(1 << arch.PageShift)
+	// Load grants clean-exclusive; the store is then a silent E->M
+	// upgrade the directory never sees — the Figure 5(b) precondition.
+	m.Caches[0].Load(a, func() {})
+	m.Engine.Run()
+	m.Caches[0].Store(a, 1, func() {})
+	m.Engine.Run()
+	if m.Ctrls[0].Logged(a.Line()) {
+		t.Fatal("line logged despite silent upgrade")
+	}
+	d := measure(m, func() { m.Caches[0].FlushDirty(func() {}) })
+	if got := d.mem[stats.ClassLog]; got != 2 {
+		t.Errorf("log accesses = %d, want 2 (read D + write log)", got)
+	}
+	if got := d.mem[stats.ClassParity]; got != 6 {
+		t.Errorf("parity accesses = %d, want 6 (log parity 3 + data parity 3)", got)
+	}
+	if got := d.msg[stats.ClassParity]; got != 4 {
+		t.Errorf("parity messages = %d, want 4", got)
+	}
+	if m.Ctrls[0].Events.WBNotLogged != 1 {
+		t.Errorf("WBNotLogged = %d, want 1", m.Ctrls[0].Events.WBNotLogged)
+	}
+}
+
+func TestTable1UpgradeNotLogged(t *testing.T) {
+	// Upgrade (write hit on a shared line) also takes the Figure 5(a)
+	// path. The upgrade must read D for the log (no reply read to
+	// reuse): 1 log read + 1 log write, 3 log-parity accesses.
+	m := table1Machine()
+	m.Load(workload.Directed{Title: "directed"})
+	a := arch.Addr(1 << arch.PageShift)
+	m.Caches[0].Load(a, func() {})
+	m.Engine.Run()
+	m.Caches[1].Load(a, func() {}) // share it
+	m.Engine.Run()
+	d := measure(m, func() { m.Caches[0].Store(a, 1, func() {}) })
+	if got := d.mem[stats.ClassLog]; got != 1 {
+		t.Errorf("log accesses = %d, want 1", got)
+	}
+	if got := d.mem[stats.ClassParity]; got != 3 {
+		t.Errorf("parity accesses = %d, want 3", got)
+	}
+	if m.Ctrls[0].Events.RDXNotLogged != 1 {
+		t.Errorf("RDXNotLogged = %d, want 1", m.Ctrls[0].Events.RDXNotLogged)
+	}
+}
+
+func TestTable1MirroringShrinksParityAccesses(t *testing.T) {
+	// Section 6.1: under mirroring the PAR memory traffic drops to one
+	// third (1 access per update instead of 3: no old-data read, no
+	// read-modify-write).
+	cfg := Default(1)
+	cfg.Nodes = 8
+	cfg.GroupSize = 2
+	cfg.Checkpoint.Interval = 0
+	m := New(cfg)
+	m.Load(workload.Directed{Title: "directed"})
+	a := arch.Addr(1 << arch.PageShift)
+	d := measure(m, func() { m.Caches[0].Store(a, 1, func() {}) })
+	// Figure 5(a) under mirroring: log write 1; log "parity" = 1 write.
+	if got := d.mem[stats.ClassParity]; got != 1 {
+		t.Errorf("mirror parity accesses = %d, want 1", got)
+	}
+	if got := d.msg[stats.ClassParity]; got != 2 {
+		t.Errorf("mirror parity messages = %d, want 2 (update + ack)", got)
+	}
+}
+
+func TestTable1SecondWriteBackSameInterval(t *testing.T) {
+	// A line is logged once per interval: two write-backs of the same
+	// line without an intervening checkpoint log only once.
+	m := table1Machine()
+	m.Load(workload.Directed{Title: "directed"})
+	a := arch.Addr(1 << arch.PageShift)
+	m.Caches[0].Store(a, 1, func() {})
+	m.Engine.Run()
+	m.Caches[0].FlushDirty(func() {})
+	m.Engine.Run()
+	logBefore := m.Stats.MemAccesses[stats.ClassLog]
+	m.Caches[0].Store(a, 2, func() {})
+	m.Engine.Run()
+	m.Caches[0].FlushDirty(func() {})
+	m.Engine.Run()
+	if got := m.Stats.MemAccesses[stats.ClassLog] - logBefore; got != 0 {
+		t.Errorf("second write caused %d log accesses, want 0 (L bit)", got)
+	}
+}
+
+func TestTable1LBitAblationLogsEveryWriteBack(t *testing.T) {
+	// Section 4.1.2: without the L bit, every write-back logs. Still
+	// correct (newest-first restore), just more traffic.
+	cfg := Default(1)
+	cfg.Nodes = 8
+	cfg.GroupSize = 8
+	cfg.Checkpoint.Interval = 0
+	cfg.DisableLBits = true
+	m := New(cfg)
+	m.Load(workload.Directed{Title: "directed"})
+	a := arch.Addr(1 << arch.PageShift)
+	m.Caches[0].Store(a, 1, func() {})
+	m.Engine.Run()
+	m.Caches[0].FlushDirty(func() {})
+	m.Engine.Run()
+	logBefore := m.Stats.MemAccesses[stats.ClassLog]
+	m.Caches[0].Store(a, 2, func() {})
+	m.Engine.Run()
+	m.Caches[0].FlushDirty(func() {})
+	m.Engine.Run()
+	if got := m.Stats.MemAccesses[stats.ClassLog] - logBefore; got == 0 {
+		t.Error("L-bit ablation logged nothing on rewrite")
+	}
+}

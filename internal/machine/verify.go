@@ -1,0 +1,146 @@
+package machine
+
+import (
+	"fmt"
+
+	"revive/internal/arch"
+	"revive/internal/cache"
+	"revive/internal/coherence"
+)
+
+// VerifyParity checks the distributed-parity invariant over the entire
+// machine: for every stripe, the XOR of the data pages equals the parity
+// page. It must hold whenever the machine is quiescent (no parity updates
+// in flight) — after a run drains, after a checkpoint commits, and after
+// recovery completes. It returns the first violation found.
+func (m *Machine) VerifyParity() error {
+	if !m.Tracker.Quiescent() {
+		return fmt.Errorf("machine: parity check while %d operations in flight",
+			m.Tracker.Outstanding())
+	}
+	maxFrame := arch.Frame(0)
+	for n := 0; n < m.Cfg.Nodes; n++ {
+		if m.Topo.HasDataFrames(arch.NodeID(n)) {
+			if f := m.AMap.FramesUsed(arch.NodeID(n)); f > maxFrame {
+				maxFrame = f
+			}
+		}
+	}
+	for n := 0; n < m.Cfg.Nodes; n++ {
+		pn := arch.NodeID(n)
+		if m.Mems[pn].Lost() {
+			continue
+		}
+		for f := arch.Frame(0); f < maxFrame; f++ {
+			if !m.Topo.IsParityFrame(pn, f) {
+				continue
+			}
+			for off := 0; off < arch.LinesPerPage; off++ {
+				p := arch.PhysLine{Node: pn, Frame: f, Off: uint8(off)}
+				var want arch.Data
+				lost := false
+				for _, q := range m.Topo.DataLinesOf(p) {
+					if m.Mems[q.Node].Lost() {
+						lost = true
+						break
+					}
+					d := m.Mems[q.Node].Peek(q.MemAddr())
+					want.XOR(&d)
+				}
+				if lost {
+					continue
+				}
+				if got := m.Mems[pn].Peek(p.MemAddr()); got != want {
+					return fmt.Errorf("parity mismatch at %v: parity has %x, want %x",
+						p, got[:8], want[:8])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyCoherence checks the machine-wide coherence invariants at
+// quiescence, relating each home directory's view to the actual cache
+// contents and memory:
+//
+//   - single writer: a line is dirty in at most one node's hierarchy, and
+//     the directory records that node as the exclusive owner;
+//   - directory conservativeness: every actual holder appears in the
+//     directory's sharer set / owner field (the converse may not hold:
+//     shared copies evict silently);
+//   - value coherence: clean copies equal memory's content; all shared
+//     copies are identical.
+func (m *Machine) VerifyCoherence() error {
+	if !m.Tracker.Quiescent() {
+		return fmt.Errorf("machine: coherence check while %d operations in flight",
+			m.Tracker.Outstanding())
+	}
+	for home := range m.Dirs {
+		var err error
+		m.Dirs[home].ForEachEntry(func(e coherence.EntryView) {
+			if err != nil {
+				return
+			}
+			if e.Busy {
+				err = fmt.Errorf("line %#x busy at quiescence", e.Line)
+				return
+			}
+			phys, ok := m.AMap.LookupLine(e.Line)
+			if !ok {
+				err = fmt.Errorf("directory entry for unmapped line %#x", e.Line)
+				return
+			}
+			memData := m.Mems[phys.Node].Peek(phys.MemAddr())
+			var holders, dirty []arch.NodeID
+			for n, cc := range m.Caches {
+				l2 := cc.L2().Probe(e.Line)
+				if l2 == nil {
+					if l1 := cc.L1().Probe(e.Line); l1 != nil {
+						err = fmt.Errorf("node %d: L1 copy of %#x without L2 (inclusion)", n, e.Line)
+						return
+					}
+					continue
+				}
+				holders = append(holders, arch.NodeID(n))
+				isDirty := l2.State == cache.Modified
+				if l1 := cc.L1().Probe(e.Line); l1 != nil && l1.State == cache.Modified {
+					isDirty = true
+				}
+				if isDirty {
+					dirty = append(dirty, arch.NodeID(n))
+				} else if l2.Data != memData {
+					err = fmt.Errorf("node %d: clean copy of %#x differs from memory", n, e.Line)
+					return
+				}
+			}
+			if len(dirty) > 1 {
+				err = fmt.Errorf("line %#x dirty at %v: single-writer violated", e.Line, dirty)
+				return
+			}
+			switch e.State {
+			case "exclusive":
+				if len(holders) > 1 {
+					err = fmt.Errorf("line %#x exclusive at %d but held by %v", e.Line, e.Owner, holders)
+				} else if len(holders) == 1 && holders[0] != e.Owner {
+					err = fmt.Errorf("line %#x owner %d but held by %d", e.Line, e.Owner, holders[0])
+				}
+			case "shared", "uncached":
+				if len(dirty) > 0 {
+					err = fmt.Errorf("line %#x dirty at %d but directory says %s", e.Line, dirty[0], e.State)
+					return
+				}
+				for _, h := range holders {
+					if e.State == "uncached" || e.Sharers&(1<<uint(h)) == 0 {
+						err = fmt.Errorf("line %#x held by %d but not in directory's %s view", e.Line, h, e.State)
+						return
+					}
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

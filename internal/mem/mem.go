@@ -1,0 +1,195 @@
+// Package mem models one node's local DRAM: 16 banks of open-row DDR with
+// the Table 3 timing (60 ns row miss), a shared data port that bounds
+// bandwidth, and functional line storage. The functional half is essential
+// to ReVive: logs, parity and data hold real bytes so that rollback and
+// parity reconstruction can be verified byte-for-byte.
+package mem
+
+import (
+	"revive/internal/arch"
+	"revive/internal/sim"
+)
+
+// Config carries the DRAM timing parameters (Table 3: "100MHz 16-bank DDR,
+// 128 bits wide, 60ns row miss").
+type Config struct {
+	Banks int // number of independent banks (16)
+	// RowHit and RowMiss are access latencies in ns. A bank is occupied
+	// for the full latency of each access (DRAM banks are not pipelined
+	// within a single access).
+	RowHit  sim.Time
+	RowMiss sim.Time
+	// PortOccupancy is the data-port time per 64-byte line transfer.
+	// Two PC1600 modules in parallel give 3.2 GB/s, i.e. 20 ns per line.
+	PortOccupancy sim.Time
+	// RowBytes is the size of a DRAM row for open-row hit detection.
+	RowBytes uint64
+}
+
+// DefaultConfig returns the paper's Table 3 memory parameters.
+func DefaultConfig() Config {
+	return Config{
+		Banks:         16,
+		RowHit:        30,
+		RowMiss:       60,
+		PortOccupancy: 20,
+		RowBytes:      8 * 1024,
+	}
+}
+
+type bank struct {
+	busy    *sim.Resource
+	openRow uint64
+	valid   bool
+}
+
+// Memory is one node's DRAM module: timed access plus functional storage.
+// Addresses are node-local byte offsets (see arch.PhysLine.MemAddr).
+type Memory struct {
+	engine *sim.Engine
+	cfg    Config
+	port   *sim.Resource
+	banks  []bank
+	data   map[uint64]arch.Data // keyed by line-aligned local address
+	lost   bool
+
+	// Accesses counts line accesses (reads+writes) for utilization and
+	// Figure 10 cross-checks.
+	Accesses uint64
+}
+
+// New returns an empty (all-zero) memory.
+func New(engine *sim.Engine, cfg Config) *Memory {
+	m := &Memory{
+		engine: engine,
+		cfg:    cfg,
+		port:   sim.NewResource(engine),
+		banks:  make([]bank, cfg.Banks),
+		data:   make(map[uint64]arch.Data),
+	}
+	for i := range m.banks {
+		m.banks[i].busy = sim.NewResource(engine)
+	}
+	return m
+}
+
+// access books the bank and port for one line access and returns the
+// completion time.
+func (m *Memory) access(addr uint64) sim.Time {
+	m.Accesses++
+	line := addr &^ uint64(arch.LineBytes-1)
+	b := &m.banks[int(line>>arch.LineShift)%len(m.banks)]
+	row := line / m.cfg.RowBytes
+	lat := m.cfg.RowMiss
+	if b.valid && b.openRow == row {
+		lat = m.cfg.RowHit
+	}
+	b.openRow, b.valid = row, true
+	bankDone := b.busy.Reserve(lat) + lat
+	portStart := m.port.ReserveAt(bankDone, m.cfg.PortOccupancy)
+	return portStart + m.cfg.PortOccupancy
+}
+
+// Read performs a timed read of the line at addr, delivering its content to
+// done at completion. Reading lost memory panics: components must check
+// Lost() and take the recovery path instead.
+func (m *Memory) Read(addr uint64, done func(arch.Data)) {
+	if m.lost {
+		panic("mem: read of lost memory")
+	}
+	d := m.peek(addr)
+	m.engine.At(m.access(addr), func() { done(d) })
+}
+
+// Write performs a timed write of the line at addr. done may be nil.
+func (m *Memory) Write(addr uint64, d arch.Data, done func()) {
+	if m.lost {
+		panic("mem: write to lost memory")
+	}
+	m.poke(addr, d)
+	at := m.access(addr)
+	if done != nil {
+		m.engine.At(at, done)
+	}
+}
+
+// ReadModifyWrite reads the line, applies f to it, writes the result, and
+// calls done with the old content. It books two bank accesses (the parity
+// update's read-XOR-write in Figure 4). done may be nil.
+func (m *Memory) ReadModifyWrite(addr uint64, f func(*arch.Data), done func(old arch.Data)) {
+	if m.lost {
+		panic("mem: rmw of lost memory")
+	}
+	old := m.peek(addr)
+	m.access(addr) // read
+	d := old
+	f(&d)
+	m.poke(addr, d)
+	at := m.access(addr) // write
+	if done != nil {
+		m.engine.At(at, func() { done(old) })
+	}
+}
+
+func (m *Memory) peek(addr uint64) arch.Data {
+	return m.data[addr&^uint64(arch.LineBytes-1)]
+}
+
+func (m *Memory) poke(addr uint64, d arch.Data) {
+	line := addr &^ uint64(arch.LineBytes-1)
+	if d.IsZero() {
+		delete(m.data, line)
+		return
+	}
+	m.data[line] = d
+}
+
+// Peek returns the line content with no timing effect (verification and
+// recovery reconstruction use it). Peeking lost memory panics.
+func (m *Memory) Peek(addr uint64) arch.Data {
+	if m.lost {
+		panic("mem: peek of lost memory")
+	}
+	return m.peek(addr)
+}
+
+// Poke sets the line content with no timing effect.
+func (m *Memory) Poke(addr uint64, d arch.Data) {
+	if m.lost {
+		panic("mem: poke of lost memory")
+	}
+	m.poke(addr, d)
+}
+
+// MarkLost destroys the memory's contents, modeling permanent node loss.
+func (m *Memory) MarkLost() {
+	m.lost = true
+	m.data = nil
+}
+
+// Restore brings a lost memory back as an empty module (a replacement or
+// re-initialized module whose content must be rebuilt from parity).
+func (m *Memory) Restore() {
+	m.lost = false
+	m.data = make(map[uint64]arch.Data)
+}
+
+// Lost reports whether the memory's content has been destroyed.
+func (m *Memory) Lost() bool { return m.lost }
+
+// Snapshot returns a copy of the entire functional content. Tests use it to
+// verify that recovery restores the exact checkpoint state.
+func (m *Memory) Snapshot() map[uint64]arch.Data {
+	out := make(map[uint64]arch.Data, len(m.data))
+	for k, v := range m.data {
+		out[k] = v
+	}
+	return out
+}
+
+// LinesStored returns how many non-zero lines the memory holds.
+func (m *Memory) LinesStored() int { return len(m.data) }
+
+// PortBusy reports the cumulative busy time of the data port (utilization
+// reporting).
+func (m *Memory) PortBusy() sim.Time { return m.port.BusyTime() }

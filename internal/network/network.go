@@ -1,0 +1,179 @@
+// Package network models the machine's interconnect: a 2-D torus with
+// virtual cut-through routing and the Table 3 timing (message transfer time
+// 30 ns + 8 ns per hop), with contention modeled on every directed link a
+// message traverses. Every inter-node message is tagged with a traffic
+// class so the Figure 9 breakdown can be regenerated.
+package network
+
+import (
+	"fmt"
+
+	"revive/internal/arch"
+	"revive/internal/sim"
+	"revive/internal/stats"
+)
+
+// Sizes of the messages exchanged by directory controllers. A control
+// message is a routing header plus address and type; a data message adds a
+// 64-byte line payload. Parity updates carry a full line of XOR delta (or
+// the new data itself under mirroring).
+const (
+	ControlBytes = 16
+	DataBytes    = ControlBytes + arch.LineBytes // 80
+)
+
+// Config carries the interconnect parameters.
+type Config struct {
+	DimX, DimY int      // torus dimensions (4x4 for 16 nodes)
+	Base       sim.Time // fixed per-message overhead (30 ns)
+	PerHop     sim.Time // per-hop latency (8 ns)
+	// PicosPerByte is the link serialization time in picoseconds per
+	// byte. 160 ps/B models ~6.4 GB/s links; an 80-byte data message
+	// occupies each traversed link for ~12 ns.
+	PicosPerByte int
+}
+
+// DefaultConfig returns the paper's Table 3 network parameters.
+func DefaultConfig() Config {
+	return Config{DimX: 4, DimY: 4, Base: 30, PerHop: 8, PicosPerByte: 160}
+}
+
+// Message is one inter-node transfer. Deliver runs at the destination at
+// arrival time.
+type Message struct {
+	Src, Dst arch.NodeID
+	Bytes    int
+	Class    stats.Class
+	Deliver  func()
+}
+
+// direction indexes the four outgoing links of a router.
+type direction int
+
+const (
+	dirXPlus direction = iota
+	dirXMinus
+	dirYPlus
+	dirYMinus
+	numDirs
+)
+
+// Network is the torus fabric. It is not safe for concurrent use; all
+// traffic originates from the simulation event loop.
+type Network struct {
+	engine *sim.Engine
+	cfg    Config
+	stats  *stats.Stats
+	// links[node][dir] is the outgoing link of node in direction dir.
+	links [][numDirs]*sim.Resource
+	// Messages counts total messages sent (including node-local, which
+	// bypass the fabric).
+	Messages uint64
+	// FlitHops accumulates bytes×hops for utilization reporting.
+	FlitHops uint64
+}
+
+// New builds the torus. st may be nil to disable accounting.
+func New(engine *sim.Engine, cfg Config, st *stats.Stats) *Network {
+	n := cfg.DimX * cfg.DimY
+	net := &Network{engine: engine, cfg: cfg, stats: st, links: make([][numDirs]*sim.Resource, n)}
+	for i := range net.links {
+		for d := direction(0); d < numDirs; d++ {
+			net.links[i][d] = sim.NewResource(engine)
+		}
+	}
+	return net
+}
+
+// Nodes returns the number of nodes in the fabric.
+func (n *Network) Nodes() int { return n.cfg.DimX * n.cfg.DimY }
+
+func (n *Network) coord(id arch.NodeID) (x, y int) {
+	return int(id) % n.cfg.DimX, int(id) / n.cfg.DimX
+}
+
+func (n *Network) nodeAt(x, y int) arch.NodeID {
+	return arch.NodeID(y*n.cfg.DimX + x)
+}
+
+// step returns the next hop from (x,y) toward (tx,ty) under dimension-order
+// (X first) routing with shortest-way wraparound, plus the link direction
+// taken.
+func (n *Network) step(x, y, tx, ty int) (nx, ny int, d direction) {
+	if x != tx {
+		if forwardDist(x, tx, n.cfg.DimX) <= forwardDist(tx, x, n.cfg.DimX) {
+			return (x + 1) % n.cfg.DimX, y, dirXPlus
+		}
+		return (x - 1 + n.cfg.DimX) % n.cfg.DimX, y, dirXMinus
+	}
+	if forwardDist(y, ty, n.cfg.DimY) <= forwardDist(ty, y, n.cfg.DimY) {
+		return x, (y + 1) % n.cfg.DimY, dirYPlus
+	}
+	return x, (y - 1 + n.cfg.DimY) % n.cfg.DimY, dirYMinus
+}
+
+// forwardDist is the hop count going in the +1 direction from a to b on a
+// ring of size dim.
+func forwardDist(a, b, dim int) int {
+	return (b - a + dim) % dim
+}
+
+// Hops returns the dimension-order route length between two nodes.
+func (n *Network) Hops(a, b arch.NodeID) int {
+	ax, ay := n.coord(a)
+	bx, by := n.coord(b)
+	return min(forwardDist(ax, bx, n.cfg.DimX), forwardDist(bx, ax, n.cfg.DimX)) +
+		min(forwardDist(ay, by, n.cfg.DimY), forwardDist(by, ay, n.cfg.DimY))
+}
+
+// Send routes the message and schedules its delivery. A node-local message
+// (Src == Dst) is delivered immediately and generates no fabric traffic and
+// no network statistics; callers use the same API for both cases.
+func (n *Network) Send(m Message) {
+	n.Messages++
+	if m.Src == m.Dst {
+		n.engine.After(0, m.Deliver)
+		return
+	}
+	if n.stats != nil {
+		n.stats.Net(m.Class, m.Bytes)
+	}
+	serialization := sim.Time(m.Bytes*n.cfg.PicosPerByte) / 1000
+	x, y := n.coord(m.Src)
+	tx, ty := n.coord(m.Dst)
+	// Virtual cut-through: the head proceeds hop by hop; each traversed
+	// link is occupied for the message's serialization time, and the
+	// payload tail arrives one serialization time after the head.
+	t := n.engine.Now() + n.cfg.Base
+	for x != tx || y != ty {
+		var d direction
+		nodeID := n.nodeAt(x, y)
+		x, y, d = n.step(x, y, tx, ty)
+		start := n.links[nodeID][d].ReserveAt(t, serialization)
+		t = start + n.cfg.PerHop
+		n.FlitHops += uint64(m.Bytes)
+	}
+	n.engine.At(t+serialization, m.Deliver)
+}
+
+// MinLatency returns the no-contention transfer time between two nodes for
+// a message of the given size (Table 3's "30ns + 8ns * # hops" plus
+// serialization). Useful for tests and analytic cross-checks.
+func (n *Network) MinLatency(a, b arch.NodeID, bytes int) sim.Time {
+	if a == b {
+		return 0
+	}
+	ser := sim.Time(bytes*n.cfg.PicosPerByte) / 1000
+	return n.cfg.Base + sim.Time(n.Hops(a, b))*n.cfg.PerHop + ser
+}
+
+func (n *Network) String() string {
+	return fmt.Sprintf("torus %dx%d", n.cfg.DimX, n.cfg.DimY)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

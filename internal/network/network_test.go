@@ -1,0 +1,190 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"revive/internal/arch"
+	"revive/internal/sim"
+	"revive/internal/stats"
+)
+
+func newNet() (*sim.Engine, *Network, *stats.Stats) {
+	e := sim.NewEngine()
+	st := stats.New()
+	return e, New(e, DefaultConfig(), st), st
+}
+
+func TestHopsNeighbors(t *testing.T) {
+	_, n, _ := newNet()
+	// Node layout (4x4): node 0 at (0,0), node 1 at (1,0), node 4 at (0,1).
+	if h := n.Hops(0, 1); h != 1 {
+		t.Fatalf("Hops(0,1) = %d, want 1", h)
+	}
+	if h := n.Hops(0, 4); h != 1 {
+		t.Fatalf("Hops(0,4) = %d, want 1", h)
+	}
+	if h := n.Hops(0, 5); h != 2 {
+		t.Fatalf("Hops(0,5) = %d, want 2", h)
+	}
+}
+
+func TestHopsTorusWraparound(t *testing.T) {
+	_, n, _ := newNet()
+	// 0 (0,0) to 3 (3,0): wraparound gives 1 hop, not 3.
+	if h := n.Hops(0, 3); h != 1 {
+		t.Fatalf("Hops(0,3) = %d, want 1 (wraparound)", h)
+	}
+	// 0 to 15 (3,3): one wrap hop in each dimension.
+	if h := n.Hops(0, 15); h != 2 {
+		t.Fatalf("Hops(0,15) = %d, want 2", h)
+	}
+	// Max distance on a 4-ring is 2: node 0 to node 10 (2,2).
+	if h := n.Hops(0, 10); h != 4 {
+		t.Fatalf("Hops(0,10) = %d, want 4", h)
+	}
+}
+
+func TestHopsSymmetric(t *testing.T) {
+	_, n, _ := newNet()
+	for a := arch.NodeID(0); a < 16; a++ {
+		for b := arch.NodeID(0); b < 16; b++ {
+			if n.Hops(a, b) != n.Hops(b, a) {
+				t.Fatalf("Hops(%d,%d) != Hops(%d,%d)", a, b, b, a)
+			}
+		}
+	}
+}
+
+func TestDeliveryLatencyNoContention(t *testing.T) {
+	e, n, _ := newNet()
+	var at sim.Time
+	n.Send(Message{Src: 0, Dst: 1, Bytes: DataBytes, Class: stats.ClassRead,
+		Deliver: func() { at = e.Now() }})
+	e.Run()
+	// 30 base + 1 hop * 8 + 80B * 160ps = 12ns -> 50.
+	want := n.MinLatency(0, 1, DataBytes)
+	if at != want {
+		t.Fatalf("delivered at %d, want %d", at, want)
+	}
+}
+
+func TestLocalDeliveryIsImmediateAndUncounted(t *testing.T) {
+	e, n, st := newNet()
+	var at sim.Time = -1
+	n.Send(Message{Src: 3, Dst: 3, Bytes: DataBytes, Class: stats.ClassRead,
+		Deliver: func() { at = e.Now() }})
+	e.Run()
+	if at != 0 {
+		t.Fatalf("local delivery at %d, want 0", at)
+	}
+	if st.TotalNetBytes() != 0 {
+		t.Fatal("local message counted as network traffic")
+	}
+}
+
+func TestStatsCountMessages(t *testing.T) {
+	e, n, st := newNet()
+	n.Send(Message{Src: 0, Dst: 1, Bytes: 80, Class: stats.ClassParity, Deliver: func() {}})
+	n.Send(Message{Src: 0, Dst: 2, Bytes: 16, Class: stats.ClassRead, Deliver: func() {}})
+	e.Run()
+	if st.NetBytes[stats.ClassParity] != 80 {
+		t.Fatalf("parity bytes = %d, want 80", st.NetBytes[stats.ClassParity])
+	}
+	if st.NetMsgs[stats.ClassRead] != 1 {
+		t.Fatalf("read msgs = %d, want 1", st.NetMsgs[stats.ClassRead])
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	e, n, _ := newNet()
+	var times []sim.Time
+	// Two messages from 0 to 1 use the same outgoing link; the second's
+	// head waits for the first's serialization on that link.
+	for i := 0; i < 2; i++ {
+		n.Send(Message{Src: 0, Dst: 1, Bytes: DataBytes, Class: stats.ClassRead,
+			Deliver: func() { times = append(times, e.Now()) }})
+	}
+	e.Run()
+	if times[1] <= times[0] {
+		t.Fatalf("contended deliveries at %v, second should be later", times)
+	}
+	if d := times[1] - times[0]; d != 12 { // one serialization time apart
+		t.Fatalf("spacing = %d, want 12", d)
+	}
+}
+
+func TestDisjointPathsDoNotContend(t *testing.T) {
+	e, n, _ := newNet()
+	var times []sim.Time
+	n.Send(Message{Src: 0, Dst: 1, Bytes: DataBytes, Class: stats.ClassRead,
+		Deliver: func() { times = append(times, e.Now()) }})
+	n.Send(Message{Src: 4, Dst: 5, Bytes: DataBytes, Class: stats.ClassRead,
+		Deliver: func() { times = append(times, e.Now()) }})
+	e.Run()
+	if times[0] != times[1] {
+		t.Fatalf("disjoint messages delivered at %v, want equal", times)
+	}
+}
+
+func TestMessagesCounter(t *testing.T) {
+	e, n, _ := newNet()
+	n.Send(Message{Src: 0, Dst: 0, Bytes: 16, Deliver: func() {}})
+	n.Send(Message{Src: 0, Dst: 9, Bytes: 16, Deliver: func() {}})
+	e.Run()
+	if n.Messages != 2 {
+		t.Fatalf("Messages = %d, want 2", n.Messages)
+	}
+}
+
+// Property: every message is eventually delivered exactly once, regardless
+// of source/destination pattern.
+func TestPropertyAllDelivered(t *testing.T) {
+	f := func(pairs []struct{ S, D uint8 }) bool {
+		e, n, _ := newNet()
+		delivered := 0
+		for _, p := range pairs {
+			n.Send(Message{
+				Src: arch.NodeID(p.S % 16), Dst: arch.NodeID(p.D % 16),
+				Bytes: 16, Class: stats.ClassRead,
+				Deliver: func() { delivered++ },
+			})
+		}
+		e.Run()
+		return delivered == len(pairs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: delivery time is never earlier than the no-contention minimum.
+func TestPropertyLatencyLowerBound(t *testing.T) {
+	f := func(pairs []struct{ S, D uint8 }) bool {
+		e, n, _ := newNet()
+		ok := true
+		for _, p := range pairs {
+			src, dst := arch.NodeID(p.S%16), arch.NodeID(p.D%16)
+			minT := e.Now() + n.MinLatency(src, dst, DataBytes)
+			n.Send(Message{Src: src, Dst: dst, Bytes: DataBytes, Class: stats.ClassRead,
+				Deliver: func() {
+					if e.Now() < minT {
+						ok = false
+					}
+				}})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinLatencyMatchesTable3Formula(t *testing.T) {
+	_, n, _ := newNet()
+	// Control message, 2 hops: 30 + 16 + 16*0.16=2 -> 48.
+	if got := n.MinLatency(0, 5, ControlBytes); got != 48 {
+		t.Fatalf("MinLatency(0,5,16B) = %d, want 48", got)
+	}
+}

@@ -1,0 +1,149 @@
+// Package proc models the processors: 6-issue cores (Table 3) driven by
+// workload streams. The model is memory-level: compute instructions between
+// memory references advance time at the issue width; loads block (the
+// paper's overheads are memory-system effects, uniform across baseline and
+// ReVive); stores retire through the cache controller's 16-entry store
+// buffer. Processors park at instruction boundaries for checkpoints and
+// save/restore their stream position — the "execution context" that
+// rollback re-executes from.
+package proc
+
+import (
+	"revive/internal/coherence"
+	"revive/internal/sim"
+	"revive/internal/stats"
+	"revive/internal/workload"
+)
+
+// Config carries the core parameters (Table 3: 6-issue dynamic, 1 GHz).
+type Config struct {
+	IssueWidth int
+}
+
+// DefaultConfig returns the Table 3 processor.
+func DefaultConfig() Config { return Config{IssueWidth: 6} }
+
+// Proc is one processor.
+type Proc struct {
+	engine *sim.Engine
+	cfg    Config
+	id     int
+	cc     *coherence.CacheCtrl
+	stream workload.Stream
+	st     *stats.Stats
+
+	seq      uint64 // store sequence number (distinct store values)
+	finished bool
+	parked   bool
+	intReq   func() // pending checkpoint interrupt callback
+
+	// OnFinish runs once when the stream is exhausted.
+	OnFinish func()
+
+	// ckptSnap is the stream snapshot taken at the last committed
+	// checkpoint (the saved execution context).
+	ckptSnap any
+
+	// stepFn and storeDone are the bound continuations, allocated once:
+	// the processor schedules millions of them.
+	stepFn    func()
+	storeDone func()
+}
+
+// New builds a processor bound to its node's cache controller.
+func New(engine *sim.Engine, cfg Config, id int, cc *coherence.CacheCtrl,
+	stream workload.Stream, st *stats.Stats) *Proc {
+	p := &Proc{engine: engine, cfg: cfg, id: id, cc: cc, stream: stream, st: st}
+	p.stepFn = p.step
+	p.storeDone = func() { p.engine.After(1, p.stepFn) }
+	return p
+}
+
+// ID returns the processor number.
+func (p *Proc) ID() int { return p.id }
+
+// Finished reports whether the stream is exhausted.
+func (p *Proc) Finished() bool { return p.finished }
+
+// Start begins execution.
+func (p *Proc) Start() {
+	p.ckptSnap = p.stream.Snapshot()
+	p.step()
+}
+
+// step issues the next trace operation.
+func (p *Proc) step() {
+	if p.intReq != nil {
+		p.parked = true
+		cb := p.intReq
+		p.intReq = nil
+		cb()
+		return
+	}
+	op, ok := p.stream.Next()
+	if !ok {
+		p.finished = true
+		if p.OnFinish != nil {
+			p.OnFinish()
+		}
+		return
+	}
+	p.st.Instructions += uint64(op.Gap) + 1
+	// Compute time: gap instructions at the issue width, minimum one
+	// cycle per memory operation slot. A zero-cycle gap issues without
+	// a scheduler round-trip (the common case at 6-wide issue).
+	compute := sim.Time((op.Gap + p.cfg.IssueWidth - 1) / p.cfg.IssueWidth)
+	if compute == 0 {
+		p.issue(op)
+		return
+	}
+	p.engine.After(compute, func() { p.issue(op) })
+}
+
+func (p *Proc) issue(op workload.Op) {
+	switch op.Kind {
+	case workload.OpLoad:
+		p.cc.Load(op.Addr, p.stepFn)
+	case workload.OpStore:
+		p.seq++
+		val := uint64(p.id+1)<<48 | p.seq
+		p.cc.Store(op.Addr, val, p.storeDone)
+	}
+}
+
+// Interrupt implements core.Processor: park at the next boundary. A
+// finished or already-parked processor parks immediately.
+func (p *Proc) Interrupt(parked func()) {
+	if p.finished || p.parked {
+		parked()
+		return
+	}
+	if p.intReq != nil {
+		panic("proc: overlapping interrupts")
+	}
+	p.intReq = parked
+}
+
+// Resume implements core.Processor: restart after a checkpoint. The commit
+// also snapshots the stream position as the new saved context.
+func (p *Proc) Resume() {
+	p.ckptSnap = p.stream.Snapshot()
+	if !p.parked {
+		return
+	}
+	p.parked = false
+	p.engine.After(0, p.stepFn)
+}
+
+// ContextSnapshot returns the stream snapshot saved at the last checkpoint
+// (rollback restores execution from here).
+func (p *Proc) ContextSnapshot() any { return p.ckptSnap }
+
+// RestoreContext rewinds the stream to a snapshot (rollback) and clears
+// any frozen interrupt/park state from before the error.
+func (p *Proc) RestoreContext(snap any) {
+	p.stream.Restore(snap)
+	p.finished = false
+	p.parked = false
+	p.intReq = nil
+}

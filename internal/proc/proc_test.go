@@ -1,0 +1,175 @@
+package proc
+
+import (
+	"testing"
+
+	"revive/internal/arch"
+	"revive/internal/cache"
+	"revive/internal/coherence"
+	"revive/internal/mem"
+	"revive/internal/network"
+	"revive/internal/sim"
+	"revive/internal/stats"
+	"revive/internal/workload"
+)
+
+// rig is a 2-node machine fragment: enough wiring for processors to run.
+type rig struct {
+	engine *sim.Engine
+	st     *stats.Stats
+	caches []*coherence.CacheCtrl
+}
+
+func newRig() *rig {
+	engine := sim.NewEngine()
+	st := stats.New()
+	tracker := &coherence.Tracker{}
+	topo := arch.Topology{Nodes: 2, GroupSize: 2}
+	amap := arch.NewAddressMap(topo)
+	netCfg := network.DefaultConfig()
+	netCfg.DimX, netCfg.DimY = 2, 1
+	net := network.New(engine, netCfg, st)
+	var dirs []*coherence.DirCtrl
+	var caches []*coherence.CacheCtrl
+	for n := 0; n < 2; n++ {
+		m := mem.New(engine, mem.DefaultConfig())
+		dirs = append(dirs, coherence.NewDirCtrl(engine, arch.NodeID(n),
+			coherence.DefaultDirConfig(), m, net, amap, st, tracker))
+		caches = append(caches, coherence.NewCacheCtrl(engine, arch.NodeID(n),
+			cache.L1Default(), cache.L2Default(), coherence.DefaultBusConfig(),
+			net, amap, st, tracker))
+	}
+	for n := 0; n < 2; n++ {
+		dirs[n].SetCaches(caches)
+		caches[n].SetDirs(dirs)
+	}
+	return &rig{engine: engine, st: st, caches: caches}
+}
+
+func TestProcRunsStreamToCompletion(t *testing.T) {
+	r := newRig()
+	ops := []workload.Op{
+		{Kind: workload.OpLoad, Addr: 0x10000, Gap: 5},
+		{Kind: workload.OpStore, Addr: 0x10008, Gap: 2},
+		{Kind: workload.OpLoad, Addr: 0x20000, Gap: 10},
+	}
+	p := New(r.engine, DefaultConfig(), 0, r.caches[0], workload.NewExplicit(ops), r.st)
+	finished := false
+	p.OnFinish = func() { finished = true }
+	p.Start()
+	r.engine.Run()
+	if !finished || !p.Finished() {
+		t.Fatal("processor did not finish")
+	}
+	if r.st.Instructions != 5+1+2+1+10+1 {
+		t.Fatalf("instructions = %d, want 20", r.st.Instructions)
+	}
+	if r.st.Loads != 2 || r.st.Stores != 1 {
+		t.Fatalf("loads/stores = %d/%d", r.st.Loads, r.st.Stores)
+	}
+}
+
+func TestComputeGapAdvancesTime(t *testing.T) {
+	r := newRig()
+	// 600 instructions at 6-wide = at least 100 cycles of compute.
+	ops := []workload.Op{{Kind: workload.OpLoad, Addr: 0x10000, Gap: 600}}
+	p := New(r.engine, DefaultConfig(), 0, r.caches[0], workload.NewExplicit(ops), r.st)
+	p.Start()
+	r.engine.Run()
+	if r.engine.Now() < 100 {
+		t.Fatalf("finished at %d, want >= 100 (compute time)", r.engine.Now())
+	}
+}
+
+func TestInterruptParksAtBoundary(t *testing.T) {
+	r := newRig()
+	var ops []workload.Op
+	for i := 0; i < 100; i++ {
+		ops = append(ops, workload.Op{Kind: workload.OpLoad,
+			Addr: arch.Addr(0x10000 + i*64), Gap: 3})
+	}
+	p := New(r.engine, DefaultConfig(), 0, r.caches[0], workload.NewExplicit(ops), r.st)
+	p.Start()
+	parked := false
+	r.engine.After(50, func() { p.Interrupt(func() { parked = true }) })
+	r.engine.Run()
+	if !parked {
+		t.Fatal("processor never parked")
+	}
+	if p.Finished() {
+		t.Fatal("processor finished while parked")
+	}
+	// Resume completes the stream.
+	p.Resume()
+	r.engine.Run()
+	if !p.Finished() {
+		t.Fatal("processor did not finish after resume")
+	}
+}
+
+func TestInterruptOnFinishedProcIsImmediate(t *testing.T) {
+	r := newRig()
+	p := New(r.engine, DefaultConfig(), 0, r.caches[0], workload.NewExplicit(nil), r.st)
+	p.Start()
+	r.engine.Run()
+	called := false
+	p.Interrupt(func() { called = true })
+	if !called {
+		t.Fatal("interrupt of finished proc not immediate")
+	}
+}
+
+func TestContextSnapshotRestartsStream(t *testing.T) {
+	r := newRig()
+	var ops []workload.Op
+	for i := 0; i < 50; i++ {
+		ops = append(ops, workload.Op{Kind: workload.OpLoad,
+			Addr: arch.Addr(0x10000 + i*64)})
+	}
+	p := New(r.engine, DefaultConfig(), 0, r.caches[0], workload.NewExplicit(ops), r.st)
+	p.Start() // snapshot taken at start (position 0)
+	r.engine.Run()
+	if !p.Finished() {
+		t.Fatal("did not finish")
+	}
+	// Rollback to the initial context and re-run.
+	p.RestoreContext(p.ContextSnapshot())
+	if p.Finished() {
+		t.Fatal("finished flag survived restore")
+	}
+	loads := r.st.Loads
+	p.Start()
+	r.engine.Run()
+	if r.st.Loads != loads+50 {
+		t.Fatalf("replayed %d loads, want 50", r.st.Loads-loads)
+	}
+}
+
+func TestStoreValuesAreUnique(t *testing.T) {
+	r := newRig()
+	var ops []workload.Op
+	for i := 0; i < 20; i++ {
+		ops = append(ops, workload.Op{Kind: workload.OpStore,
+			Addr: arch.Addr(0x10000 + i*8)})
+	}
+	p := New(r.engine, DefaultConfig(), 0, r.caches[0], workload.NewExplicit(ops), r.st)
+	p.Start()
+	r.engine.Run()
+	// All 20 stores landed on distinct 8-byte slots of distinct values:
+	// the line contents must be pairwise distinct per slot.
+	line := r.caches[0].L1().Probe(arch.Addr(0x10000).Line())
+	if line == nil {
+		t.Fatal("stored line not cached")
+	}
+	seen := map[uint64]bool{}
+	for off := 0; off < 64; off += 8 {
+		var v uint64
+		for b := 0; b < 8; b++ {
+			v |= uint64(line.Data[off+b]) << (8 * b)
+		}
+		if v == 0 || seen[v] {
+			t.Fatalf("slot %d value %x duplicated or zero", off, v)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,169 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// timed component in the machine model: an event queue ordered by simulated
+// time, occupancy-based resources for contention modeling, and a
+// deterministic PRNG.
+//
+// Simulated time is measured in integer nanoseconds. The modeled processors
+// run at 1 GHz, so one nanosecond is one processor cycle; the constants in
+// the architecture configuration (Table 3 of the ReVive paper) are all
+// expressed directly in nanoseconds.
+package sim
+
+// Time is a point in (or duration of) simulated time, in nanoseconds.
+type Time int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// event is a scheduled callback. seq breaks ties so that events scheduled
+// earlier at the same timestamp run first (stable FIFO order).
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a 4-ary min-heap ordered by (at, seq). Four-way branching
+// halves the sift depth of a binary heap; with tens of millions of events
+// per run the queue is the simulator's hottest structure.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) peek() event { return h[0] }
+func (h eventHeap) empty() bool { return len(h) == 0 }
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the closure for the garbage collector
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s.less(c, min) {
+				min = c
+			}
+		}
+		if !s.less(min, i) {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+// Engine is a single-threaded discrete-event simulator. All component state
+// in the machine model is owned by the engine's event loop; no locking is
+// needed anywhere in the simulator.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled events that have not yet run.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a modeling bug (an effect preceding its cause).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) {
+	e.At(e.now+d, fn)
+}
+
+// Step runs the single next event, advancing the clock to its timestamp.
+// It returns false if no events remain.
+func (e *Engine) Step() bool {
+	if e.events.empty() {
+		return false
+	}
+	ev := e.events.pop()
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t. Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t Time) {
+	for !e.events.empty() && e.events.peek().at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunWhile executes events until cond returns false or the queue drains.
+// cond is evaluated before each event.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}
+
+// Reset drops every pending event, preserving the clock. Fault injection
+// uses it to model fail-stop: all in-flight work is abandoned at the
+// instant of the error, and recovery rebuilds consistent state.
+func (e *Engine) Reset() {
+	e.events = e.events[:0]
+}

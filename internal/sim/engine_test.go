@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []Time
+	for _, d := range []Time{30, 10, 20, 5, 25} {
+		d := d
+		e.After(d, func() { order = append(order, d) })
+	}
+	e.Run()
+	want := []Time{5, 10, 20, 25, 30}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order[%d] = %d, want %d (full: %v)", i, order[i], w, order)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final Now() = %d, want 30", e.Now())
+	}
+}
+
+func TestSameTimeEventsRunFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []Time
+	e.After(10, func() {
+		trace = append(trace, e.Now())
+		e.After(5, func() { trace = append(trace, e.Now()) })
+		e.After(0, func() { trace = append(trace, e.Now()) })
+	})
+	e.Run()
+	want := []Time{10, 10, 15}
+	for i, w := range want {
+		if trace[i] != w {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(past) did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestRunUntilLeavesLaterEventsPending(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	for _, d := range []Time{10, 20, 30, 40} {
+		d := d
+		e.After(d, func() { ran = append(ran, d) })
+	}
+	e.RunUntil(25)
+	if len(ran) != 2 || ran[0] != 10 || ran[1] != 20 {
+		t.Fatalf("ran = %v, want [10 20]", ran)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now() = %d, want 25", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(ran) != 4 {
+		t.Fatalf("after Run, ran = %v, want all four", ran)
+	}
+}
+
+func TestRunUntilAdvancesClockWithNoEvents(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(1000)
+	if e.Now() != 1000 {
+		t.Fatalf("Now() = %d, want 1000", e.Now())
+	}
+}
+
+func TestRunWhileStopsWhenCondFalse(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.After(Time(i+1), func() { count++ })
+	}
+	e.RunWhile(func() bool { return count < 3 })
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+// Property: for any set of non-negative delays, events observe a
+// monotonically non-decreasing clock.
+func TestPropertyMonotonicClock(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			e.After(Time(d), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok && e.Pending() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the engine's final time equals the max scheduled delay.
+func TestPropertyFinalTimeIsMaxDelay(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var max Time
+		for _, d := range delays {
+			if Time(d) > max {
+				max = Time(d)
+			}
+			e.After(Time(d), func() {})
+		}
+		e.Run()
+		return e.Now() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+// Resource models a unit that serves one operation at a time (a DRAM bank,
+// a network link, a bus, a pipelined controller issue slot). Contention is
+// modeled with the classic occupancy method: each operation reserves the
+// resource for its occupancy, and an operation arriving while the resource
+// is busy starts when the resource next frees up.
+//
+// For fully-serial units the occupancy equals the latency. For pipelined
+// units (such as the directory controller, which has 21 ns latency but
+// accepts a new operation every 3 ns) the occupancy is the issue interval
+// and the caller adds the pipeline latency on top of the returned start
+// time.
+type Resource struct {
+	engine   *Engine
+	nextFree Time
+	// busyTime accumulates total occupied time, for utilization reports.
+	busyTime Time
+}
+
+// NewResource returns an idle resource bound to engine's clock.
+func NewResource(engine *Engine) *Resource {
+	return &Resource{engine: engine}
+}
+
+// Reserve books the resource for an operation of the given occupancy and
+// returns the time at which the operation starts (>= Now). The caller is
+// responsible for scheduling whatever completes at start+latency.
+func (r *Resource) Reserve(occupancy Time) (start Time) {
+	if occupancy < 0 {
+		panic("sim: negative occupancy")
+	}
+	start = r.engine.Now()
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	r.nextFree = start + occupancy
+	r.busyTime += occupancy
+	return start
+}
+
+// ReserveAt books the resource for an operation that cannot start before
+// earliest (which may be in the future, e.g. after a message arrives).
+func (r *Resource) ReserveAt(earliest, occupancy Time) (start Time) {
+	if occupancy < 0 {
+		panic("sim: negative occupancy")
+	}
+	start = earliest
+	if now := r.engine.Now(); start < now {
+		start = now
+	}
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	r.nextFree = start + occupancy
+	r.busyTime += occupancy
+	return start
+}
+
+// NextFree reports when the resource becomes idle given current bookings.
+func (r *Resource) NextFree() Time { return r.nextFree }
+
+// BusyTime reports the cumulative time the resource has been booked.
+func (r *Resource) BusyTime() Time { return r.busyTime }

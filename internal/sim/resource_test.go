@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceIdleStartsNow(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	e.After(100, func() {
+		if start := r.Reserve(10); start != 100 {
+			t.Errorf("start = %d, want 100", start)
+		}
+	})
+	e.Run()
+}
+
+func TestResourceSerializesBackToBack(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	s1 := r.Reserve(10)
+	s2 := r.Reserve(10)
+	s3 := r.Reserve(5)
+	if s1 != 0 || s2 != 10 || s3 != 20 {
+		t.Fatalf("starts = %d,%d,%d, want 0,10,20", s1, s2, s3)
+	}
+	if r.NextFree() != 25 {
+		t.Fatalf("NextFree = %d, want 25", r.NextFree())
+	}
+}
+
+func TestResourceIdleGapResets(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	r.Reserve(10) // busy until 10
+	e.After(50, func() {
+		if start := r.Reserve(10); start != 50 {
+			t.Errorf("start after idle gap = %d, want 50", start)
+		}
+	})
+	e.Run()
+}
+
+func TestResourceReserveAt(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	// An operation that cannot start before t=40 on an idle resource.
+	if start := r.ReserveAt(40, 10); start != 40 {
+		t.Fatalf("start = %d, want 40", start)
+	}
+	// The next operation queues behind it even though earliest=0.
+	if start := r.ReserveAt(0, 10); start != 50 {
+		t.Fatalf("start = %d, want 50", start)
+	}
+}
+
+func TestResourceBusyTimeAccumulates(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	r.Reserve(10)
+	r.Reserve(7)
+	if r.BusyTime() != 17 {
+		t.Fatalf("BusyTime = %d, want 17", r.BusyTime())
+	}
+}
+
+func TestResourceNegativeOccupancyPanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reserve(-1) did not panic")
+		}
+	}()
+	r.Reserve(-1)
+}
+
+// Property: reservations never overlap — each op starts no earlier than the
+// previous op's end — and no op starts before the clock.
+func TestPropertyResourceNoOverlap(t *testing.T) {
+	f := func(occs []uint8) bool {
+		e := NewEngine()
+		r := NewResource(e)
+		prevEnd := Time(0)
+		for _, o := range occs {
+			start := r.Reserve(Time(o))
+			if start < prevEnd || start < e.Now() {
+				return false
+			}
+			prevEnd = start + Time(o)
+		}
+		return r.NextFree() == prevEnd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

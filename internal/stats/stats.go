@@ -1,0 +1,145 @@
+// Package stats collects the counters from which every table and figure of
+// the ReVive paper's evaluation is regenerated: execution time, network and
+// memory traffic broken down by the classes of Figures 9 and 10, cache hit
+// rates (Table 4), log occupancy high-water marks (Figure 11), checkpoint
+// cost accounting (Figure 6) and recovery phase times (Figures 7 and 12).
+package stats
+
+import (
+	"fmt"
+
+	"revive/internal/sim"
+)
+
+// Class labels a network message or memory access with the traffic
+// category used in the paper's Figure 9/10 breakdowns.
+type Class int
+
+const (
+	// ClassRead is RD/RDX traffic: data supplied on cache misses, plus
+	// the request/intervention/invalidation control messages of the
+	// baseline coherence protocol.
+	ClassRead Class = iota
+	// ClassExeWB is write-back traffic during regular execution.
+	ClassExeWB
+	// ClassCkpWB is write-back traffic caused by checkpoint cache flushes.
+	ClassCkpWB
+	// ClassLog is traffic writing checkpoint data to the logs.
+	ClassLog
+	// ClassParity is distributed parity update traffic (data and log).
+	ClassParity
+	// ClassRecovery is traffic generated during rollback recovery.
+	ClassRecovery
+	// NumClasses is the number of traffic classes.
+	NumClasses
+)
+
+// String returns the label used in the paper's figures.
+func (c Class) String() string {
+	switch c {
+	case ClassRead:
+		return "RD/RDX"
+	case ClassExeWB:
+		return "ExeWB"
+	case ClassCkpWB:
+		return "CkpWB"
+	case ClassLog:
+		return "LOG"
+	case ClassParity:
+		return "PAR"
+	case ClassRecovery:
+		return "RECOV"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Stats is the single sink for all machine counters. It is owned by the
+// simulation's event loop, so plain (non-atomic) increments are safe.
+type Stats struct {
+	// Per-processor progress.
+	Instructions uint64
+	MemRefs      uint64
+	Loads        uint64
+	Stores       uint64
+
+	// Cache behaviour.
+	L1Hits   uint64
+	L1Misses uint64
+	L2Hits   uint64
+	L2Misses uint64
+
+	// Traffic by class. NetBytes/NetMsgs count inter-node network
+	// traffic; MemAccesses counts line-sized accesses to any node's DRAM.
+	NetBytes    [NumClasses]uint64
+	NetMsgs     [NumClasses]uint64
+	MemAccesses [NumClasses]uint64
+
+	// Checkpointing.
+	Checkpoints        int
+	CkpFlushTime       sim.Time // total time processors spent flushing
+	CkpBarrierTime     sim.Time // total time spent in the two barriers
+	CkpInterruptTime   sim.Time // total interrupt delivery time
+	LogBytesPeak       uint64   // max retained log bytes on any node
+	LogBytesPeakPerCkp uint64   // peak of a single checkpoint interval's log
+
+	// Recovery phase durations (most recent recovery).
+	RecoveryPhase1 sim.Time
+	RecoveryPhase2 sim.Time
+	RecoveryPhase3 sim.Time
+	RecoveryPhase4 sim.Time // background rebuild (estimated, overlaps execution)
+
+	// End-to-end.
+	ExecTime sim.Time
+}
+
+// New returns a zeroed Stats.
+func New() *Stats { return &Stats{} }
+
+// Net records one inter-node network message of the given class and total
+// size in bytes (header plus payload).
+func (s *Stats) Net(c Class, bytes int) {
+	s.NetBytes[c] += uint64(bytes)
+	s.NetMsgs[c]++
+}
+
+// Mem records one line-sized DRAM access of the given class.
+func (s *Stats) Mem(c Class) {
+	s.MemAccesses[c]++
+}
+
+// L2MissRate returns the paper's Table 4 metric: global L2 misses as a
+// fraction of all memory references.
+func (s *Stats) L2MissRate() float64 {
+	if s.MemRefs == 0 {
+		return 0
+	}
+	return float64(s.L2Misses) / float64(s.MemRefs)
+}
+
+// L2MissesPer1000Instr returns the commercial-workload comparison metric of
+// section 5 (0.06 for Water-Sp up to 9.3 for Radix in the paper).
+func (s *Stats) L2MissesPer1000Instr() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(s.L2Misses) / float64(s.Instructions)
+}
+
+// TotalNetBytes sums network bytes over all classes.
+func (s *Stats) TotalNetBytes() uint64 {
+	var t uint64
+	for _, b := range s.NetBytes {
+		t += b
+	}
+	return t
+}
+
+// TotalMemAccesses sums memory accesses over all classes.
+func (s *Stats) TotalMemAccesses() uint64 {
+	var t uint64
+	for _, m := range s.MemAccesses {
+		t += m
+	}
+	return t
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassLabelsMatchPaper(t *testing.T) {
+	want := map[Class]string{
+		ClassRead:   "RD/RDX",
+		ClassExeWB:  "ExeWB",
+		ClassCkpWB:  "CkpWB",
+		ClassLog:    "LOG",
+		ClassParity: "PAR",
+	}
+	for c, label := range want {
+		if c.String() != label {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), label)
+		}
+	}
+}
+
+func TestNetAccumulates(t *testing.T) {
+	s := New()
+	s.Net(ClassRead, 80)
+	s.Net(ClassRead, 16)
+	s.Net(ClassParity, 80)
+	if s.NetBytes[ClassRead] != 96 || s.NetMsgs[ClassRead] != 2 {
+		t.Fatalf("read bytes/msgs = %d/%d", s.NetBytes[ClassRead], s.NetMsgs[ClassRead])
+	}
+	if s.TotalNetBytes() != 176 {
+		t.Fatalf("total = %d", s.TotalNetBytes())
+	}
+}
+
+func TestMemAccumulates(t *testing.T) {
+	s := New()
+	s.Mem(ClassLog)
+	s.Mem(ClassLog)
+	s.Mem(ClassParity)
+	if s.MemAccesses[ClassLog] != 2 || s.TotalMemAccesses() != 3 {
+		t.Fatal("memory accounting wrong")
+	}
+}
+
+func TestL2MissRate(t *testing.T) {
+	s := New()
+	if s.L2MissRate() != 0 {
+		t.Fatal("zero refs must give zero rate")
+	}
+	s.MemRefs = 1000
+	s.L2Misses = 25
+	if s.L2MissRate() != 0.025 {
+		t.Fatalf("rate = %v", s.L2MissRate())
+	}
+}
+
+func TestMissesPer1000Instr(t *testing.T) {
+	s := New()
+	if s.L2MissesPer1000Instr() != 0 {
+		t.Fatal("zero instructions must give zero")
+	}
+	s.Instructions = 1_000_000
+	s.L2Misses = 9300
+	if got := s.L2MissesPer1000Instr(); got != 9.3 {
+		t.Fatalf("misses/1000 = %v, want 9.3 (Radix, section 5)", got)
+	}
+}
+
+func TestPropertyTotalsMatchSums(t *testing.T) {
+	f := func(counts [NumClasses]uint16) bool {
+		s := New()
+		var want uint64
+		for c := Class(0); c < NumClasses; c++ {
+			for i := uint16(0); i < counts[c]%50; i++ {
+				s.Net(c, 16)
+				s.Mem(c)
+				want++
+			}
+		}
+		return s.TotalMemAccesses() == want && s.TotalNetBytes() == want*16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

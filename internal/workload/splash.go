@@ -1,0 +1,141 @@
+package workload
+
+// The 12 SPLASH-2 application profiles, modeled after Table 4 of the paper
+// and the SPLASH-2 characterization the paper cites. For each application
+// the paper reports total instructions and the global L2 miss rate; the
+// characterization supplies the qualitative behaviour the profile encodes:
+//
+//   - FFT: all-to-all transpose; large second working set that overflows
+//     the L2; streaming writes leave the cache almost fully dirty at
+//     checkpoints (the paper's worst checkpoint-cost case).
+//   - Ocean: nearest-neighbour grid sweeps; similar streaming dirtiness.
+//   - Radix: permutation phase scatters writes over a huge key array —
+//     both working sets exceed the L2 (paper: "close to worst-case") and
+//     the scattered cold writes produce the largest log (Figure 11).
+//   - Barnes/FMM: tree/body data, small working sets, mild sharing.
+//   - LU/Cholesky: blocked factorization, cache-resident blocks.
+//   - Raytrace/Volrend/Radiosity: read-mostly shared scene data.
+//   - Water-N2/Water-Sp: tiny working sets, negligible miss rates.
+//
+// Paper-reported values kept here for the Table 4 comparison:
+// PaperInstrM (millions of instructions) and PaperMissPct (global L2 miss
+// rate, %).
+//
+// Hot working-set sizes are expressed for the evaluation regime's
+// quarter-scale caches (4 KB L1 / 32 KB L2; see the root package's
+// EvalConfig): the paper itself scales caches down to preserve miss rates
+// with scaled inputs (section 5), and we apply its argument once more.
+
+// App couples a profile with its Table 4 reference values.
+type App struct {
+	Profile
+	PaperInstrM  int
+	PaperMissPct float64
+}
+
+// Scale divides the paper's instruction counts; 100 is the default regime
+// discussed in DESIGN.md section 6. Per-processor budgets are floored so
+// every run spans several checkpoint intervals (the paper's shortest runs,
+// Radix and Ocean, would otherwise cover less than one scaled interval).
+func scaled(paperInstrM int, scale int, procs int) uint64 {
+	total := uint64(paperInstrM) * 1000 * 1000 / uint64(scale)
+	per := total / uint64(procs)
+	const floor = 1_500_000
+	if per < floor {
+		per = floor
+	}
+	return per
+}
+
+// Splash2 returns the 12 applications with instruction budgets scaled by
+// scale for a machine with procs processors.
+func Splash2(scale, procs int) []App {
+	mk := func(p Profile, instrM int, missPct float64) App {
+		p.InstrPerProc = scaled(instrM, scale, procs)
+		return App{Profile: p, PaperInstrM: instrM, PaperMissPct: missPct}
+	}
+	return []App{
+		mk(Profile{
+			Label: "Barnes", MemOpsPer1000: 310,
+			HotLines: 225, HotWriteFrac: 0.22,
+			ColdFrac: 0.0001, ColdLines: 40000, ColdWriteFrac: 0.30,
+			SharedFrac: 0.008, SharedLines: 256, SharedWriteFrac: 0.02,
+		}, 1230, 0.05),
+		mk(Profile{
+			Label: "Cholesky", MemOpsPer1000: 300,
+			HotLines: 300, HotWriteFrac: 0.30,
+			ColdFrac: 0.0012, ColdLines: 60000, ColdWriteFrac: 0.35, ColdSeq: true,
+			SharedFrac: 0.006, SharedLines: 256, SharedWriteFrac: 0.05,
+		}, 1224, 0.26),
+		mk(Profile{
+			Label: "FFT", MemOpsPer1000: 330,
+			HotLines: 430, HotWriteFrac: 0.68,
+			ColdFrac: 0.013, ColdLines: 65536, ColdWriteFrac: 0.50, ColdSeq: true,
+			SharedFrac: 0.004, SharedLines: 256, SharedWriteFrac: 0.30,
+		}, 468, 1.78),
+		mk(Profile{
+			Label: "FMM", MemOpsPer1000: 300,
+			HotLines: 250, HotWriteFrac: 0.25,
+			ColdFrac: 0.0011, ColdLines: 50000, ColdWriteFrac: 0.30,
+			SharedFrac: 0.006, SharedLines: 256, SharedWriteFrac: 0.04,
+		}, 1002, 0.24),
+		mk(Profile{
+			Label: "LU", MemOpsPer1000: 320,
+			HotLines: 280, HotWriteFrac: 0.45,
+			ColdFrac: 0.0002, ColdLines: 32768, ColdWriteFrac: 0.40, ColdSeq: true,
+			SharedFrac: 0.004, SharedLines: 192, SharedWriteFrac: 0.05,
+		}, 336, 0.07),
+		mk(Profile{
+			Label: "Ocean", MemOpsPer1000: 340,
+			HotLines: 450, HotWriteFrac: 0.62,
+			ColdFrac: 0.015, ColdLines: 70000, ColdWriteFrac: 0.45, ColdSeq: true,
+			SharedFrac: 0.004, SharedLines: 256, SharedWriteFrac: 0.25,
+		}, 270, 2.02),
+		mk(Profile{
+			Label: "Radiosity", MemOpsPer1000: 300,
+			HotLines: 200, HotWriteFrac: 0.25,
+			ColdFrac: 0.0006, ColdLines: 40000, ColdWriteFrac: 0.30,
+			SharedFrac: 0.008, SharedLines: 256, SharedWriteFrac: 0.08,
+		}, 744, 0.15),
+		mk(Profile{
+			Label: "Radix", MemOpsPer1000: 340,
+			HotLines: 380, HotWriteFrac: 0.40,
+			ColdFrac: 0.040, ColdLines: 262144, ColdWriteFrac: 0.55,
+			SharedFrac: 0.003, SharedLines: 192, SharedWriteFrac: 0.40,
+		}, 186, 2.51),
+		mk(Profile{
+			Label: "Raytrace", MemOpsPer1000: 290,
+			HotLines: 225, HotWriteFrac: 0.15,
+			ColdFrac: 0.0010, ColdLines: 60000, ColdWriteFrac: 0.10,
+			SharedFrac: 0.012, SharedLines: 320, SharedWriteFrac: 0.01,
+		}, 612, 0.26),
+		mk(Profile{
+			Label: "Volrend", MemOpsPer1000: 280,
+			HotLines: 200, HotWriteFrac: 0.18,
+			ColdFrac: 0.0013, ColdLines: 50000, ColdWriteFrac: 0.12,
+			SharedFrac: 0.010, SharedLines: 320, SharedWriteFrac: 0.01,
+		}, 984, 0.29),
+		mk(Profile{
+			Label: "Water-N2", MemOpsPer1000: 300,
+			HotLines: 125, HotWriteFrac: 0.25,
+			ColdFrac: 0.0001, ColdLines: 20000, ColdWriteFrac: 0.30,
+			SharedFrac: 0.002, SharedLines: 128, SharedWriteFrac: 0.03,
+		}, 1074, 0.02),
+		mk(Profile{
+			Label: "Water-Sp", MemOpsPer1000: 300,
+			HotLines: 110, HotWriteFrac: 0.25,
+			ColdFrac: 0.0001, ColdLines: 20000, ColdWriteFrac: 0.30,
+			SharedFrac: 0.002, SharedLines: 128, SharedWriteFrac: 0.03,
+		}, 870, 0.02),
+	}
+}
+
+// ByName returns the named application (case-sensitive Table 4 name).
+func ByName(name string, scale, procs int) (App, bool) {
+	for _, a := range Splash2(scale, procs) {
+		if a.Label == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}

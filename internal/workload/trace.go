@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"revive/internal/arch"
+)
+
+// Trace file format: a line-oriented text format so traces are diffable
+// and hand-editable. Header, then one operation per line:
+//
+//	revive-trace v1 procs=16
+//	p0 L 0x40001000 3     # proc 0: load addr 0x40001000 after 3 compute instructions
+//	p0 S 0x40001040 0
+//	p1 L 0x80002000 12
+//
+// Operations of different processors may interleave in any order; each
+// processor's operations execute in file order.
+
+// WriteTrace serializes per-processor op streams. It drains the streams.
+func WriteTrace(w io.Writer, streams []Stream) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "revive-trace v1 procs=%d\n", len(streams)); err != nil {
+		return err
+	}
+	for p, s := range streams {
+		for {
+			op, ok := s.Next()
+			if !ok {
+				break
+			}
+			kind := "L"
+			if op.Kind == OpStore {
+				kind = "S"
+			}
+			if _, err := fmt.Fprintf(bw, "p%d %s %#x %d\n", p, kind, uint64(op.Addr), op.Gap); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace back into a Directed workload.
+func ReadTrace(r io.Reader) (Directed, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return Directed{}, fmt.Errorf("workload: empty trace")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 3 || header[0] != "revive-trace" || header[1] != "v1" {
+		return Directed{}, fmt.Errorf("workload: bad trace header %q", sc.Text())
+	}
+	procs, err := strconv.Atoi(strings.TrimPrefix(header[2], "procs="))
+	if err != nil || procs <= 0 {
+		return Directed{}, fmt.Errorf("workload: bad processor count in %q", sc.Text())
+	}
+	d := Directed{Title: "trace", PerProc: make([][]Op, procs)}
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return Directed{}, fmt.Errorf("workload: trace line %d: want 4 fields, got %q", lineNo, line)
+		}
+		p, err := strconv.Atoi(strings.TrimPrefix(fields[0], "p"))
+		if err != nil || p < 0 || p >= procs {
+			return Directed{}, fmt.Errorf("workload: trace line %d: bad processor %q", lineNo, fields[0])
+		}
+		var kind OpKind
+		switch fields[1] {
+		case "L":
+			kind = OpLoad
+		case "S":
+			kind = OpStore
+		default:
+			return Directed{}, fmt.Errorf("workload: trace line %d: bad op kind %q", lineNo, fields[1])
+		}
+		addr, err := strconv.ParseUint(fields[2], 0, 64)
+		if err != nil {
+			return Directed{}, fmt.Errorf("workload: trace line %d: bad address %q", lineNo, fields[2])
+		}
+		gap, err := strconv.Atoi(fields[3])
+		if err != nil || gap < 0 {
+			return Directed{}, fmt.Errorf("workload: trace line %d: bad gap %q", lineNo, fields[3])
+		}
+		d.PerProc[p] = append(d.PerProc[p], Op{Kind: kind, Addr: arch.Addr(addr), Gap: gap})
+	}
+	return d, sc.Err()
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"revive/internal/arch"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	d := Directed{Title: "t", PerProc: [][]Op{
+		{{Kind: OpLoad, Addr: 0x1000, Gap: 3}, {Kind: OpStore, Addr: 0x1040, Gap: 0}},
+		{{Kind: OpLoad, Addr: 0x2000, Gap: 12}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, d.Streams(2)); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.PerProc) != 2 {
+		t.Fatalf("procs = %d", len(back.PerProc))
+	}
+	for p := range d.PerProc {
+		if len(back.PerProc[p]) != len(d.PerProc[p]) {
+			t.Fatalf("proc %d ops = %d, want %d", p, len(back.PerProc[p]), len(d.PerProc[p]))
+		}
+		for i, op := range d.PerProc[p] {
+			if back.PerProc[p][i] != op {
+				t.Fatalf("proc %d op %d = %+v, want %+v", p, i, back.PerProc[p][i], op)
+			}
+		}
+	}
+}
+
+func TestTraceCommentsAndBlanks(t *testing.T) {
+	in := `revive-trace v1 procs=1
+# a comment
+p0 L 0x40 1   # trailing comment
+
+p0 S 0x80 2
+`
+	d, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.PerProc[0]) != 2 {
+		t.Fatalf("ops = %d, want 2", len(d.PerProc[0]))
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not-a-trace v1 procs=2\n",
+		"revive-trace v2 procs=2\n",
+		"revive-trace v1 procs=0\n",
+		"revive-trace v1 procs=1\np9 L 0x40 1\n",  // proc out of range
+		"revive-trace v1 procs=1\np0 X 0x40 1\n",  // bad kind
+		"revive-trace v1 procs=1\np0 L zz 1\n",    // bad address
+		"revive-trace v1 procs=1\np0 L 0x40 -1\n", // bad gap
+		"revive-trace v1 procs=1\np0 L 0x40\n",    // missing field
+	}
+	for _, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("trace %q accepted", in)
+		}
+	}
+}
+
+func TestTraceOfProfileIsReplayable(t *testing.T) {
+	// Record a synthetic profile, replay it, and check the streams agree.
+	p := testProfile()
+	p.InstrPerProc = 3000
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, p.Streams(2)); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := p.Streams(2)
+	back := replay.Streams(2)
+	for proc := 0; proc < 2; proc++ {
+		for i := 0; ; i++ {
+			a, okA := orig[proc].Next()
+			b, okB := back[proc].Next()
+			if okA != okB {
+				t.Fatalf("proc %d lengths differ at %d", proc, i)
+			}
+			if !okA {
+				break
+			}
+			if a != b {
+				t.Fatalf("proc %d op %d: %+v != %+v", proc, i, a, b)
+			}
+		}
+	}
+}
+
+// Property: any op list survives a write/read cycle.
+func TestPropertyTraceRoundTrip(t *testing.T) {
+	f := func(raw []struct {
+		Addr  uint32
+		Gap   uint8
+		Store bool
+	}) bool {
+		var ops []Op
+		for _, r := range raw {
+			kind := OpLoad
+			if r.Store {
+				kind = OpStore
+			}
+			ops = append(ops, Op{Kind: kind, Addr: arch.Addr(r.Addr), Gap: int(r.Gap)})
+		}
+		d := Directed{Title: "q", PerProc: [][]Op{ops}}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, d.Streams(1)); err != nil {
+			return false
+		}
+		back, err := ReadTrace(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back.PerProc[0]) != len(ops) {
+			return false
+		}
+		for i := range ops {
+			if back.PerProc[0][i] != ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

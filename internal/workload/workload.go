@@ -1,0 +1,369 @@
+// Package workload generates the memory-operation traces the processors
+// execute. The paper evaluates ReVive on the 12 SPLASH-2 applications
+// (Table 4); the binaries themselves are not reproducible here, so each
+// application is modeled by a synthetic profile calibrated to the
+// characteristics that the paper shows govern ReVive's overheads (section
+// 5): the global L2 miss rate (write-back rate drives parity traffic), the
+// write fraction and working-set dirtiness (drives checkpoint flush cost
+// and log size), and the degree of sharing (drives coherence traffic).
+package workload
+
+import (
+	"revive/internal/arch"
+	"revive/internal/sim"
+)
+
+// OpKind distinguishes trace operations.
+type OpKind uint8
+
+const (
+	// OpLoad is a read; the processor blocks until it completes.
+	OpLoad OpKind = iota
+	// OpStore is a write; it retires through the store buffer.
+	OpStore
+)
+
+// Op is one trace operation: Gap instructions of pure compute followed by
+// one memory reference.
+type Op struct {
+	Kind OpKind
+	Addr arch.Addr
+	Gap  int
+}
+
+// Stream is one processor's operation trace. Streams must be deterministic
+// and restartable: Snapshot captures the position (and generator state) at
+// a checkpoint, Restore rewinds to it — the "execution context" that
+// rollback recovery re-executes from.
+type Stream interface {
+	Next() (Op, bool)
+	Snapshot() any
+	Restore(snap any)
+}
+
+// Workload builds one stream per processor.
+type Workload interface {
+	Name() string
+	Streams(procs int) []Stream
+}
+
+// --- directed stream (tests and examples) ---
+
+// Explicit is a fixed list of operations.
+type Explicit struct {
+	Ops []Op
+	pos int
+}
+
+// NewExplicit wraps a fixed op list as a Stream.
+func NewExplicit(ops []Op) *Explicit { return &Explicit{Ops: ops} }
+
+// Next returns the next operation.
+func (e *Explicit) Next() (Op, bool) {
+	if e.pos >= len(e.Ops) {
+		return Op{}, false
+	}
+	op := e.Ops[e.pos]
+	e.pos++
+	return op, true
+}
+
+// Snapshot returns the current position.
+func (e *Explicit) Snapshot() any { return e.pos }
+
+// Restore rewinds to a snapshot taken earlier.
+func (e *Explicit) Restore(snap any) { e.pos = snap.(int) }
+
+// --- synthetic profile stream ---
+
+// Address-space layout for synthetic streams: each processor owns a private
+// region; one shared region is touched by everybody. Page numbers are
+// chosen so regions never collide.
+const (
+	privateRegionPages = 1 << 20 // per-proc private page window
+	sharedRegionBase   = 1 << 28 // shared region page base
+)
+
+// Profile parameterizes one synthetic application. All probabilities are
+// per memory reference.
+type Profile struct {
+	// Label is the profile's display name (Table 4 application name).
+	Label string
+
+	// InstrPerProc is the per-processor instruction budget.
+	InstrPerProc uint64
+	// MemOpsPer1000 is memory references per 1000 instructions.
+	MemOpsPer1000 int
+
+	// HotLines is the per-proc private hot working set (cache resident).
+	HotLines int
+	// HotWriteFrac is the store fraction of hot accesses — it controls
+	// how dirty the caches are at checkpoint time (Table 2).
+	HotWriteFrac float64
+	// HotWriteLines, when nonzero, confines hot-region stores to the
+	// first HotWriteLines lines: a read-mostly working set keeps only a
+	// small dirty footprint regardless of run length (Table 2's
+	// "fits in L2, mostly clean" row).
+	HotWriteLines int
+
+	// ColdFrac is the probability a private access goes to the cold
+	// region, whose footprint (ColdLines) far exceeds the L2: each cold
+	// access is effectively an L2 miss. It is the main miss-rate dial.
+	ColdFrac  float64
+	ColdLines int
+	// ColdWriteFrac is the store fraction of cold accesses — cold writes
+	// are what fill the log (every miss-dirty line is a new logged line).
+	ColdWriteFrac float64
+	// ColdSeq makes cold accesses sweep sequentially (FFT/Ocean
+	// streaming) rather than scatter randomly (Radix permutation).
+	ColdSeq bool
+
+	// SharedFrac is the probability of an access to the shared region.
+	SharedFrac float64
+	// SharedLines is the shared region's size.
+	SharedLines int
+	// SharedWriteFrac is the store fraction of shared accesses
+	// (read-mostly scene data vs migratory counters).
+	SharedWriteFrac float64
+}
+
+// Streams builds one deterministic stream per processor.
+func (p Profile) Streams(procs int) []Stream {
+	out := make([]Stream, procs)
+	for i := 0; i < procs; i++ {
+		out[i] = newProfileStream(p, i)
+	}
+	return out
+}
+
+// Name returns the profile's display name.
+func (p Profile) Name() string { return p.Label }
+
+// profileStream generates one processor's trace.
+type profileStream struct {
+	p      Profile
+	proc   int
+	rng    *sim.Rand
+	issued uint64 // instructions issued so far
+	coldPt int    // sequential cold-sweep cursor
+}
+
+// profileSnap captures a stream's restartable state.
+type profileSnap struct {
+	rngState sim.Rand
+	issued   uint64
+	coldPt   int
+}
+
+func newProfileStream(p Profile, proc int) *profileStream {
+	return &profileStream{
+		p:    p,
+		proc: proc,
+		rng:  sim.NewRand(uint64(proc)*0x9E3779B97F4A7C15 + 12345),
+	}
+}
+
+func (s *profileStream) Snapshot() any {
+	return profileSnap{rngState: *s.rng, issued: s.issued, coldPt: s.coldPt}
+}
+
+func (s *profileStream) Restore(snap any) {
+	ps := snap.(profileSnap)
+	*s.rng = ps.rngState
+	s.issued = ps.issued
+	s.coldPt = ps.coldPt
+}
+
+// privateAddr builds an address in this proc's private window.
+func (s *profileStream) privateAddr(line int) arch.Addr {
+	base := arch.Addr(1+s.proc) * privateRegionPages * arch.PageBytes
+	return base + arch.Addr(line)*arch.LineBytes
+}
+
+func sharedAddr(line int) arch.Addr {
+	return sharedRegionBase*arch.PageBytes + arch.Addr(line)*arch.LineBytes
+}
+
+// Next draws the next operation from the profile's distributions.
+func (s *profileStream) Next() (Op, bool) {
+	if s.issued >= s.p.InstrPerProc {
+		return Op{}, false
+	}
+	// Instructions between memory references: mean 1000/MemOpsPer1000,
+	// drawn uniformly from [0, 2*mean) for jitter.
+	mean := 1000 / s.p.MemOpsPer1000
+	gap := 0
+	if mean > 0 {
+		gap = s.rng.Intn(2 * mean)
+	}
+	s.issued += uint64(gap) + 1
+
+	var addr arch.Addr
+	var write bool
+	switch {
+	case s.rng.Bool(s.p.SharedFrac):
+		addr = sharedAddr(s.rng.Intn(s.p.SharedLines))
+		write = s.rng.Bool(s.p.SharedWriteFrac)
+	case s.rng.Bool(s.p.ColdFrac):
+		var line int
+		if s.p.ColdSeq {
+			line = s.coldPt % s.p.ColdLines
+			s.coldPt++
+		} else {
+			line = s.rng.Intn(s.p.ColdLines)
+		}
+		// Cold region sits above the hot lines in the private window.
+		addr = s.privateAddr(s.p.HotLines + line)
+		write = s.rng.Bool(s.p.ColdWriteFrac)
+	default:
+		line := s.rng.Intn(s.p.HotLines)
+		write = s.rng.Bool(s.p.HotWriteFrac)
+		if write && s.p.HotWriteLines > 0 {
+			line %= s.p.HotWriteLines
+		}
+		addr = s.privateAddr(line)
+	}
+	kind := OpLoad
+	if write {
+		kind = OpStore
+	}
+	return Op{Kind: kind, Addr: addr, Gap: gap}, true
+}
+
+// Directed is a Workload built from explicit per-processor op lists; tests
+// and directed experiments use it. Processors beyond the provided lists
+// get empty streams.
+type Directed struct {
+	Title   string
+	PerProc [][]Op
+}
+
+// Name returns the workload title.
+func (d Directed) Name() string { return d.Title }
+
+// Streams implements Workload.
+func (d Directed) Streams(procs int) []Stream {
+	out := make([]Stream, procs)
+	for i := range out {
+		if i < len(d.PerProc) {
+			out[i] = NewExplicit(d.PerProc[i])
+		} else {
+			out[i] = NewExplicit(nil)
+		}
+	}
+	return out
+}
+
+// --- phased workloads ---
+
+// Phase is one stage of a phased workload: a profile shape executed for a
+// fraction of the total instruction budget. Real SPLASH-2 applications are
+// phase-structured (Radix alternates histogram and permutation phases; FFT
+// interleaves compute with all-to-all transposes), and phases are what
+// make checkpoint cost time-varying: a checkpoint landing in a write-heavy
+// phase flushes far more than one landing in a read phase.
+type Phase struct {
+	// Weight is the phase's share of the instruction budget (relative
+	// to the sum of all weights).
+	Weight int
+	// Shape carries the access-pattern parameters; its InstrPerProc is
+	// ignored (the enclosing Phased sets budgets).
+	Shape Profile
+}
+
+// Phased runs its phases in order, cycling if Repeat > 1.
+type Phased struct {
+	Label        string
+	InstrPerProc uint64
+	Repeat       int // number of times the phase list cycles (default 1)
+	Phases       []Phase
+}
+
+// Name returns the workload's display name.
+func (p Phased) Name() string { return p.Label }
+
+// Streams builds one deterministic phased stream per processor.
+func (p Phased) Streams(procs int) []Stream {
+	out := make([]Stream, procs)
+	for i := 0; i < procs; i++ {
+		out[i] = newPhasedStream(p, i)
+	}
+	return out
+}
+
+type phasedStream struct {
+	plan   []*profileStream // one sub-stream per phase instance, in order
+	bounds []uint64         // cumulative instruction budget per sub-stream
+	cur    int
+	issued uint64
+}
+
+type phasedSnap struct {
+	subs   []profileSnap
+	cur    int
+	issued uint64
+}
+
+func newPhasedStream(p Phased, proc int) *phasedStream {
+	repeat := p.Repeat
+	if repeat < 1 {
+		repeat = 1
+	}
+	total := 0
+	for _, ph := range p.Phases {
+		total += ph.Weight
+	}
+	if total == 0 || len(p.Phases) == 0 {
+		panic("workload: phased workload without weighted phases")
+	}
+	s := &phasedStream{}
+	var acc uint64
+	for r := 0; r < repeat; r++ {
+		for pi, ph := range p.Phases {
+			shape := ph.Shape
+			budget := p.InstrPerProc * uint64(ph.Weight) / uint64(total*repeat)
+			shape.InstrPerProc = budget
+			acc += budget
+			sub := newProfileStream(shape, proc)
+			// Decorrelate the phase's stream from its siblings.
+			sub.rng = sim.NewRand(uint64(proc)*0x9E3779B97F4A7C15 +
+				uint64(r*len(p.Phases)+pi)*0xBF58476D1CE4E5B9 + 7)
+			s.plan = append(s.plan, sub)
+			s.bounds = append(s.bounds, acc)
+		}
+	}
+	return s
+}
+
+// Next draws from the current phase, advancing to the next when its budget
+// is spent.
+func (s *phasedStream) Next() (Op, bool) {
+	for s.cur < len(s.plan) {
+		op, ok := s.plan[s.cur].Next()
+		if ok {
+			s.issued += uint64(op.Gap) + 1
+			return op, true
+		}
+		s.cur++
+	}
+	return Op{}, false
+}
+
+// Snapshot captures the positions of every sub-stream.
+func (s *phasedStream) Snapshot() any {
+	snap := phasedSnap{cur: s.cur, issued: s.issued}
+	for _, sub := range s.plan {
+		snap.subs = append(snap.subs, sub.Snapshot().(profileSnap))
+	}
+	return snap
+}
+
+// Restore rewinds all sub-streams.
+func (s *phasedStream) Restore(in any) {
+	snap := in.(phasedSnap)
+	s.cur = snap.cur
+	s.issued = snap.issued
+	for i, sub := range s.plan {
+		sub.Restore(snap.subs[i])
+	}
+}

@@ -1,0 +1,355 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"revive/internal/arch"
+)
+
+func TestExplicitStream(t *testing.T) {
+	ops := []Op{
+		{Kind: OpLoad, Addr: 0x1000, Gap: 3},
+		{Kind: OpStore, Addr: 0x2000, Gap: 1},
+	}
+	s := NewExplicit(ops)
+	for i := range ops {
+		op, ok := s.Next()
+		if !ok || op != ops[i] {
+			t.Fatalf("op %d = %+v, %v", i, op, ok)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream did not end")
+	}
+}
+
+func TestExplicitSnapshotRestore(t *testing.T) {
+	s := NewExplicit([]Op{{Addr: 1}, {Addr: 2}, {Addr: 3}})
+	s.Next()
+	snap := s.Snapshot()
+	a, _ := s.Next()
+	s.Restore(snap)
+	b, _ := s.Next()
+	if a != b {
+		t.Fatal("restore did not rewind")
+	}
+}
+
+func TestDirectedWorkload(t *testing.T) {
+	d := Directed{Title: "t", PerProc: [][]Op{{{Addr: 1}}}}
+	streams := d.Streams(4)
+	if len(streams) != 4 {
+		t.Fatalf("streams = %d, want 4", len(streams))
+	}
+	if _, ok := streams[0].Next(); !ok {
+		t.Fatal("first stream empty")
+	}
+	if _, ok := streams[1].Next(); ok {
+		t.Fatal("padding stream not empty")
+	}
+}
+
+func testProfile() Profile {
+	return Profile{
+		Label: "t", InstrPerProc: 50000, MemOpsPer1000: 300,
+		HotLines: 100, HotWriteFrac: 0.3,
+		ColdFrac: 0.01, ColdLines: 10000, ColdWriteFrac: 0.5,
+		SharedFrac: 0.02, SharedLines: 256, SharedWriteFrac: 0.1,
+	}
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	a := newProfileStream(testProfile(), 3)
+	b := newProfileStream(testProfile(), 3)
+	for i := 0; i < 5000; i++ {
+		opA, okA := a.Next()
+		opB, okB := b.Next()
+		if opA != opB || okA != okB {
+			t.Fatalf("streams diverged at op %d", i)
+		}
+		if !okA {
+			break
+		}
+	}
+}
+
+func TestProfileProcsDiffer(t *testing.T) {
+	a := newProfileStream(testProfile(), 0)
+	b := newProfileStream(testProfile(), 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		opA, _ := a.Next()
+		opB, _ := b.Next()
+		if opA.Addr == opB.Addr {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Fatalf("%d/100 identical addresses across procs", same)
+	}
+}
+
+func TestProfileInstructionBudget(t *testing.T) {
+	p := testProfile()
+	s := newProfileStream(p, 0)
+	var instr uint64
+	for {
+		op, ok := s.Next()
+		if !ok {
+			break
+		}
+		instr += uint64(op.Gap) + 1
+	}
+	if instr < p.InstrPerProc || instr > p.InstrPerProc+1000 {
+		t.Fatalf("issued %d instructions, budget %d", instr, p.InstrPerProc)
+	}
+}
+
+func TestProfileSnapshotRestoreReplaysExactly(t *testing.T) {
+	s := newProfileStream(testProfile(), 2)
+	for i := 0; i < 100; i++ {
+		s.Next()
+	}
+	snap := s.Snapshot()
+	var first []Op
+	for i := 0; i < 50; i++ {
+		op, _ := s.Next()
+		first = append(first, op)
+	}
+	s.Restore(snap)
+	for i := 0; i < 50; i++ {
+		op, _ := s.Next()
+		if op != first[i] {
+			t.Fatalf("replay diverged at op %d", i)
+		}
+	}
+}
+
+func TestProfileWriteFraction(t *testing.T) {
+	p := testProfile()
+	p.HotWriteFrac = 0.5
+	p.ColdFrac, p.SharedFrac = 0, 0
+	s := newProfileStream(p, 0)
+	stores := 0
+	n := 0
+	for {
+		op, ok := s.Next()
+		if !ok {
+			break
+		}
+		n++
+		if op.Kind == OpStore {
+			stores++
+		}
+	}
+	frac := float64(stores) / float64(n)
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("store fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestProfileRegionsDisjoint(t *testing.T) {
+	// Private windows of different procs and the shared region must not
+	// overlap in page space.
+	p := testProfile()
+	pages := map[arch.PageNum]int{} // page -> owner proc (or -1 shared)
+	for proc := 0; proc < 16; proc++ {
+		s := newProfileStream(p, proc)
+		for i := 0; i < 2000; i++ {
+			op, ok := s.Next()
+			if !ok {
+				break
+			}
+			pg := op.Addr.Page()
+			owner := proc
+			if uint64(op.Addr) >= sharedRegionBase*arch.PageBytes {
+				owner = -1
+			}
+			if prev, seen := pages[pg]; seen && prev != owner {
+				t.Fatalf("page %d accessed by both %d and %d", pg, prev, owner)
+			}
+			pages[pg] = owner
+		}
+	}
+}
+
+func TestSplash2HasTwelveApps(t *testing.T) {
+	apps := Splash2(100, 16)
+	if len(apps) != 12 {
+		t.Fatalf("apps = %d, want 12", len(apps))
+	}
+	names := map[string]bool{}
+	for _, a := range apps {
+		if names[a.Label] {
+			t.Fatalf("duplicate app %s", a.Label)
+		}
+		names[a.Label] = true
+		if a.InstrPerProc == 0 || a.MemOpsPer1000 == 0 || a.HotLines == 0 {
+			t.Fatalf("%s has zero parameters", a.Label)
+		}
+		if a.PaperInstrM == 0 {
+			t.Fatalf("%s missing paper reference", a.Label)
+		}
+	}
+	for _, want := range []string{"Barnes", "FFT", "Ocean", "Radix", "Water-Sp"} {
+		if !names[want] {
+			t.Fatalf("missing application %s", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("Radix", 100, 16); !ok {
+		t.Fatal("Radix not found")
+	}
+	if _, ok := ByName("NoSuchApp", 100, 16); ok {
+		t.Fatal("found a nonexistent app")
+	}
+}
+
+func TestScaledFloor(t *testing.T) {
+	// Radix at scale 100 would be ~116K instructions/proc; the floor
+	// guarantees multiple checkpoint intervals.
+	a, _ := ByName("Radix", 100, 16)
+	if a.InstrPerProc < 1_000_000 {
+		t.Fatalf("Radix budget %d below floor", a.InstrPerProc)
+	}
+}
+
+// Property: every generated op is well-formed — non-negative gap, and the
+// address falls in the proc's private window or the shared region.
+func TestPropertyOpsWellFormed(t *testing.T) {
+	f := func(procRaw uint8, seed uint16) bool {
+		proc := int(procRaw % 16)
+		p := testProfile()
+		p.InstrPerProc = 5000
+		s := newProfileStream(p, proc)
+		lo := arch.Addr(1+proc) * privateRegionPages * arch.PageBytes
+		hi := lo + privateRegionPages*arch.PageBytes
+		for {
+			op, ok := s.Next()
+			if !ok {
+				return true
+			}
+			if op.Gap < 0 {
+				return false
+			}
+			private := op.Addr >= lo && op.Addr < hi
+			shared := uint64(op.Addr) >= sharedRegionBase*arch.PageBytes
+			if !private && !shared {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func phasedFixture() Phased {
+	readPhase := testProfile()
+	readPhase.HotWriteFrac = 0.02
+	writePhase := testProfile()
+	writePhase.HotWriteFrac = 0.8
+	return Phased{
+		Label: "two-phase", InstrPerProc: 40000, Repeat: 2,
+		Phases: []Phase{
+			{Weight: 1, Shape: readPhase},
+			{Weight: 1, Shape: writePhase},
+		},
+	}
+}
+
+func TestPhasedBudgetSplit(t *testing.T) {
+	p := phasedFixture()
+	s := p.Streams(1)[0].(*phasedStream)
+	if len(s.plan) != 4 { // 2 phases x 2 repeats
+		t.Fatalf("plan = %d sub-streams, want 4", len(s.plan))
+	}
+	var total uint64
+	for {
+		op, ok := s.Next()
+		if !ok {
+			break
+		}
+		total += uint64(op.Gap) + 1
+	}
+	// Each sub-stream may overshoot its budget by at most one op's gap.
+	if total < p.InstrPerProc-4000 || total > p.InstrPerProc+4000 {
+		t.Fatalf("issued %d instructions, budget %d", total, p.InstrPerProc)
+	}
+}
+
+func TestPhasedPhasesDiffer(t *testing.T) {
+	p := phasedFixture()
+	s := p.Streams(1)[0].(*phasedStream)
+	countWrites := func(sub *profileStream) float64 {
+		w, n := 0, 0
+		for {
+			op, ok := sub.Next()
+			if !ok {
+				break
+			}
+			n++
+			if op.Kind == OpStore {
+				w++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return float64(w) / float64(n)
+	}
+	read := countWrites(s.plan[0])
+	write := countWrites(s.plan[1])
+	if write < read+0.3 {
+		t.Fatalf("write-phase store fraction %v not above read-phase %v", write, read)
+	}
+}
+
+func TestPhasedSnapshotRestore(t *testing.T) {
+	p := phasedFixture()
+	s := p.Streams(2)[1]
+	for i := 0; i < 500; i++ {
+		s.Next()
+	}
+	snap := s.Snapshot()
+	var first []Op
+	for i := 0; i < 300; i++ {
+		op, _ := s.Next()
+		first = append(first, op)
+	}
+	s.Restore(snap)
+	for i := 0; i < 300; i++ {
+		op, _ := s.Next()
+		if op != first[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}
+
+func TestPhasedDeterministicAcrossBuilds(t *testing.T) {
+	p := phasedFixture()
+	a := p.Streams(3)[2]
+	b := p.Streams(3)[2]
+	for i := 0; i < 2000; i++ {
+		opA, okA := a.Next()
+		opB, okB := b.Next()
+		if opA != opB || okA != okB {
+			t.Fatalf("diverged at %d", i)
+		}
+		if !okA {
+			break
+		}
+	}
+}
+
+func TestPhasedNoPhasesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty phase list did not panic")
+		}
+	}()
+	Phased{Label: "empty", InstrPerProc: 100}.Streams(1)
+}
