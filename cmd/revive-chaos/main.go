@@ -1,0 +1,101 @@
+// Revive-chaos runs randomized fault campaigns against the ReVive machine
+// model: each campaign generates a fault schedule from a seed (node losses,
+// transients, multi-loss, double faults; injected at random times, protocol
+// steps, mid-commit or mid-recovery), executes it, recovers, and checks the
+// invariant registry at every quiescent point. Failing schedules are shrunk
+// to a minimal reproducer and written as a replayable JSON artifact.
+//
+//	revive-chaos -campaigns 200 -seed 42          # the standing campaign
+//	revive-chaos -campaigns 10 -bug data-before-log -out fail.json
+//	revive-chaos -replay fail.json                # re-execute a reproducer
+//
+// Exit status is 0 when every campaign holds all invariants, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"revive/internal/chaos"
+)
+
+func main() {
+	campaigns := flag.Int("campaigns", 50, "number of fault campaigns to run")
+	seed := flag.Uint64("seed", 1, "master seed (campaign schedules derive from it)")
+	bug := flag.String("bug", "", "run a deliberately broken build (\"data-before-log\") to validate the harness")
+	budget := flag.Int("shrink-budget", 48, "re-executions allowed when minimizing a failing schedule")
+	out := flag.String("out", "", "write failing campaigns' artifacts to this JSON file")
+	replay := flag.String("replay", "", "re-execute the schedule or artifact in this JSON file and exit")
+	verbose := flag.Bool("v", false, "log every campaign")
+	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(replayFile(*replay))
+	}
+	if *bug != "" && *bug != chaos.BugDataBeforeLog {
+		fmt.Fprintf(os.Stderr, "unknown -bug %q (known: %q)\n", *bug, chaos.BugDataBeforeLog)
+		os.Exit(2)
+	}
+
+	opts := chaos.Options{Campaigns: *campaigns, Seed: *seed, Bug: *bug, ShrinkBudget: *budget}
+	if *verbose {
+		opts.Log = func(f string, a ...any) { fmt.Printf(f+"\n", a...) }
+	}
+	sum := chaos.Run(opts)
+	fmt.Println(sum.Counters.String())
+
+	if len(sum.Failures) == 0 {
+		fmt.Println("all campaigns held every invariant")
+		return
+	}
+	for _, f := range sum.Failures {
+		fmt.Printf("FAIL seed %#016x: %v\n", f.CampaignSeed, f.Outcome.Violations[0])
+		fmt.Printf("  minimal reproducer: %d fault(s), %d instr (shrunk in %d runs)\n",
+			len(f.Artifact.Shrunk.Faults), f.Artifact.Shrunk.Instr, f.Artifact.ShrinkRuns)
+	}
+	if *out != "" {
+		blob, err := json.MarshalIndent(sum.Failures, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, blob, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "writing artifacts:", err)
+		} else {
+			fmt.Printf("wrote %d artifact(s) to %s (re-run with -replay)\n", len(sum.Failures), *out)
+		}
+	}
+	os.Exit(1)
+}
+
+// replayFile re-executes a minimal reproducer. The file may hold a single
+// artifact, a bare schedule, or the artifact list -out writes (the first
+// entry replays).
+func replayFile(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var failures []chaos.Failure
+	if json.Unmarshal(data, &failures) == nil && len(failures) > 0 && failures[0].Artifact.Shrunk.Nodes != 0 {
+		data, _ = json.Marshal(failures[0].Artifact)
+	}
+	s, err := chaos.LoadArtifact(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("replaying: %d node(s), group size %d, %d instr, bug=%q, %d fault(s)\n",
+		s.Nodes, s.GroupSize, s.Instr, s.Bug, len(s.Faults))
+	out := chaos.RunSchedule(s)
+	blob, _ := json.MarshalIndent(out, "", "  ")
+	fmt.Println(string(blob))
+	if out.Failed() {
+		fmt.Printf("reproduced %d violation(s)\n", len(out.Violations))
+		return 1
+	}
+	fmt.Println("schedule ran clean")
+	return 0
+}

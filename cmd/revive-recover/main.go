@@ -57,16 +57,21 @@ func main() {
 	m.Engine.RunUntil(commit2 + m.Cfg.Checkpoint.Interval*8/10)
 
 	var rep revive.Report
+	var err error
 	if *transient {
 		fmt.Printf("injecting system-wide transient error at %.1f us\n",
 			float64(m.Engine.Now())/1000)
 		m.InjectTransient()
-		rep = m.Recover(-1, 1)
+		rep, err = m.Recover(-1, 1)
 	} else {
 		fmt.Printf("injecting permanent loss of node %d at %.1f us\n",
 			*lose, float64(m.Engine.Now())/1000)
 		m.InjectNodeLoss(revive.NodeID(*lose))
-		rep = m.Recover(revive.NodeID(*lose), 1)
+		rep, err = m.Recover(revive.NodeID(*lose), 1)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "RECOVERY FAILED: %v\n", err)
+		os.Exit(1)
 	}
 
 	revive.WriteFigure7(os.Stdout, rep, m.Cfg.Checkpoint.Interval,

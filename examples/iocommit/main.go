@@ -52,7 +52,10 @@ func main() {
 		float64(nic.MaxOutputDelay())/1000, float64(m.Cfg.Checkpoint.Interval)/1000)
 
 	m.InjectNodeLoss(3)
-	rep := m.Recover(3, 2)
+	rep, err := m.Recover(3, 2)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("\n=== After node loss and rollback to checkpoint 2 ===")
 	fmt.Printf("released packets:   %d (unchanged — the world never sees a retraction)\n",

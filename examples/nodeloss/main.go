@@ -41,7 +41,10 @@ func main() {
 	// Recover to checkpoint 1 — the second most recent, as in the
 	// paper's experiment (the error may predate checkpoint 2's commit
 	// by up to the detection latency).
-	rep := m.Recover(5, 1)
+	rep, err := m.Recover(5, 1)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("\n=== Recovery (Figure 7 time-line) ===")
 	fmt.Printf("phase 1  hardware recovery:            %10.1f us\n", float64(rep.Phase1)/1000)
 	fmt.Printf("phase 2  rebuild lost log (%3d pages): %10.1f us\n",

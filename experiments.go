@@ -252,12 +252,18 @@ func runOneRecovery(o Options, app App, loseNode bool) Report {
 		panic("revive: run too short for the recovery study")
 	}
 	m.Engine.RunUntil(commit2 + m.Cfg.Checkpoint.Interval*8/10)
+	lost := NodeID(-1)
 	if loseNode {
-		m.InjectNodeLoss(5)
-		return m.Recover(5, 1)
+		lost = 5
+		m.InjectNodeLoss(lost)
+	} else {
+		m.InjectTransient()
 	}
-	m.InjectTransient()
-	return m.Recover(-1, 1)
+	rep, err := m.Recover(lost, 1)
+	if err != nil {
+		panic(fmt.Sprintf("revive: recovery study failed: %v", err))
+	}
+	return rep
 }
 
 // WriteFigure12 renders the recovery-time breakdown (Phases 2+3, the

@@ -1,0 +1,348 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"revive/internal/arch"
+	"revive/internal/core"
+	"revive/internal/machine"
+	"revive/internal/sim"
+	"revive/internal/workload"
+)
+
+// BugDataBeforeLog names the deliberately broken build used to validate the
+// campaign engine itself: controllers write data before logging it (see
+// core.Controller.BugDataBeforeLog). A campaign whose fault forces a
+// rollback of any line written under the bug must fail the byte-exact
+// oracle.
+const BugDataBeforeLog = "data-before-log"
+
+// interval is the campaign checkpoint interval: short, so every run crosses
+// several two-phase commits.
+const interval = 40 * sim.Microsecond
+
+// armEpoch is the committed checkpoint at which fault triggers arm; by then
+// the retention window is fully populated.
+const armEpoch = 2
+
+// Violation is one invariant failure, tagged with the campaign phase where
+// it was observed.
+type Violation struct {
+	Phase     string `json:"phase"`     // e.g. "commit-3", "post-recovery", "final"
+	Invariant string `json:"invariant"` // registry name, "byte-exact", "watchdog", ...
+	Detail    string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s: %s", v.Phase, v.Invariant, v.Detail)
+}
+
+// Outcome is the full result of running one schedule.
+type Outcome struct {
+	Schedule Schedule `json:"schedule"`
+
+	Injected    bool   `json:"injected"`
+	NoFault     bool   `json:"no_fault"` // trigger never fired before completion
+	ArmedAt     int64  `json:"armed_at_ns,omitempty"`
+	FiredAt     int64  `json:"fired_at_ns,omitempty"`
+	FiredNode   int    `json:"fired_node"` // node whose controller fired a step trigger; -1 otherwise
+	Target      uint64 `json:"target,omitempty"` // rollback target epoch
+	Lost        []int  `json:"lost,omitempty"`   // every node ever lost
+	SecondFired bool   `json:"second_fired,omitempty"`
+
+	Unrecoverable bool `json:"unrecoverable,omitempty"` // typed refusal (expected for beyond-model damage)
+	Recovered     bool `json:"recovered,omitempty"`
+	Completed     bool `json:"completed,omitempty"`
+
+	Checks     int         `json:"checks"`
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// Failed reports whether the run violated any invariant.
+func (o *Outcome) Failed() bool { return len(o.Violations) > 0 }
+
+func (o *Outcome) violate(phase, invariant, detail string) {
+	o.Violations = append(o.Violations, Violation{Phase: phase, Invariant: invariant, Detail: detail})
+}
+
+// Invariant is one named machine-wide consistency check.
+type Invariant struct {
+	Name  string
+	Check func(*machine.Machine) error
+}
+
+// Registry returns the standing invariant set evaluated at every quiescent
+// point of a campaign: after each checkpoint commit, after recovery, and
+// after the resumed workload completes.
+func Registry() []Invariant {
+	return []Invariant{
+		{"parity", (*machine.Machine).VerifyParity},
+		{"log-markers", (*machine.Machine).VerifyLog},
+		{"lbits", (*machine.Machine).VerifyLBits},
+		{"coherence", (*machine.Machine).VerifyCoherence},
+	}
+}
+
+// checkQuiescent evaluates the registry at a quiescent point.
+func (o *Outcome) checkQuiescent(m *machine.Machine, phase string) {
+	for _, inv := range Registry() {
+		o.Checks++
+		if err := inv.Check(m); err != nil {
+			o.violate(phase, inv.Name, err.Error())
+		}
+	}
+}
+
+// buildMachine assembles the campaign machine: the paper's per-node timing
+// with the schedule's size, fast checkpoints and Verify snapshots (the
+// byte-exact oracle needs them).
+func buildMachine(s Schedule) *machine.Machine {
+	cfg := machine.Default(100)
+	cfg.Nodes = s.Nodes
+	cfg.GroupSize = s.GroupSize
+	cfg.Checkpoint.Interval = interval
+	cfg.Checkpoint.InterruptCost = 500
+	cfg.Checkpoint.BarrierCost = 1000
+	cfg.Checkpoint.Retain = s.Retain
+	cfg.Verify = true
+	m := machine.New(cfg)
+	if s.Bug == BugDataBeforeLog {
+		for _, ctrl := range m.Ctrls {
+			ctrl.BugDataBeforeLog = true
+		}
+	}
+	return m
+}
+
+// profile derives the workload from the schedule seed: miss rate, dirtiness
+// and sharing vary per campaign so the fault space is explored over many
+// in-flight configurations.
+func profile(s Schedule) workload.Profile {
+	rng := sim.NewRand(s.Seed ^ 0xC0FFEE)
+	return workload.Profile{
+		Label:           "chaos",
+		InstrPerProc:    s.Instr,
+		MemOpsPer1000:   250 + rng.Intn(101),
+		HotLines:        200 + rng.Intn(201),
+		HotWriteFrac:    0.3 + 0.2*rng.Float64(),
+		ColdFrac:        0.005 + 0.01*rng.Float64(),
+		ColdLines:       4096 + rng.Intn(3)*2048,
+		ColdWriteFrac:   0.4 + 0.2*rng.Float64(),
+		ColdSeq:         rng.Bool(0.3),
+		SharedFrac:      0.01 + 0.02*rng.Float64(),
+		SharedLines:     1024,
+		SharedWriteFrac: 0.1 + 0.2*rng.Float64(),
+	}
+}
+
+// eventBudget bounds each guarded run segment; healthy runs finish far
+// below it, so exhausting it means livelock.
+func eventBudget(s Schedule) uint64 {
+	return s.Instr*uint64(s.Nodes)*500 + 10_000_000
+}
+
+// beyondModel reports whether the cumulative lost set exceeds ReVive's
+// fault model: more than one loss in any parity group (section 3.1.2).
+func beyondModel(s Schedule, lost []int) bool {
+	perGroup := map[int]int{}
+	for _, n := range lost {
+		perGroup[n/s.GroupSize]++
+		if perGroup[n/s.GroupSize] > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// RunSchedule executes one schedule on a fresh machine and returns its
+// outcome. The run is fully deterministic: the same schedule always yields
+// the same outcome (shrinking and replay depend on this).
+func RunSchedule(s Schedule) *Outcome {
+	o := &Outcome{Schedule: s, FiredNode: -1}
+	if err := s.Validate(); err != nil {
+		o.violate("schedule", "validate", err.Error())
+		return o
+	}
+	m := buildMachine(s)
+	m.Load(profile(s))
+
+	var committed uint64
+	m.OnCheckpoint = func(e uint64) {
+		committed = e
+		o.checkQuiescent(m, fmt.Sprintf("commit-%d", e))
+	}
+	m.Start()
+	budget := eventBudget(s)
+
+	// Run to the arming point: checkpoint armEpoch committed.
+	if err := m.Engine.RunGuarded(budget, func() bool { return committed >= armEpoch || m.Done() }); err != nil {
+		o.violate("pre-arm", "watchdog", err.Error())
+		return o
+	}
+	o.ArmedAt = int64(m.Engine.Now())
+	if len(s.Faults) == 0 || (m.Done() && committed < armEpoch) {
+		o.NoFault = true
+		o.finish(m, budget)
+		return o
+	}
+
+	// Arm the primary fault's trigger.
+	f := s.Faults[0]
+	fired := false
+	firedNode := arch.NodeID(-1)
+	fire := func(node arch.NodeID) {
+		fired = true
+		firedNode = node
+		o.FiredNode = int(node)
+		o.Injected = true
+		o.FiredAt = int64(m.Engine.Now())
+		o.Target = m.Ckpt.Epoch()
+		m.Freeze()
+	}
+	switch f.Trigger {
+	case AtTime:
+		m.Engine.RunUntil(sim.Time(o.ArmedAt + f.DelayNS))
+		if !m.Done() {
+			fire(-1)
+		}
+	case AtStep, AtCommit:
+		want := core.StepLogMarkerParityApplied // AtCommit: a checkpoint marker's parity application
+		if f.Trigger == AtStep {
+			want, _ = core.ParseStep(f.Step)
+		}
+		skip := f.Skip
+		for _, ctrl := range m.Ctrls {
+			ctrl := ctrl
+			ctrl.StepHook = func(st core.Step, line arch.LineAddr) {
+				if fired || st != want {
+					return
+				}
+				if f.Trigger == AtCommit && line != 0 {
+					return // marker entries log with line 0
+				}
+				if skip > 0 {
+					skip--
+					return
+				}
+				fire(ctrl.Node())
+			}
+		}
+		err := m.Engine.RunGuarded(budget, func() bool { return fired || m.Done() })
+		for _, ctrl := range m.Ctrls {
+			ctrl.StepHook = nil
+		}
+		if err != nil {
+			o.violate("armed", "watchdog", err.Error())
+			return o
+		}
+	}
+	if !fired {
+		o.NoFault = true
+		o.finish(m, budget)
+		return o
+	}
+
+	// The machine is frozen; apply the fault's memory damage.
+	if f.Kind == NodeLoss {
+		nodes := f.Nodes
+		if len(nodes) == 0 {
+			nodes = []int{int(firedNode)}
+		}
+		for _, n := range nodes {
+			m.Mems[n].MarkLost()
+		}
+	}
+	everLost := map[int]bool{}
+	for _, n := range m.LostNodes() {
+		everLost[int(n)] = true
+	}
+
+	// Arm any in-recovery second faults on the phase hook (one-shot each —
+	// the hook fires again on every restart attempt).
+	rec := s.Faults[1:]
+	recFired := make([]bool, len(rec))
+	m.OnRecoveryPhase = func(p int) {
+		for i, rf := range rec {
+			if recFired[i] || rf.Phase != p {
+				continue
+			}
+			recFired[i] = true
+			for _, n := range rf.Nodes {
+				if !m.Mems[n].Lost() {
+					m.Mems[n].MarkLost()
+				}
+			}
+		}
+	}
+	rep, err := m.Recover(-1, o.Target)
+	m.OnRecoveryPhase = nil
+	for i, rf := range rec {
+		if recFired[i] {
+			o.SecondFired = true
+			for _, n := range rf.Nodes {
+				everLost[n] = true
+			}
+		}
+	}
+	for n := range everLost {
+		o.Lost = append(o.Lost, n)
+	}
+	sort.Ints(o.Lost)
+	beyond := beyondModel(s, o.Lost)
+
+	switch {
+	case err == nil:
+		if beyond {
+			o.violate("post-recovery", "fault-model",
+				fmt.Sprintf("recovery accepted damage beyond the fault model (lost %v, group size %d)",
+					o.Lost, s.GroupSize))
+			return o
+		}
+		o.Recovered = true
+		o.Checks++
+		if snap, ok := m.SnapshotAt(o.Target); !ok {
+			o.violate("post-recovery", "byte-exact",
+				fmt.Sprintf("snapshot of target epoch %d missing after recovery", o.Target))
+		} else if err := m.VerifyAgainstSnapshot(snap); err != nil {
+			o.violate("post-recovery", "byte-exact", err.Error())
+		}
+		o.checkQuiescent(m, "post-recovery")
+		if o.Failed() {
+			return o // don't resume on a corrupt image
+		}
+		if err := m.Resume(rep); err != nil {
+			o.violate("resume", "resume", err.Error())
+			return o
+		}
+		o.finish(m, budget)
+	case isUnrecoverable(err):
+		o.Unrecoverable = true
+		if !beyond {
+			o.violate("recovery", "fault-model",
+				fmt.Sprintf("refused recoverable damage (lost %v, group size %d): %v", o.Lost, s.GroupSize, err))
+		}
+		// The machine is legitimately damaged; no further checks apply.
+	default:
+		o.violate("recovery", "recovery", err.Error())
+	}
+	return o
+}
+
+// isUnrecoverable matches the typed refusal for beyond-model damage.
+func isUnrecoverable(err error) bool {
+	return errors.Is(err, core.ErrUnrecoverable)
+}
+
+// finish drains the run to completion under the livelock watchdog and
+// evaluates the registry one last time.
+func (o *Outcome) finish(m *machine.Machine, budget uint64) {
+	if err := m.Engine.RunGuarded(budget, m.Done); err != nil {
+		o.violate("run", "watchdog", err.Error())
+		return
+	}
+	m.Engine.Run() // drain post-completion events
+	o.Completed = true
+	o.checkQuiescent(m, "final")
+}

@@ -1,0 +1,178 @@
+package chaos
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(1); seed < 50; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: schedules differ:\n%+v\n%+v", seed, a, b)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: generated schedule invalid: %v", seed, err)
+		}
+	}
+}
+
+func TestGenerateCoversTriggerSpace(t *testing.T) {
+	// The generator must actually exercise every fault kind and trigger.
+	kinds := map[FaultKind]int{}
+	triggers := map[Trigger]int{}
+	multi := 0
+	for seed := uint64(0); seed < 400; seed++ {
+		s := Generate(seed)
+		for _, f := range s.Faults {
+			kinds[f.Kind]++
+			triggers[f.Trigger]++
+			if len(f.Nodes) > 1 {
+				multi++
+			}
+		}
+	}
+	for _, k := range []FaultKind{NodeLoss, Transient} {
+		if kinds[k] == 0 {
+			t.Errorf("kind %q never generated", k)
+		}
+	}
+	for _, tr := range []Trigger{AtTime, AtStep, AtCommit, InRecovery} {
+		if triggers[tr] == 0 {
+			t.Errorf("trigger %q never generated", tr)
+		}
+	}
+	if multi == 0 {
+		t.Error("simultaneous multi-loss never generated")
+	}
+}
+
+func TestValidateRejectsMalformedSchedules(t *testing.T) {
+	ok := Generate(7)
+	cases := []struct {
+		name   string
+		mutate func(*Schedule)
+	}{
+		{"zero nodes", func(s *Schedule) { s.Nodes = 0 }},
+		{"group does not divide", func(s *Schedule) { s.GroupSize = 3; s.Nodes = 8 }},
+		{"retain too small", func(s *Schedule) { s.Retain = 1 }},
+		{"unknown bug", func(s *Schedule) { s.Bug = "made-up" }},
+		{"unknown step", func(s *Schedule) {
+			s.Faults = []Fault{{Kind: NodeLoss, Trigger: AtStep, Step: "no-such-step"}}
+		}},
+		{"recovery fault first", func(s *Schedule) {
+			s.Faults = []Fault{{Kind: NodeLoss, Trigger: InRecovery, Phase: 2, Nodes: []int{1}}}
+		}},
+		{"node out of range", func(s *Schedule) {
+			s.Faults = []Fault{{Kind: NodeLoss, Trigger: AtTime, Nodes: []int{99}}}
+		}},
+	}
+	for _, c := range cases {
+		s := ok.clone()
+		c.mutate(&s)
+		if s.Validate() == nil {
+			t.Errorf("%s: Validate accepted it", c.name)
+		}
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("control schedule invalid: %v", err)
+	}
+}
+
+// TestRunScheduleDeterministic is the property shrinking and replay rest
+// on: the same schedule always produces the same outcome.
+func TestRunScheduleDeterministic(t *testing.T) {
+	s := Generate(3)
+	s.Instr = 60000
+	a, b := RunSchedule(s), RunSchedule(s)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("outcomes differ:\n%s\n%s", ja, jb)
+	}
+}
+
+// TestHealthyCampaignsNoViolations is the engine's main claim on the real
+// model: randomized fault campaigns never violate an invariant.
+func TestHealthyCampaignsNoViolations(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	sum := Run(Options{Campaigns: n, Seed: 1})
+	for _, f := range sum.Failures {
+		t.Errorf("seed %#x: %v", f.CampaignSeed, f.Outcome.Violations)
+	}
+	c := sum.Counters
+	if c.Campaigns != n {
+		t.Fatalf("ran %d campaigns, want %d", c.Campaigns, n)
+	}
+	if c.Checks == 0 {
+		t.Fatal("no invariant checks executed — the harness is vacuous")
+	}
+	if c.Recoveries+c.Unrecoverables == 0 {
+		t.Fatal("no campaign reached a recovery or a typed refusal")
+	}
+	t.Logf("%s", c)
+}
+
+// TestBrokenBuildCaughtAndShrunk is the acceptance demonstration: a build
+// with the log-before-data order inverted (BugDataBeforeLog) must be caught
+// by a campaign, shrunk to a minimal schedule, and the artifact must
+// replay to the same class of violation.
+func TestBrokenBuildCaughtAndShrunk(t *testing.T) {
+	sum := Run(Options{Campaigns: 6, Seed: 42, Bug: BugDataBeforeLog, ShrinkBudget: 24})
+	if len(sum.Failures) == 0 {
+		t.Fatal("no campaign caught the deliberately broken build")
+	}
+	f := sum.Failures[0]
+	if len(f.Artifact.Violations) == 0 {
+		t.Fatal("shrunk schedule carries no violation")
+	}
+	if len(f.Artifact.Shrunk.Faults) > len(f.Artifact.Original.Faults) ||
+		f.Artifact.Shrunk.Instr > f.Artifact.Original.Instr {
+		t.Fatalf("shrinking grew the schedule: %+v -> %+v",
+			f.Artifact.Original, f.Artifact.Shrunk)
+	}
+
+	// The artifact must replay: JSON round-trip, re-execute, still failing.
+	blob, err := json.Marshal(f.Artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadArtifact(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RunSchedule(s)
+	if !out.Failed() {
+		t.Fatalf("replayed minimal schedule no longer fails: %+v", s)
+	}
+	found := false
+	for _, v := range out.Violations {
+		if v.Invariant == "byte-exact" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a byte-exact violation from the inverted log order, got %v", out.Violations)
+	}
+	t.Logf("minimal reproducer: %+v", s)
+	t.Logf("violation: %v", out.Violations[0])
+}
+
+func TestLoadArtifactBareSchedule(t *testing.T) {
+	s := Generate(9)
+	blob, _ := json.Marshal(s)
+	got, err := LoadArtifact(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("bare schedule did not round-trip: %+v vs %+v", got, s)
+	}
+	if _, err := LoadArtifact([]byte("{")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

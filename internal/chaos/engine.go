@@ -1,0 +1,156 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"revive/internal/sim"
+	"revive/internal/stats"
+)
+
+// Options configures a campaign batch.
+type Options struct {
+	Campaigns    int    // schedules to run (default 50)
+	Seed         uint64 // master seed; campaign seeds derive from it
+	Bug          string // deliberately broken build to apply ("" = healthy)
+	ShrinkBudget int    // re-executions allowed per failing schedule (default 48)
+	// Log, if set, receives progress lines.
+	Log func(format string, a ...any)
+}
+
+// Artifact is the replayable record of one failing campaign, written as
+// JSON by revive-chaos and re-executed by revive-chaos -replay.
+type Artifact struct {
+	Original   Schedule    `json:"original"`
+	Shrunk     Schedule    `json:"shrunk"`
+	Violations []Violation `json:"violations"` // of the shrunk run
+	ShrinkRuns int         `json:"shrink_runs"`
+}
+
+// Failure pairs a failing campaign's outcome with its minimized artifact.
+type Failure struct {
+	CampaignSeed uint64   `json:"campaign_seed"`
+	Outcome      *Outcome `json:"outcome"`
+	Artifact     Artifact `json:"artifact"`
+}
+
+// Summary aggregates a batch.
+type Summary struct {
+	Counters stats.Campaign
+	Failures []Failure
+}
+
+// Run executes opts.Campaigns randomized campaigns. Every failing schedule
+// is shrunk to a minimal reproducer. The batch is deterministic in
+// opts.Seed.
+func Run(opts Options) *Summary {
+	if opts.Campaigns <= 0 {
+		opts.Campaigns = 50
+	}
+	if opts.ShrinkBudget <= 0 {
+		opts.ShrinkBudget = 48
+	}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	master := sim.NewRand(opts.Seed)
+	sum := &Summary{}
+	for i := 0; i < opts.Campaigns; i++ {
+		seed := master.Uint64()
+		s := Generate(seed)
+		s.Bug = opts.Bug
+		out := RunSchedule(s)
+		sum.absorb(out)
+		logf("campaign %3d seed %#016x: %s", i, seed, describe(out))
+		if out.Failed() {
+			shrunk, shrunkOut, runs := Shrink(s, opts.ShrinkBudget)
+			sum.Counters.ShrinkRuns += runs
+			logf("  shrunk %d fault(s) to %d in %d runs: %v",
+				len(s.Faults), len(shrunk.Faults), runs, shrunkOut.Violations[0])
+			sum.Failures = append(sum.Failures, Failure{
+				CampaignSeed: seed,
+				Outcome:      out,
+				Artifact: Artifact{
+					Original:   s,
+					Shrunk:     shrunk,
+					Violations: shrunkOut.Violations,
+					ShrinkRuns: runs,
+				},
+			})
+		}
+	}
+	return sum
+}
+
+// absorb folds one outcome into the batch counters.
+func (sum *Summary) absorb(o *Outcome) {
+	c := &sum.Counters
+	c.Campaigns++
+	if o.Injected {
+		switch o.Schedule.Faults[0].Kind {
+		case NodeLoss:
+			c.NodeLosses++
+		case Transient:
+			c.Transients++
+		}
+	}
+	if o.SecondFired {
+		c.DuringRecov++
+	}
+	if o.NoFault {
+		c.NoFault++
+	}
+	if o.Recovered {
+		c.Recoveries++
+	}
+	if o.Unrecoverable {
+		c.Unrecoverables++
+	}
+	if o.Completed {
+		c.Completions++
+	}
+	c.Checks += o.Checks
+	c.Violations += len(o.Violations)
+	if o.Failed() {
+		c.FailedRuns++
+	}
+}
+
+// describe renders one outcome as a progress line.
+func describe(o *Outcome) string {
+	switch {
+	case o.Failed():
+		return fmt.Sprintf("VIOLATION %v", o.Violations[0])
+	case o.Unrecoverable:
+		return fmt.Sprintf("unrecoverable as expected (lost %v)", o.Lost)
+	case o.NoFault:
+		return "completed before the trigger fired"
+	case o.Completed && o.SecondFired:
+		return fmt.Sprintf("double fault, recovered to epoch %d, completed (%d checks)", o.Target, o.Checks)
+	case o.Completed:
+		return fmt.Sprintf("recovered to epoch %d, completed (%d checks)", o.Target, o.Checks)
+	default:
+		return fmt.Sprintf("recovered to epoch %d (%d checks)", o.Target, o.Checks)
+	}
+}
+
+// LoadArtifact parses a replay file: a full Artifact or a bare Schedule.
+// It returns the schedule to re-execute (the shrunk reproducer when
+// present, else the original).
+func LoadArtifact(data []byte) (Schedule, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err == nil {
+		if a.Shrunk.Nodes != 0 {
+			return a.Shrunk, a.Shrunk.Validate()
+		}
+		if a.Original.Nodes != 0 {
+			return a.Original, a.Original.Validate()
+		}
+	}
+	var s Schedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("chaos: replay file is neither an artifact nor a schedule: %w", err)
+	}
+	return s, s.Validate()
+}

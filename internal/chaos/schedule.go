@@ -1,0 +1,227 @@
+// Package chaos is the randomized fault-campaign engine: the standing
+// correctness harness for the whole ReVive model. A campaign draws a seed,
+// generates a fault schedule (node losses, system-wide transients,
+// simultaneous multi-loss; injected at a random simulated time, at a
+// random protocol step of the section 4.2 update sequences, during a
+// checkpoint's two-phase commit, or while a previous recovery is still
+// running), executes it on a full machine, and checks a registry of
+// invariants after every phase: byte-exact memory versus the checkpoint
+// snapshot, parity-stripe XOR consistency, log marker validity, L-bit/log
+// agreement, and a sim-kernel watchdog that flags stalls and livelock.
+// Failing schedules are shrunk to a minimal reproducer and emitted as a
+// replayable JSON artifact (cmd/revive-chaos).
+package chaos
+
+import (
+	"fmt"
+
+	"revive/internal/core"
+	"revive/internal/sim"
+)
+
+// FaultKind selects what the fault destroys.
+type FaultKind string
+
+const (
+	// NodeLoss permanently destroys the memory content of one or more
+	// nodes (the paper's worst case; several nodes model simultaneous
+	// multi-loss).
+	NodeLoss FaultKind = "node-loss"
+	// Transient is a system-wide error that kills all in-flight state
+	// but leaves memory intact.
+	Transient FaultKind = "transient"
+)
+
+// Trigger selects when a fault fires.
+type Trigger string
+
+const (
+	// AtTime fires DelayNS nanoseconds of simulated time after the
+	// arming point (the second checkpoint's commit).
+	AtTime Trigger = "time"
+	// AtStep fires at the Skip'th occurrence of protocol step Step after
+	// arming — the section 4.2 race points.
+	AtStep Trigger = "step"
+	// AtCommit fires mid two-phase commit: at the Skip'th checkpoint-
+	// marker parity application after arming, when some nodes have
+	// committed and others have not.
+	AtCommit Trigger = "commit"
+	// InRecovery fires after recovery phase Phase of the preceding
+	// fault's recovery (a double fault).
+	InRecovery Trigger = "recovery"
+)
+
+// Fault is one scheduled fault.
+type Fault struct {
+	Kind    FaultKind `json:"kind"`
+	Trigger Trigger   `json:"trigger"`
+	// DelayNS applies to AtTime triggers.
+	DelayNS int64 `json:"delay_ns,omitempty"`
+	// Step and Skip apply to AtStep (Skip also to AtCommit): the step
+	// label (core.Step.String()) and how many occurrences to let pass.
+	Step string `json:"step,omitempty"`
+	Skip int    `json:"skip,omitempty"`
+	// Phase applies to InRecovery: inject after this recovery phase.
+	Phase int `json:"phase,omitempty"`
+	// Nodes lists the nodes to lose (NodeLoss). Empty under AtStep means
+	// "the node whose controller fired the step".
+	Nodes []int `json:"nodes,omitempty"`
+}
+
+// Schedule is one complete, self-contained campaign description. Running
+// the same schedule always produces the same outcome: the machine model is
+// a deterministic discrete-event simulation and the workload is derived
+// from Seed.
+type Schedule struct {
+	Seed      uint64  `json:"seed"`
+	Nodes     int     `json:"nodes"`
+	GroupSize int     `json:"group_size"`
+	Retain    int     `json:"retain"`
+	Instr     uint64  `json:"instr"` // per-processor instruction budget
+	Bug       string  `json:"bug,omitempty"`
+	Faults    []Fault `json:"faults"`
+}
+
+// clone returns a deep copy (shrinking mutates candidates freely).
+func (s Schedule) clone() Schedule {
+	c := s
+	c.Faults = make([]Fault, len(s.Faults))
+	for i, f := range s.Faults {
+		c.Faults[i] = f
+		c.Faults[i].Nodes = append([]int(nil), f.Nodes...)
+	}
+	return c
+}
+
+// Validate rejects malformed schedules (hand-written or corrupted replay
+// artifacts) before the runner touches a machine.
+func (s Schedule) Validate() error {
+	if s.Nodes < 2 {
+		return fmt.Errorf("chaos: %d nodes", s.Nodes)
+	}
+	if s.GroupSize < 2 || s.Nodes%s.GroupSize != 0 {
+		return fmt.Errorf("chaos: group size %d does not divide %d nodes", s.GroupSize, s.Nodes)
+	}
+	if s.Retain < 2 {
+		return fmt.Errorf("chaos: retain %d (minimum 2)", s.Retain)
+	}
+	if s.Instr < 1000 {
+		return fmt.Errorf("chaos: instruction budget %d too small to reach a checkpoint", s.Instr)
+	}
+	if s.Bug != "" && s.Bug != BugDataBeforeLog {
+		return fmt.Errorf("chaos: unknown bug %q", s.Bug)
+	}
+	for i, f := range s.Faults {
+		if f.Kind != NodeLoss && f.Kind != Transient {
+			return fmt.Errorf("chaos: fault %d: unknown kind %q", i, f.Kind)
+		}
+		switch f.Trigger {
+		case AtTime:
+			if f.DelayNS < 0 {
+				return fmt.Errorf("chaos: fault %d: negative delay", i)
+			}
+		case AtStep:
+			if _, ok := core.ParseStep(f.Step); !ok {
+				return fmt.Errorf("chaos: fault %d: unknown step %q", i, f.Step)
+			}
+		case AtCommit:
+		case InRecovery:
+			if i == 0 {
+				return fmt.Errorf("chaos: fault 0 cannot trigger in-recovery (nothing to recover yet)")
+			}
+			if f.Phase < 1 || f.Phase > 4 {
+				return fmt.Errorf("chaos: fault %d: recovery phase %d out of range", i, f.Phase)
+			}
+			if f.Kind != NodeLoss || len(f.Nodes) == 0 {
+				return fmt.Errorf("chaos: fault %d: in-recovery faults must lose named nodes", i)
+			}
+		default:
+			return fmt.Errorf("chaos: fault %d: unknown trigger %q", i, f.Trigger)
+		}
+		if i > 0 && f.Trigger != InRecovery {
+			return fmt.Errorf("chaos: fault %d: only the first fault may trigger outside recovery", i)
+		}
+		if f.Kind == NodeLoss && len(f.Nodes) == 0 && f.Trigger != AtStep {
+			return fmt.Errorf("chaos: fault %d: node-loss without nodes only valid under a step trigger", i)
+		}
+		for _, n := range f.Nodes {
+			if n < 0 || n >= s.Nodes {
+				return fmt.Errorf("chaos: fault %d: node %d out of range", i, n)
+			}
+		}
+	}
+	return nil
+}
+
+// Generate derives a random schedule deterministically from seed. The
+// distribution deliberately includes damage beyond the fault model
+// (same-group multi-loss): the campaign then asserts the typed refusal
+// instead of a recovery.
+func Generate(seed uint64) Schedule {
+	rng := sim.NewRand(seed)
+	s := Schedule{Seed: seed, Retain: 2}
+	switch rng.Intn(3) {
+	case 0:
+		s.Nodes, s.GroupSize = 4, 2
+	case 1:
+		s.Nodes, s.GroupSize = 8, 4
+	default:
+		s.Nodes, s.GroupSize = 8, 2
+	}
+	if rng.Bool(0.2) {
+		s.Retain = 3
+	}
+	s.Instr = 60000 + uint64(rng.Intn(5))*20000
+
+	f := Fault{Kind: NodeLoss}
+	if rng.Bool(0.4) {
+		f.Kind = Transient
+	}
+	switch r := rng.Float64(); {
+	case r < 0.40:
+		f.Trigger = AtTime
+		f.DelayNS = int64(rng.Intn(int(5 * interval / 2)))
+	case r < 0.75:
+		f.Trigger = AtStep
+		steps := core.Steps()
+		f.Step = steps[rng.Intn(len(steps))].String()
+		f.Skip = rng.Intn(400)
+	default:
+		f.Trigger = AtCommit
+		f.Skip = rng.Intn(2 * s.Nodes)
+	}
+	if f.Kind == NodeLoss {
+		switch {
+		case f.Trigger == AtStep && rng.Bool(0.5):
+			// Lose the node whose controller fired the step: the exact
+			// section 4.2 race scenarios.
+		case rng.Bool(0.25):
+			// Simultaneous multi-loss; ~40% of those deliberately damage
+			// one group beyond repair.
+			a := rng.Intn(s.Nodes)
+			b := (a + s.GroupSize) % s.Nodes // different group
+			if rng.Bool(0.4) {
+				b = a/s.GroupSize*s.GroupSize + (a+1)%s.GroupSize // same group
+			}
+			f.Nodes = []int{a, b}
+		default:
+			f.Nodes = []int{rng.Intn(s.Nodes)}
+		}
+	}
+	s.Faults = append(s.Faults, f)
+
+	// A second loss arriving while the first fault's recovery runs.
+	if rng.Bool(0.3) {
+		phases := []int{2, 3}
+		if f.Kind == Transient {
+			phases = []int{1, 3} // a pure rollback has no phase 2/4
+		}
+		s.Faults = append(s.Faults, Fault{
+			Kind:    NodeLoss,
+			Trigger: InRecovery,
+			Phase:   phases[rng.Intn(len(phases))],
+			Nodes:   []int{rng.Intn(s.Nodes)},
+		})
+	}
+	return s
+}

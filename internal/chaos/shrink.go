@@ -1,0 +1,119 @@
+package chaos
+
+// Shrinking: a failing schedule is minimized by deterministic re-execution.
+// Each pass proposes a structurally smaller candidate (fewer faults, a
+// coarser trigger, a shorter delay, fewer skipped steps, a shorter
+// workload, fewer lost nodes) and keeps it only if it still violates an
+// invariant. The result is the minimal reproducer written into the replay
+// artifact.
+
+// Shrink minimizes s within a budget of re-executions (including the
+// initial reproduction run). It returns the smallest failing schedule
+// found, its outcome, and the number of runs spent. If s does not
+// reproduce, it is returned unchanged with its (passing) outcome.
+func Shrink(s Schedule, budget int) (Schedule, *Outcome, int) {
+	if budget < 1 {
+		budget = 1
+	}
+	best := s.clone()
+	bestOut := RunSchedule(best)
+	runs := 1
+	if !bestOut.Failed() {
+		return best, bestOut, runs
+	}
+
+	try := func(c Schedule) bool {
+		if runs >= budget || c.Validate() != nil {
+			return false
+		}
+		runs++
+		if out := RunSchedule(c); out.Failed() {
+			best, bestOut = c, out
+			return true
+		}
+		return false
+	}
+
+	for improved := true; improved && runs < budget; {
+		improved = false
+
+		// Drop whole faults (later faults first: second faults are the
+		// most likely to be irrelevant).
+		for i := len(best.Faults) - 1; i >= 0; i-- {
+			c := best.clone()
+			c.Faults = append(c.Faults[:i], c.Faults[i+1:]...)
+			if try(c) {
+				improved = true
+			}
+		}
+
+		if len(best.Faults) > 0 {
+			f := best.Faults[0]
+
+			// Relax a step/commit trigger to a plain time trigger at the
+			// recorded firing offset: if the violation survives, the exact
+			// protocol step was incidental.
+			if (f.Trigger == AtStep || f.Trigger == AtCommit) && bestOut.Injected {
+				c := best.clone()
+				c.Faults[0].Trigger = AtTime
+				c.Faults[0].DelayNS = bestOut.FiredAt - bestOut.ArmedAt
+				c.Faults[0].Step = ""
+				c.Faults[0].Skip = 0
+				if f.Kind == NodeLoss && len(f.Nodes) == 0 && bestOut.FiredNode >= 0 {
+					c.Faults[0].Nodes = []int{bestOut.FiredNode}
+				}
+				if try(c) {
+					improved = true
+				}
+			}
+
+			// Bisect the injection time toward the arming point.
+			if best.Faults[0].Trigger == AtTime && best.Faults[0].DelayNS > 0 {
+				c := best.clone()
+				c.Faults[0].DelayNS /= 2
+				if try(c) {
+					improved = true
+				}
+			}
+
+			// Fewer skipped step occurrences.
+			if best.Faults[0].Skip > 0 {
+				c := best.clone()
+				c.Faults[0].Skip /= 2
+				if try(c) {
+					improved = true
+				}
+			}
+
+			// Fewer lost nodes per fault.
+			for fi := range best.Faults {
+				for ni := len(best.Faults[fi].Nodes) - 1; ni >= 0 && len(best.Faults[fi].Nodes) > 1; ni-- {
+					c := best.clone()
+					c.Faults[fi].Nodes = append(c.Faults[fi].Nodes[:ni], c.Faults[fi].Nodes[ni+1:]...)
+					if try(c) {
+						improved = true
+					}
+				}
+			}
+		}
+
+		// Shorter workload.
+		if best.Instr/2 >= 1000 {
+			c := best.clone()
+			c.Instr /= 2
+			if try(c) {
+				improved = true
+			}
+		}
+
+		// Smaller retention window.
+		if best.Retain > 2 {
+			c := best.clone()
+			c.Retain = 2
+			if try(c) {
+				improved = true
+			}
+		}
+	}
+	return best, bestOut, runs
+}

@@ -40,6 +40,23 @@ func (s Step) String() string {
 		"data", "data-parity"}[s]
 }
 
+// Steps returns every protocol step in sequence order. The chaos harness
+// enumerates injection points from it.
+func Steps() []Step {
+	return []Step{StepLogDataWritten, StepLogMarkerWritten, StepLogParityApplied,
+		StepLogMarkerParityApplied, StepDataWritten, StepDataParityApplied}
+}
+
+// ParseStep maps a String() label back to its Step.
+func ParseStep(name string) (Step, bool) {
+	for _, s := range Steps() {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
 // EventCounts tallies the Table 1 event classes.
 type EventCounts struct {
 	WBLogged     uint64 // write-back to memory, already logged (Figure 4)
@@ -86,6 +103,14 @@ type Controller struct {
 	DisableEagerLog bool
 	// StepHook, if set, observes every Step transition (race tests).
 	StepHook func(Step, arch.LineAddr)
+	// BugDataBeforeLog is a deliberately broken build for validating the
+	// chaos harness (never set by any production configuration): it
+	// inverts the section 4.2 log-before-data ordering on the write-back
+	// path, so the log captures the *new* content instead of the
+	// checkpoint content. A healthy run is unaffected — parity stays
+	// consistent — but any rollback then restores the wrong bytes, which
+	// the campaigns' byte-exact oracle must catch.
+	BugDataBeforeLog bool
 	// halted abandons in-progress update sequences at their next step
 	// boundary (fail-stop freeze injected from a StepHook).
 	halted bool
@@ -123,6 +148,16 @@ func (c *Controller) Epoch() uint64 { return c.epoch }
 // Logged reports the L bit of a line (tests).
 func (c *Controller) Logged(line arch.LineAddr) bool { return c.lbits[line] }
 
+// ForEachLBit calls fn for every line whose Logged bit is set, in arbitrary
+// order. Invariant checkers cross-check the L-bit table against the log.
+func (c *Controller) ForEachLBit(fn func(arch.LineAddr)) {
+	for line, set := range c.lbits {
+		if set {
+			fn(line)
+		}
+	}
+}
+
 func (c *Controller) hook(s Step, line arch.LineAddr) {
 	if c.StepHook != nil {
 		c.StepHook(s, line)
@@ -157,7 +192,7 @@ func (c *Controller) local(p arch.PhysLine) arch.PhysLine {
 // copied to the log and the log parity updated, in the background after the
 // reply; the directory entry stays busy until release.
 func (c *Controller) WriteIntent(line arch.LineAddr, phys arch.PhysLine, release func()) {
-	if c.DisableEagerLog || !c.needsLog(line) {
+	if c.DisableEagerLog || c.BugDataBeforeLog || !c.needsLog(line) {
 		release()
 		return
 	}
@@ -182,6 +217,17 @@ func (c *Controller) Write(line arch.LineAddr, phys arch.PhysLine, data arch.Dat
 	}
 	c.Events.WBNotLogged++
 	c.lbits[line] = true
+	if c.BugDataBeforeLog {
+		// The deliberately broken build: the data write lands first and
+		// the "old" content fed to the log is peeked *after* it — the log
+		// captures D' instead of D, so a later rollback restores the
+		// wrong bytes.
+		c.dataWrite(line, phys, data, ckp, ack, func() {
+			wrong := c.dirs[c.node].Mem().Peek(phys.MemAddr())
+			c.appendLog(line, wrong, release)
+		})
+		return
+	}
 	old := c.dirs[c.node].Mem().Peek(phys.MemAddr())
 	// Log-data update race (section 4.2): the data write must not start
 	// before the log entry *and its parity* are fully updated. Table 1:
@@ -457,7 +503,9 @@ func (c *Controller) handleParityUpdate(u parityUpdate, ackSend func()) {
 			if u.auxValid {
 				c.applyDelta(m, u.auxTarget, u.auxDelta)
 				u.from.payDebt(u.auxTarget, u.auxDelta)
-				c.hook(u.auxStep, u.line)
+				if c.hookAbort(u.auxStep, u.line) {
+					return // frozen at the aux step: the ack dies in flight
+				}
 			}
 			ackSend()
 		}

@@ -175,6 +175,45 @@ func (l *HWLog) walkNewest(fn func(slotAddr) bool) {
 	}
 }
 
+// EntryInfo is the decoded view of one retained log entry. Invariant
+// checkers and the chaos harness read the log through it without touching
+// the raw header encoding.
+type EntryInfo struct {
+	Line  arch.LineAddr // logged global line (0 for checkpoint markers)
+	Epoch uint64
+	Valid bool // data entry with a validated marker
+	Ckpt  bool // checkpoint-commit marker entry
+}
+
+// WalkRetained calls fn for every retained entry, oldest first, stopping
+// early when fn returns false. The caller must ensure the backing memory is
+// not marked lost.
+func (l *HWLog) WalkRetained(fn func(EntryInfo) bool) {
+	for i := l.head; i < l.tail; i++ {
+		h := decodeHeader(l.mem.Peek(l.slot(i).headerLine().MemAddr()))
+		info := EntryInfo{Line: h.line, Epoch: h.epoch,
+			Valid: h.marker == markerValid, Ckpt: h.marker == markerCkpt}
+		if !fn(info) {
+			return
+		}
+	}
+}
+
+// HasMarker reports whether the retained log still holds the checkpoint-
+// commit marker of the given epoch — the retention precondition for rolling
+// back to it.
+func (l *HWLog) HasMarker(epoch uint64) bool {
+	found := false
+	l.WalkRetained(func(e EntryInfo) bool {
+		if e.Ckpt && e.Epoch == epoch {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
 // Frames returns the memory frames holding retained entries (recovery
 // rebuilds exactly these when the node is lost).
 func (l *HWLog) Frames() []arch.Frame {
@@ -204,18 +243,20 @@ func (l *HWLog) String() string {
 
 // TruncateAtMarker discards every entry logged after the checkpoint marker
 // of the given epoch. Rollback recovery calls it once the entries have been
-// restored: they must not be replayed by any future rollback.
-func (l *HWLog) TruncateAtMarker(epoch uint64) {
+// restored: they must not be replayed by any future rollback. A missing
+// marker means the target checkpoint is not retained in this log.
+func (l *HWLog) TruncateAtMarker(epoch uint64) error {
 	if l.tail == l.head {
-		return // empty log (e.g. a dedicated parity node's)
+		return nil // empty log (e.g. a dedicated parity node's)
 	}
 	for i := l.tail - 1; i >= l.head; i-- {
 		s := l.slot(i)
 		h := decodeHeader(l.mem.Peek(s.headerLine().MemAddr()))
 		if h.marker == markerCkpt && h.epoch == epoch {
 			l.tail = i + 1
-			return
+			return nil
 		}
 	}
-	panic("core: truncate target marker not found in log")
+	return fmt.Errorf("core: node %d's log has no checkpoint-%d marker to truncate at",
+		l.node, epoch)
 }

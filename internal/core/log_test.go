@@ -141,22 +141,21 @@ func TestTruncateAtMarker(t *testing.T) {
 	writeMarker(l, m, 1)
 	writeEntry(l, m, 2, 1, arch.Data{2})
 	writeEntry(l, m, 3, 1, arch.Data{3})
-	l.TruncateAtMarker(1)
+	if err := l.TruncateAtMarker(1); err != nil {
+		t.Fatal(err)
+	}
 	// Remaining: marker(0), entry, marker(1).
 	if l.Entries() != 3 {
 		t.Fatalf("Entries after truncate = %d, want 3", l.Entries())
 	}
 }
 
-func TestTruncateMissingMarkerPanics(t *testing.T) {
+func TestTruncateMissingMarkerErrors(t *testing.T) {
 	l, m, _ := newTestLog()
 	writeMarker(l, m, 0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for missing marker")
-		}
-	}()
-	l.TruncateAtMarker(9)
+	if err := l.TruncateAtMarker(9); err == nil {
+		t.Fatal("no error for missing marker")
+	}
 }
 
 func TestLogFramesListedForRecovery(t *testing.T) {

@@ -1,12 +1,49 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"revive/internal/arch"
 	"revive/internal/mem"
 	"revive/internal/sim"
 )
+
+// ErrUnrecoverable is the sentinel wrapped by every error that means the
+// damage exceeds ReVive's fault model (section 3.1.2). Callers match it
+// with errors.Is to distinguish "the machine is genuinely beyond repair"
+// from incidental recovery failures.
+var ErrUnrecoverable = errors.New("damage exceeds ReVive's fault model")
+
+// UnrecoverableError reports which parity group is damaged beyond repair
+// and by which lost nodes. It wraps ErrUnrecoverable.
+type UnrecoverableError struct {
+	Group int
+	Lost  []arch.NodeID
+}
+
+func (e *UnrecoverableError) Error() string {
+	return fmt.Sprintf("core: nodes %v are all lost in parity group %d; "+
+		"the group is damaged beyond ReVive's ability to repair (section 3.1.2)",
+		e.Lost, e.Group)
+}
+
+func (e *UnrecoverableError) Unwrap() error { return ErrUnrecoverable }
+
+// InterruptedError reports that additional memory modules were lost while
+// recovery was running. The machine layer reacts by re-validating the
+// enlarged lost set and restarting recovery from Phase 1 (the restoration
+// writes are idempotent and the logs are untouched until recovery
+// finishes, so a restart is safe).
+type InterruptedError struct {
+	Phase int           // last completed phase when the loss was noticed
+	New   []arch.NodeID // the newly lost nodes
+}
+
+func (e *InterruptedError) Error() string {
+	return fmt.Sprintf("core: nodes %v lost while recovery phase %d was running",
+		e.New, e.Phase)
+}
 
 // RecoveryConfig carries the recovery timing model (section 3.3.2). The
 // per-operation costs derive from Table 3; phase durations scale with the
@@ -107,6 +144,33 @@ type Recovery struct {
 	Mems  []*mem.Memory
 	Ctrls []*Controller
 	Cfg   RecoveryConfig
+
+	// PhaseHook, if set, runs after each completed recovery phase (1-4
+	// for node loss; 1 and 3 for a pure rollback). Fault campaigns use it
+	// to inject losses *during* recovery; after every hook the algorithm
+	// checks for newly lost modules and returns an InterruptedError so
+	// the caller can re-validate and restart.
+	PhaseHook func(phase int)
+}
+
+// checkPhase fires the phase hook and scans for lost memory modules. Any
+// module lost at a phase boundary is new damage: the modules this attempt
+// is recovering were restored before Phase 1, so even a re-loss of one of
+// them (failing again mid-recovery) must interrupt and restart.
+func (r *Recovery) checkPhase(phase int) error {
+	if r.PhaseHook != nil {
+		r.PhaseHook(phase)
+	}
+	var fresh []arch.NodeID
+	for n, m := range r.Mems {
+		if m.Lost() {
+			fresh = append(fresh, arch.NodeID(n))
+		}
+	}
+	if len(fresh) > 0 {
+		return &InterruptedError{Phase: phase, New: fresh}
+	}
+	return nil
 }
 
 // pageRebuildCost is the time for one processor to rebuild one page from
@@ -170,9 +234,7 @@ func (r *Recovery) Recoverable(lost []arch.NodeID) error {
 	for _, n := range lost {
 		g := r.Topo.Group(n)
 		if prev, dup := perGroup[g]; dup {
-			return fmt.Errorf("core: nodes %d and %d are both lost in parity group %d; "+
-				"the group is damaged beyond ReVive's ability to repair (section 3.1.2)",
-				prev, n, g)
+			return &UnrecoverableError{Group: g, Lost: []arch.NodeID{prev, n}}
 		}
 		perGroup[g] = n
 	}
@@ -184,16 +246,18 @@ func (r *Recovery) Recoverable(lost []arch.NodeID) error {
 // Phase 2 log reconstruction, Phase 3 rollback to targetEpoch with
 // on-demand page rebuilds, Phase 4 background rebuild of the remaining
 // pages. The lost module must already be marked lost.
-func (r *Recovery) NodeLoss(lost arch.NodeID, targetEpoch uint64) Report {
+func (r *Recovery) NodeLoss(lost arch.NodeID, targetEpoch uint64) (Report, error) {
 	return r.MultiNodeLoss([]arch.NodeID{lost}, targetEpoch)
 }
 
 // MultiNodeLoss recovers from simultaneous loss of several nodes, provided
 // no two share a parity group (each group tolerates one loss). The paper's
-// multi-node discussion (section 3.1.2) draws exactly this boundary.
-func (r *Recovery) MultiNodeLoss(lost []arch.NodeID, targetEpoch uint64) Report {
+// multi-node discussion (section 3.1.2) draws exactly this boundary; damage
+// beyond it returns an error wrapping ErrUnrecoverable. An InterruptedError
+// means new modules were lost mid-recovery and the caller should restart.
+func (r *Recovery) MultiNodeLoss(lost []arch.NodeID, targetEpoch uint64) (Report, error) {
 	if err := r.Recoverable(lost); err != nil {
-		panic(err)
+		return Report{}, err
 	}
 	rep := Report{LostNode: -1, TargetEpoch: targetEpoch, Phase1: r.Cfg.HWRecovery}
 	if len(lost) == 1 {
@@ -202,10 +266,15 @@ func (r *Recovery) MultiNodeLoss(lost []arch.NodeID, targetEpoch uint64) Report 
 	lostSet := map[arch.NodeID]bool{}
 	for _, n := range lost {
 		if !r.Mems[n].Lost() {
-			panic("core: NodeLoss recovery for a node that is not lost")
+			return Report{}, fmt.Errorf("core: node-loss recovery for node %d whose memory is not marked lost", n)
 		}
+	}
+	for _, n := range lost {
 		lostSet[n] = true
 		r.Mems[n].Restore()
+	}
+	if err := r.checkPhase(1); err != nil {
+		return rep, err
 	}
 
 	// Reconstruct every frame of each lost node from parity before any
@@ -230,6 +299,9 @@ func (r *Recovery) MultiNodeLoss(lost []arch.NodeID, targetEpoch uint64) Report 
 	}
 	survivors := r.Topo.Nodes - len(lost)
 	rep.Phase2 = r.pageRebuildCost() * sim.Time(ceilDiv(rep.LogPagesRebuilt, survivors))
+	if err := r.checkPhase(2); err != nil {
+		return rep, err
+	}
 
 	// Phase 3: every node's log rolls back its own memory; lost nodes'
 	// (rebuilt) logs are processed by the survivors. A page of a lost
@@ -242,7 +314,9 @@ func (r *Recovery) MultiNodeLoss(lost []arch.NodeID, targetEpoch uint64) Report 
 	perNode := make([]sim.Time, r.Topo.Nodes)
 	for n := 0; n < r.Topo.Nodes; n++ {
 		node := arch.NodeID(n)
-		r.rollbackNode(node, targetEpoch, lostSet, demand, &rep, &perNode[n])
+		if err := r.rollbackNode(node, targetEpoch, lostSet, demand, &rep, &perNode[n]); err != nil {
+			return rep, err
+		}
 	}
 	var maxT sim.Time
 	for n := 0; n < r.Topo.Nodes; n++ {
@@ -255,6 +329,9 @@ func (r *Recovery) MultiNodeLoss(lost []arch.NodeID, targetEpoch uint64) Report 
 		}
 	}
 	rep.Phase3 = maxT
+	if err := r.checkPhase(3); err != nil {
+		return rep, err
+	}
 
 	// Phase 4: the remaining frames (rebuilt above; timing only).
 	for _, n := range lost {
@@ -266,25 +343,36 @@ func (r *Recovery) MultiNodeLoss(lost []arch.NodeID, targetEpoch uint64) Report 
 	}
 	rep.Phase4 = sim.Time(float64(r.pageRebuildCost()) *
 		float64(ceilDiv(rep.BackgroundPages, survivors)) / r.Cfg.BackgroundShare)
-	return rep
+	if err := r.checkPhase(4); err != nil {
+		return rep, err
+	}
+	return rep, nil
 }
 
 // Rollback recovers from errors that leave all memory intact (processor or
 // cache errors, interconnect glitches): Phase 1 plus the Phase 3 rollback,
 // then the parity scrub (in the background; the paper's Phases 2 and 4
 // vanish in this case).
-func (r *Recovery) Rollback(targetEpoch uint64) Report {
+func (r *Recovery) Rollback(targetEpoch uint64) (Report, error) {
 	rep := Report{LostNode: -1, TargetEpoch: targetEpoch, Phase1: r.Cfg.HWRecovery}
+	if err := r.checkPhase(1); err != nil {
+		return rep, err
+	}
 	var maxT sim.Time
 	for n := 0; n < r.Topo.Nodes; n++ {
 		var t sim.Time
-		r.rollbackNode(arch.NodeID(n), targetEpoch, nil, nil, &rep, &t)
+		if err := r.rollbackNode(arch.NodeID(n), targetEpoch, nil, nil, &rep, &t); err != nil {
+			return rep, err
+		}
 		if t > maxT {
 			maxT = t
 		}
 	}
 	rep.Phase3 = maxT
-	return rep
+	if err := r.checkPhase(3); err != nil {
+		return rep, err
+	}
+	return rep, nil
 }
 
 // rollbackNode undoes node's log entries newest-first down to the commit
@@ -294,9 +382,10 @@ func (r *Recovery) Rollback(targetEpoch uint64) Report {
 // in-flight parity update was lost (possible only in rebuilt logs) and are
 // skipped too. t accumulates the node's rollback time.
 func (r *Recovery) rollbackNode(node arch.NodeID, targetEpoch uint64, lost map[arch.NodeID]bool,
-	demand map[arch.NodeID]map[arch.Frame]bool, rep *Report, t *sim.Time) {
+	demand map[arch.NodeID]map[arch.Frame]bool, rep *Report, t *sim.Time) error {
 	log := r.Ctrls[node].Log()
 	m := r.Mems[node]
+	var walkErr error
 	log.walkNewest(func(s slotAddr) bool {
 		hdr := decodeHeader(m.Peek(arch.PhysLine{Node: node, Frame: s.frame,
 			Off: uint8(s.slot * entryLines)}.MemAddr()))
@@ -312,7 +401,9 @@ func (r *Recovery) rollbackNode(node arch.NodeID, targetEpoch uint64, lost map[a
 		}
 		phys, ok := r.AMap.LookupLine(hdr.line)
 		if !ok {
-			panic("core: log entry for unmapped line")
+			walkErr = fmt.Errorf("core: node %d's log holds a validated entry for unmapped line %#x (log corrupt)",
+				node, hdr.line)
+			return false
 		}
 		if lost[phys.Node] && demand[phys.Node] != nil && !demand[phys.Node][phys.Frame] {
 			// First restore into this lost page: the paper rebuilds
@@ -328,6 +419,7 @@ func (r *Recovery) rollbackNode(node arch.NodeID, targetEpoch uint64, lost map[a
 		*t += r.Cfg.LocalLineOp * 4 // write + parity read-modify-write
 		return true
 	})
+	return walkErr
 }
 
 // ProjectPhase4 estimates the section 3.3.2 full-memory background

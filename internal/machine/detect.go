@@ -1,8 +1,6 @@
 package machine
 
 import (
-	"fmt"
-
 	"revive/internal/arch"
 	"revive/internal/core"
 	"revive/internal/sim"
@@ -31,6 +29,10 @@ type DetectionReport struct {
 	// LostWork is the executed-and-discarded window: detection latency
 	// plus the work since the target checkpoint.
 	LostWork sim.Time
+	// Err reports a failed cycle: a *RetentionError when the detection
+	// latency outlived the retention window, or a recovery/resume error.
+	// The machine is left frozen in that case.
+	Err error
 }
 
 // ScheduleTransientError arms a system-wide transient error at time `at`,
@@ -63,21 +65,22 @@ func (m *Machine) scheduleError(at, detectLatency sim.Time, node arch.NodeID,
 		rep.Target = m.Ckpt.Epoch()
 		m.Engine.After(detectLatency, func() {
 			rep.DetectedAt = m.Engine.Now()
-			if _, ok := m.SnapshotAt(rep.Target); !ok {
-				panic(fmt.Sprintf("machine: safe checkpoint %d aged out of retention "+
-					"(detection latency too long for Checkpoint.Retain)", rep.Target))
+			if snap, ok := m.SnapshotAt(rep.Target); ok {
+				rep.LostWork = rep.DetectedAt - snap.Time
 			}
-			snap, _ := m.SnapshotAt(rep.Target)
-			rep.LostWork = rep.DetectedAt - snap.Time
 			if node >= 0 {
 				m.InjectNodeLoss(node)
 			} else {
 				m.InjectTransient()
 			}
-			rep.Recovery = m.Recover(node, rep.Target)
-			if err := m.Resume(rep.Recovery); err != nil {
-				panic(err)
+			// Recover surfaces an aged-out target as a *RetentionError
+			// before mutating anything.
+			var err error
+			rep.Recovery, err = m.Recover(node, rep.Target)
+			if err == nil {
+				err = m.Resume(rep.Recovery)
 			}
+			rep.Err = err
 			done(rep)
 		})
 	})

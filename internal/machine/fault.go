@@ -1,11 +1,32 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"revive/internal/arch"
 	"revive/internal/core"
 )
+
+// ErrNoRevive is returned when recovery is requested on a machine built
+// without the ReVive extension (Config.Revive == false).
+var ErrNoRevive = errors.New("machine: recovery without ReVive support")
+
+// RetentionError means the requested rollback target has aged out of the
+// retention window: its snapshot or its log markers are no longer held.
+// It surfaces *before* recovery mutates anything, so the caller can react
+// (e.g. a detection latency longer than Checkpoint.Retain intervals).
+type RetentionError struct {
+	Target uint64 // requested rollback epoch
+	Newest uint64 // newest committed epoch at the time of the check
+	Retain int    // configured retention (checkpoints kept)
+}
+
+func (e *RetentionError) Error() string {
+	return fmt.Sprintf("machine: checkpoint %d aged out of the %d-checkpoint retention window (newest committed: %d); "+
+		"detection latency outlived Checkpoint.Retain", e.Target, e.Retain, e.Newest)
+}
 
 // Fault injection and recovery orchestration. Errors are fail-stop
 // (section 3.1.2): at the instant of injection, every in-flight operation
@@ -28,9 +49,11 @@ func (m *Machine) InjectTransient() {
 	m.freeze()
 }
 
-// freeze abandons all in-flight work (fail-stop). Controllers halt so that
+// Freeze abandons all in-flight work (fail-stop). Controllers halt so that
 // an update sequence interrupted mid-event abandons its remaining steps.
-func (m *Machine) freeze() {
+// Fault injectors call it at the instant of the error; mark any lost
+// memories (Mems[n].MarkLost) before or after as needed.
+func (m *Machine) Freeze() {
 	m.Engine.Reset()
 	m.Tracker.Reset()
 	for _, ctrl := range m.Ctrls {
@@ -40,6 +63,9 @@ func (m *Machine) freeze() {
 		m.Ckpt.Stop()
 	}
 }
+
+// freeze is the internal alias kept for the package's own call sites.
+func (m *Machine) freeze() { m.Freeze() }
 
 // LostNodes returns the nodes whose memory is currently marked lost.
 func (m *Machine) LostNodes() []arch.NodeID {
@@ -52,27 +78,121 @@ func (m *Machine) LostNodes() []arch.NodeID {
 	return out
 }
 
-// Recoverable reports whether the current set of lost nodes is within
-// ReVive's fault model (at most one loss per parity group, section 3.1.2).
-func (m *Machine) Recoverable() error {
+// retain returns the effective checkpoint retention (min-clamped to 2, the
+// paper's default — matching CommitEpoch and the snapshot pruning).
+func (m *Machine) retain() int {
+	retain := m.Cfg.Checkpoint.Retain
+	if retain < 2 {
+		retain = 2
+	}
+	return retain
+}
+
+// Recoverable reports whether recovery to targetEpoch can proceed: the
+// current set of lost nodes must be within ReVive's fault model (at most
+// one loss per parity group, section 3.1.2), and the target checkpoint must
+// still be retained — its snapshot and, on every surviving data-homing
+// node, its log marker. A detection latency that outlives the retention
+// window surfaces here as a *RetentionError, before recovery starts, not
+// as a mid-Phase-3 failure.
+func (m *Machine) Recoverable(targetEpoch uint64) error {
+	if m.Ctrls == nil {
+		return ErrNoRevive
+	}
 	rec := &core.Recovery{Topo: m.Topo}
-	return rec.Recoverable(m.LostNodes())
+	if err := rec.Recoverable(m.LostNodes()); err != nil {
+		return err
+	}
+	return m.retained(targetEpoch)
+}
+
+// retained validates the retention half of Recoverable: the target epoch's
+// snapshot bookkeeping and log markers must still exist.
+func (m *Machine) retained(targetEpoch uint64) error {
+	newest := uint64(0)
+	if m.Ckpt != nil {
+		newest = m.Ckpt.Epoch()
+	}
+	if _, ok := m.snapshots[targetEpoch]; !ok {
+		return &RetentionError{Target: targetEpoch, Newest: newest, Retain: m.retain()}
+	}
+	for _, ctrl := range m.Ctrls {
+		if m.Mems[ctrl.Node()].Lost() || !m.Topo.HasDataFrames(ctrl.Node()) {
+			continue // a lost node's log is rebuilt from parity during Phase 2
+		}
+		if !ctrl.Log().HasMarker(targetEpoch) {
+			return &RetentionError{Target: targetEpoch, Newest: newest, Retain: m.retain()}
+		}
+	}
+	return nil
 }
 
 // Recover runs rollback recovery to the given committed checkpoint epoch:
 // Phase 1 resets caches and directories, Phase 2 rebuilds a lost node's log
 // from parity, Phase 3 restores memory from the logs, Phase 4 rebuilds the
 // remaining pages of a lost node. lost is -1 for errors without memory
-// loss. The machine is left consistent but stopped; use Resume to continue
+// loss (it is a sanity cross-check: the named node must actually be marked
+// lost). The machine is left consistent but stopped; use Resume to continue
 // execution, or verify state against a retained snapshot.
 //
 // For simultaneous multi-node losses (one per parity group at most), mark
-// the modules lost and call RecoverAll; Recover panics if the damage
-// exceeds the fault model — check Recoverable first when that is possible.
-func (m *Machine) Recover(lost arch.NodeID, targetEpoch uint64) core.Report {
+// the modules lost and call RecoverAll. Damage beyond the fault model
+// returns an error wrapping core.ErrUnrecoverable; a target aged out of
+// retention returns a *RetentionError — in both cases before anything is
+// mutated. If further modules are lost *while* recovery runs (via
+// OnRecoveryPhase, or a detector firing mid-recovery), the enlarged lost
+// set is re-validated and recovery restarts from Phase 1; restoration is
+// idempotent, so a restart is safe.
+func (m *Machine) Recover(lost arch.NodeID, targetEpoch uint64) (core.Report, error) {
 	if m.Ctrls == nil {
-		panic("machine: recovery without ReVive support")
+		return core.Report{}, ErrNoRevive
 	}
+	if lost >= 0 && !m.Mems[lost].Lost() {
+		return core.Report{}, fmt.Errorf("machine: Recover(%d) but that node's memory is not marked lost", lost)
+	}
+	// known accumulates every node seen lost across restart attempts: a
+	// module that failed mid-recovery was restored by the aborted attempt,
+	// but it still counts against its parity group's single-loss budget.
+	known := map[arch.NodeID]bool{}
+	for {
+		for _, n := range m.LostNodes() {
+			known[n] = true
+		}
+		if err := m.recoverableSet(known, targetEpoch); err != nil {
+			return core.Report{}, err
+		}
+		rep, err := m.recoverOnce(targetEpoch)
+		var intr *core.InterruptedError
+		if errors.As(err, &intr) {
+			continue // new losses; re-validate the union and restart
+		}
+		if err != nil {
+			return rep, err
+		}
+		if err := m.finishRecovery(rep, targetEpoch); err != nil {
+			return rep, err
+		}
+		return rep, nil
+	}
+}
+
+// recoverableSet validates the fault model over the cumulative ever-lost
+// set plus retention of the target.
+func (m *Machine) recoverableSet(known map[arch.NodeID]bool, targetEpoch uint64) error {
+	nodes := make([]arch.NodeID, 0, len(known))
+	for n := range known {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	rec := &core.Recovery{Topo: m.Topo}
+	if err := rec.Recoverable(nodes); err != nil {
+		return err
+	}
+	return m.retained(targetEpoch)
+}
+
+// recoverOnce runs one recovery attempt over the currently-lost modules.
+func (m *Machine) recoverOnce(targetEpoch uint64) (core.Report, error) {
 	// Phase 1: hardware recovery — reset processors, invalidate caches
 	// and directory entries (cost accounted in the report's Phase1), and
 	// reconcile every surviving controller's in-flight parity updates
@@ -97,24 +217,24 @@ func (m *Machine) Recover(lost arch.NodeID, targetEpoch uint64) core.Report {
 	}
 	rec := &core.Recovery{
 		Topo: m.Topo, AMap: m.AMap, Mems: m.Mems, Ctrls: m.Ctrls,
-		Cfg: core.DefaultRecoveryConfig(1),
+		Cfg:  core.DefaultRecoveryConfig(1),
+		PhaseHook: m.OnRecoveryPhase,
 	}
-	var rep core.Report
-	switch lostNodes := m.LostNodes(); {
-	case len(lostNodes) > 0:
-		rep = rec.MultiNodeLoss(lostNodes, targetEpoch)
-	case lost >= 0:
-		panic("machine: Recover(lost) but that node's memory is not marked lost")
-	default:
-		rep = rec.Rollback(targetEpoch)
+	if lostNodes := m.LostNodes(); len(lostNodes) > 0 {
+		return rec.MultiNodeLoss(lostNodes, targetEpoch)
 	}
-	// The restored log entries must never replay in a future rollback.
-	retain := m.Cfg.Checkpoint.Retain
-	if retain < 2 {
-		retain = 2
-	}
+	return rec.Rollback(targetEpoch)
+}
+
+// finishRecovery truncates the logs at the target marker and rolls the
+// epoch and attached devices back. The restored log entries must never
+// replay in a future rollback.
+func (m *Machine) finishRecovery(rep core.Report, targetEpoch uint64) error {
+	retain := m.retain()
 	for _, ctrl := range m.Ctrls {
-		ctrl.Log().TruncateAtMarker(targetEpoch)
+		if err := ctrl.Log().TruncateAtMarker(targetEpoch); err != nil {
+			return err
+		}
 		ctrl.CommitEpoch(targetEpoch, retain)
 	}
 	for _, d := range m.devices {
@@ -124,7 +244,7 @@ func (m *Machine) Recover(lost arch.NodeID, targetEpoch uint64) core.Report {
 	m.Stats.RecoveryPhase2 = rep.Phase2
 	m.Stats.RecoveryPhase3 = rep.Phase3
 	m.Stats.RecoveryPhase4 = rep.Phase4
-	return rep
+	return nil
 }
 
 // Resume restarts execution after Recover: processor contexts are restored
@@ -152,12 +272,9 @@ func (m *Machine) Resume(rep core.Report) error {
 }
 
 // RecoverAll recovers from whatever combination of lost nodes is currently
-// marked, validating the fault model first.
+// marked, validating the fault model and retention first.
 func (m *Machine) RecoverAll(targetEpoch uint64) (core.Report, error) {
-	if err := m.Recoverable(); err != nil {
-		return core.Report{}, err
-	}
-	return m.Recover(-1, targetEpoch), nil
+	return m.Recover(-1, targetEpoch)
 }
 
 // VerifyAgainstSnapshot checks that every page the address map knows about

@@ -56,7 +56,9 @@ func TestDeviceRollbackNeverUnsends(t *testing.T) {
 		t.Skip("no pending outputs at the error point")
 	}
 	m.InjectTransient()
-	m.Recover(-1, 2)
+	if _, err := m.Recover(-1, 2); err != nil {
+		t.Fatal(err)
+	}
 	// Rollback discards the uncommitted outputs but recalls nothing.
 	if len(nic.Released()) != releasedBefore {
 		t.Fatal("rollback changed the released set")
@@ -89,7 +91,10 @@ func TestDeviceInputReplayAcrossRecovery(t *testing.T) {
 	m.Engine.After(sim.Microsecond, pump)
 	runToEpoch(t, m, 2, 70*sim.Microsecond)
 	m.InjectTransient()
-	rep := m.Recover(-1, 2)
+	rep, err := m.Recover(-1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	_ = rep
 	// Re-execution: inputs consumed after checkpoint 2 replay identically.
 	consumedAfterCkpt2 := 0

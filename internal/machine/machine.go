@@ -112,6 +112,13 @@ type Machine struct {
 	// OnCheckpoint, if set, runs after each checkpoint commits (after
 	// the machine's own snapshot bookkeeping).
 	OnCheckpoint func(epoch uint64)
+	// OnRecoveryPhase, if set, runs after each completed recovery phase
+	// of every Recover attempt (phases 1-4 for node loss, 1 and 3 for a
+	// pure rollback). Fault campaigns use it to inject losses *during*
+	// recovery; Recover then re-validates the enlarged lost set and
+	// restarts. Note the hook fires again on each restart attempt —
+	// one-shot injectors must guard themselves.
+	OnRecoveryPhase func(phase int)
 }
 
 // New assembles a machine (no workload yet).

@@ -279,7 +279,9 @@ func TestCoherenceInvariantsAfterRecovery(t *testing.T) {
 	m.Load(testProfile(150000))
 	runToEpoch(t, m, 2, 60*sim.Microsecond)
 	m.InjectNodeLoss(1)
-	m.Recover(1, 2)
+	if _, err := m.Recover(1, 2); err != nil {
+		t.Fatal(err)
+	}
 	if err := m.VerifyCoherence(); err != nil {
 		t.Fatal(err)
 	}

@@ -27,7 +27,7 @@ func TestTwoNodesLostInDifferentGroupsRecover(t *testing.T) {
 	m.Mems[3].MarkLost()  // group 0
 	m.Mems[12].MarkLost() // group 1
 	m.freeze()
-	if err := m.Recoverable(); err != nil {
+	if err := m.Recoverable(2); err != nil {
 		t.Fatalf("disjoint-group double loss should be recoverable: %v", err)
 	}
 	rep, err := m.RecoverAll(2)
@@ -55,7 +55,7 @@ func TestTwoNodesLostInSameGroupIsUnrecoverable(t *testing.T) {
 	m.Mems[2].MarkLost()
 	m.Mems[5].MarkLost() // same group 0
 	m.freeze()
-	err := m.Recoverable()
+	err := m.Recoverable(2)
 	if err == nil {
 		t.Fatal("same-group double loss reported recoverable")
 	}
@@ -77,7 +77,7 @@ func TestMirroredPairLossIsUnrecoverable(t *testing.T) {
 	m.Mems[0].MarkLost()
 	m.Mems[1].MarkLost()
 	m.freeze()
-	if m.Recoverable() == nil {
+	if m.Recoverable(2) == nil {
 		t.Fatal("losing a full mirror pair reported recoverable")
 	}
 }

@@ -90,7 +90,10 @@ func TestRaceLogDataUpdateWithNodeLoss(t *testing.T) {
 // Marker validation. The marker-less entry must be ignored by recovery.
 func TestRaceAtomicLogUpdate(t *testing.T) {
 	r := newRaceRig(t, core.StepLogMarkerWritten)
-	rep := r.m.Recover(-1, 2)
+	rep, err := r.m.Recover(-1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	_ = rep
 	snap, _ := r.m.SnapshotAt(2)
 	if err := r.m.VerifyAgainstSnapshot(snap); err != nil {

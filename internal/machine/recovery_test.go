@@ -40,7 +40,10 @@ func verifyCfg() Config {
 // the target snapshot and parity is consistent.
 func recoverAndCheck(t *testing.T, m *Machine, lost arch.NodeID, target uint64) {
 	t.Helper()
-	rep := m.Recover(lost, target)
+	rep, err := m.Recover(lost, target)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
 	if rep.Unavailable() <= 0 {
 		t.Fatal("recovery reported zero unavailable time")
 	}
@@ -80,7 +83,10 @@ func TestNodeLossRecoversMemoryFromParity(t *testing.T) {
 	m.Load(testProfile(200000))
 	runToEpoch(t, m, 2, 80*sim.Microsecond)
 	m.InjectNodeLoss(1)
-	rep := m.Recover(1, 2)
+	rep, err := m.Recover(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.LogPagesRebuilt == 0 {
 		t.Fatal("no log pages rebuilt for the lost node")
 	}
@@ -152,7 +158,10 @@ func TestRecoveryTimeGrowsWithLog(t *testing.T) {
 	shortRun.Load(testProfile(150000))
 	runToEpoch(t, shortRun, 2, 10*sim.Microsecond)
 	shortRun.InjectTransient()
-	repShort := shortRun.Recover(-1, 2)
+	repShort, err := shortRun.Recover(-1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	hot := testProfile(150000)
 	hot.ColdFrac = 0.05 // 5x the cold misses -> much bigger log
@@ -160,7 +169,10 @@ func TestRecoveryTimeGrowsWithLog(t *testing.T) {
 	longRun.Load(hot)
 	runToEpoch(t, longRun, 2, 10*sim.Microsecond)
 	longRun.InjectTransient()
-	repLong := longRun.Recover(-1, 2)
+	repLong, err := longRun.Recover(-1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if repLong.EntriesRestored <= repShort.EntriesRestored {
 		t.Fatalf("bigger workload logged fewer entries: %d vs %d",
@@ -177,7 +189,10 @@ func TestResumeAfterRecoveryRunsToCompletion(t *testing.T) {
 	m.Load(testProfile(150000))
 	runToEpoch(t, m, 2, 50*sim.Microsecond)
 	m.InjectTransient()
-	rep := m.Recover(-1, 2)
+	rep, err := m.Recover(-1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := m.Resume(rep); err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +210,10 @@ func TestResumeAfterNodeLossRunsToCompletion(t *testing.T) {
 	m.Load(testProfile(150000))
 	runToEpoch(t, m, 2, 50*sim.Microsecond)
 	m.InjectNodeLoss(2)
-	rep := m.Recover(2, 2)
+	rep, err := m.Recover(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := m.Resume(rep); err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +232,10 @@ func TestSecondErrorAfterResumeAlsoRecovers(t *testing.T) {
 	m.Load(testProfile(250000))
 	runToEpoch(t, m, 2, 50*sim.Microsecond)
 	m.InjectTransient()
-	rep := m.Recover(-1, 2)
+	rep, err := m.Recover(-1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := m.Resume(rep); err != nil {
 		t.Fatal(err)
 	}

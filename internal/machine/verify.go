@@ -2,10 +2,12 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 
 	"revive/internal/arch"
 	"revive/internal/cache"
 	"revive/internal/coherence"
+	"revive/internal/core"
 )
 
 // VerifyParity checks the distributed-parity invariant over the entire
@@ -54,6 +56,79 @@ func (m *Machine) VerifyParity() error {
 					return fmt.Errorf("parity mismatch at %v: parity has %x, want %x",
 						p, got[:8], want[:8])
 				}
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyLog checks the log-integrity invariant at quiescence: every
+// retained entry decodes to a validated data entry or a checkpoint marker
+// (a half-written entry at quiescence would mean a lost update sequence),
+// and every entry's epoch lies within the retention window
+// [newest+1-retain, newest]. Lost nodes are skipped — their logs are
+// unreadable until recovery rebuilds them.
+func (m *Machine) VerifyLog() error {
+	if m.Ctrls == nil {
+		return nil
+	}
+	retain := uint64(m.retain())
+	for _, ctrl := range m.Ctrls {
+		if m.Mems[ctrl.Node()].Lost() {
+			continue
+		}
+		cur := ctrl.Epoch()
+		var err error
+		ctrl.Log().WalkRetained(func(e core.EntryInfo) bool {
+			switch {
+			case !e.Valid && !e.Ckpt:
+				err = fmt.Errorf("node %d: retained log entry without a valid marker (line %#x epoch %d)",
+					ctrl.Node(), e.Line, e.Epoch)
+			case e.Epoch > cur:
+				err = fmt.Errorf("node %d: log entry for future epoch %d (current %d)",
+					ctrl.Node(), e.Epoch, cur)
+			case e.Epoch+retain <= cur:
+				err = fmt.Errorf("node %d: log entry of epoch %d survived reclamation (current %d, retain %d)",
+					ctrl.Node(), e.Epoch, cur, retain)
+			}
+			return err == nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyLBits checks the L-bit/log agreement invariant at quiescence:
+// every line whose Logged bit is set must have a validated log entry of
+// the current epoch on its home node (the bit promises the checkpoint
+// content is safely logged — section 3.2.2). The converse need not hold:
+// CommitEpoch gang-clears the bits but retains the previous epoch's
+// entries.
+func (m *Machine) VerifyLBits() error {
+	if m.Ctrls == nil {
+		return nil
+	}
+	for _, ctrl := range m.Ctrls {
+		if m.Mems[ctrl.Node()].Lost() {
+			continue
+		}
+		cur := ctrl.Epoch()
+		logged := make(map[arch.LineAddr]bool)
+		ctrl.Log().WalkRetained(func(e core.EntryInfo) bool {
+			if e.Valid && e.Epoch == cur {
+				logged[e.Line] = true
+			}
+			return true
+		})
+		var lines []arch.LineAddr
+		ctrl.ForEachLBit(func(l arch.LineAddr) { lines = append(lines, l) })
+		sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+		for _, l := range lines {
+			if !logged[l] {
+				return fmt.Errorf("node %d: L bit set for line %#x but no validated epoch-%d log entry",
+					ctrl.Node(), l, cur)
 			}
 		}
 	}

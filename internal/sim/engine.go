@@ -9,6 +9,8 @@
 // expressed directly in nanoseconds.
 package sim
 
+import "errors"
+
 // Time is a point in (or duration of) simulated time, in nanoseconds.
 type Time int64
 
@@ -159,6 +161,37 @@ func (e *Engine) RunUntil(t Time) {
 func (e *Engine) RunWhile(cond func() bool) {
 	for cond() && e.Step() {
 	}
+}
+
+// Watchdog errors returned by RunGuarded.
+var (
+	// ErrStalled: the event queue drained before the watched condition
+	// was met — the system cannot make further progress on its own (for
+	// a machine run, processors unfinished with nothing scheduled).
+	ErrStalled = errors.New("sim: event queue drained before the watched condition was met (stall)")
+	// ErrLivelock: the event budget was exhausted while events kept
+	// firing — the system is busy but not converging.
+	ErrLivelock = errors.New("sim: event budget exhausted (livelock suspected)")
+)
+
+// RunGuarded executes events until done reports true, guarding against the
+// two ways a simulation fails to terminate: a *stall* (queue drained with
+// the goal unmet) and a *livelock* (more than maxEvents events fire without
+// the goal being met; maxEvents <= 0 means no budget). It is the fault-
+// campaign watchdog: chaos runs use it everywhere a plain Run could hang a
+// campaign on a buggy build.
+func (e *Engine) RunGuarded(maxEvents uint64, done func() bool) error {
+	var n uint64
+	for !done() {
+		if !e.Step() {
+			return ErrStalled
+		}
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			return ErrLivelock
+		}
+	}
+	return nil
 }
 
 // Reset drops every pending event, preserving the clock. Fault injection

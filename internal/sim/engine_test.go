@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -125,6 +126,54 @@ func TestStepReturnsFalseWhenEmpty(t *testing.T) {
 	e := NewEngine()
 	if e.Step() {
 		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestRunGuardedStopsWhenDone(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.After(Time(i+1), func() { count++ })
+	}
+	if err := e.RunGuarded(100, func() bool { return count >= 4 }); err != nil {
+		t.Fatalf("RunGuarded: %v", err)
+	}
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("Pending() = %d, want 6", e.Pending())
+	}
+}
+
+func TestRunGuardedDetectsStall(t *testing.T) {
+	e := NewEngine()
+	e.After(1, func() {})
+	err := e.RunGuarded(100, func() bool { return false })
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+}
+
+func TestRunGuardedDetectsLivelock(t *testing.T) {
+	e := NewEngine()
+	var spin func()
+	spin = func() { e.After(1, spin) }
+	spin()
+	err := e.RunGuarded(1000, func() bool { return false })
+	if !errors.Is(err, ErrLivelock) {
+		t.Fatalf("err = %v, want ErrLivelock", err)
+	}
+}
+
+func TestRunGuardedNoBudget(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 50; i++ {
+		e.After(Time(i+1), func() { count++ })
+	}
+	if err := e.RunGuarded(0, func() bool { return count == 50 }); err != nil {
+		t.Fatalf("RunGuarded without budget: %v", err)
 	}
 }
 

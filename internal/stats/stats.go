@@ -143,3 +143,46 @@ func (s *Stats) TotalMemAccesses() uint64 {
 	}
 	return t
 }
+
+// Campaign aggregates the counters of one chaos fault-campaign run (the
+// internal/chaos engine fills it; revive-chaos prints it).
+type Campaign struct {
+	Campaigns int // schedules executed
+
+	NodeLosses  int // node-loss faults injected
+	Transients  int // transient faults injected
+	DuringRecov int // second faults injected during a running recovery
+	NoFault     int // campaigns whose trigger never fired before completion
+
+	Recoveries     int // successful recoveries
+	Unrecoverables int // typed refusals (damage beyond the fault model)
+	Completions    int // workloads resumed and run to completion
+	Checks         int // individual invariant evaluations
+	Violations     int // invariant violations observed
+	FailedRuns     int // campaigns with at least one violation
+	ShrinkRuns     int // re-executions spent minimizing failing schedules
+}
+
+// Add accumulates o into c.
+func (c *Campaign) Add(o Campaign) {
+	c.Campaigns += o.Campaigns
+	c.NodeLosses += o.NodeLosses
+	c.Transients += o.Transients
+	c.DuringRecov += o.DuringRecov
+	c.NoFault += o.NoFault
+	c.Recoveries += o.Recoveries
+	c.Unrecoverables += o.Unrecoverables
+	c.Completions += o.Completions
+	c.Checks += o.Checks
+	c.Violations += o.Violations
+	c.FailedRuns += o.FailedRuns
+	c.ShrinkRuns += o.ShrinkRuns
+}
+
+func (c Campaign) String() string {
+	return fmt.Sprintf("campaigns=%d faults(node-loss=%d transient=%d mid-recovery=%d none=%d) "+
+		"recoveries=%d unrecoverable=%d completions=%d checks=%d violations=%d failed=%d shrink-runs=%d",
+		c.Campaigns, c.NodeLosses, c.Transients, c.DuringRecov, c.NoFault,
+		c.Recoveries, c.Unrecoverables, c.Completions, c.Checks, c.Violations,
+		c.FailedRuns, c.ShrinkRuns)
+}

@@ -21,7 +21,11 @@
 // Fault injection and recovery:
 //
 //	m.InjectNodeLoss(5)
-//	report := m.Recover(5, targetEpoch)
+//	report, err := m.Recover(5, targetEpoch)
+//	if err != nil {
+//		// errors.Is(err, revive.ErrUnrecoverable): damage beyond the
+//		// fault model; *revive.RetentionError: target aged out.
+//	}
 //	fmt.Println(report.Unavailable())
 package revive
 
@@ -68,7 +72,18 @@ type (
 	Addr = arch.Addr
 	// Time is simulated time in nanoseconds (1 GHz: 1 cycle = 1 ns).
 	Time = sim.Time
+	// UnrecoverableError reports damage beyond the fault model: which
+	// parity group lost more than one node. It wraps ErrUnrecoverable.
+	UnrecoverableError = core.UnrecoverableError
+	// RetentionError reports a rollback target that aged out of the
+	// checkpoint retention window before recovery was requested.
+	RetentionError = machine.RetentionError
 )
+
+// ErrUnrecoverable is the sentinel wrapped by every refusal to recover
+// damage beyond ReVive's fault model (more than one lost node in a parity
+// group, section 3.1.2). Match with errors.Is.
+var ErrUnrecoverable = core.ErrUnrecoverable
 
 // Convenient duration units.
 const (
