@@ -1,12 +1,16 @@
 // Revive-chaos runs randomized fault campaigns against the ReVive machine
 // model: each campaign generates a fault schedule from a seed (node losses,
 // transients, multi-loss, double faults; injected at random times, protocol
-// steps, mid-commit or mid-recovery), executes it, recovers, and checks the
-// invariant registry at every quiescent point. Failing schedules are shrunk
-// to a minimal reproducer and written as a replayable JSON artifact.
+// steps, mid-commit or mid-recovery — plus fabric faults: probabilistic
+// message drop/corruption/duplication/delay and permanent link or router
+// kills), executes it, recovers, and checks the invariant registry at every
+// quiescent point. Failing schedules are shrunk to a minimal reproducer and
+// written as a replayable JSON artifact.
 //
 //	revive-chaos -campaigns 200 -seed 42          # the standing campaign
+//	revive-chaos -campaigns 200 -drop 0.01 -corrupt 0.001 -link-loss
 //	revive-chaos -campaigns 10 -bug data-before-log -out fail.json
+//	revive-chaos -campaigns 10 -bug drop-ack      # transport-audit self-test
 //	revive-chaos -replay fail.json                # re-execute a reproducer
 //
 // Exit status is 0 when every campaign holds all invariants, 1 otherwise.
@@ -24,8 +28,11 @@ import (
 func main() {
 	campaigns := flag.Int("campaigns", 50, "number of fault campaigns to run")
 	seed := flag.Uint64("seed", 1, "master seed (campaign schedules derive from it)")
-	bug := flag.String("bug", "", "run a deliberately broken build (\"data-before-log\") to validate the harness")
+	bug := flag.String("bug", "", "run a deliberately broken build (\"data-before-log\" or \"drop-ack\") to validate the harness")
 	budget := flag.Int("shrink-budget", 48, "re-executions allowed when minimizing a failing schedule")
+	drop := flag.Float64("drop", 0, "force a message-drop fault of this probability into every campaign")
+	corrupt := flag.Float64("corrupt", 0, "force a message-corruption fault of this probability into every campaign")
+	linkLoss := flag.Bool("link-loss", false, "force one random link or router kill into every campaign")
 	out := flag.String("out", "", "write failing campaigns' artifacts to this JSON file")
 	replay := flag.String("replay", "", "re-execute the schedule or artifact in this JSON file and exit")
 	verbose := flag.Bool("v", false, "log every campaign")
@@ -34,12 +41,19 @@ func main() {
 	if *replay != "" {
 		os.Exit(replayFile(*replay))
 	}
-	if *bug != "" && *bug != chaos.BugDataBeforeLog {
-		fmt.Fprintf(os.Stderr, "unknown -bug %q (known: %q)\n", *bug, chaos.BugDataBeforeLog)
+	if *bug != "" && *bug != chaos.BugDataBeforeLog && *bug != chaos.BugDropAck {
+		fmt.Fprintf(os.Stderr, "unknown -bug %q (known: %q, %q)\n", *bug, chaos.BugDataBeforeLog, chaos.BugDropAck)
+		os.Exit(2)
+	}
+	if *drop < 0 || *drop > 1 || *corrupt < 0 || *corrupt > 1 {
+		fmt.Fprintln(os.Stderr, "-drop and -corrupt are probabilities in [0, 1]")
 		os.Exit(2)
 	}
 
-	opts := chaos.Options{Campaigns: *campaigns, Seed: *seed, Bug: *bug, ShrinkBudget: *budget}
+	opts := chaos.Options{
+		Campaigns: *campaigns, Seed: *seed, Bug: *bug, ShrinkBudget: *budget,
+		DropProb: *drop, CorruptProb: *corrupt, LinkLoss: *linkLoss,
+	}
 	if *verbose {
 		opts.Log = func(f string, a ...any) { fmt.Printf(f+"\n", a...) }
 	}
@@ -82,7 +96,7 @@ func replayFile(path string) int {
 	if json.Unmarshal(data, &failures) == nil && len(failures) > 0 && failures[0].Artifact.Shrunk.Nodes != 0 {
 		data, _ = json.Marshal(failures[0].Artifact)
 	}
-	s, err := chaos.LoadArtifact(data)
+	s, err := chaos.LoadArtifact(data, path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1

@@ -145,6 +145,12 @@ func main() {
 	if *util {
 		fmt.Println("  per-node utilization:")
 		m.WriteUtilization(os.Stdout)
+		fmt.Printf("  fabric faults:  drops=%d corrupts=%d dups=%d delays=%d failovers=%d undeliverable=%d\n",
+			st.NetFaultDrops, st.NetFaultCorrupts, st.NetFaultDups, st.NetFaultDelays,
+			st.NetRouteFailovers, st.NetRouteDrops)
+		fmt.Printf("  transport:      retransmits=%d dedups=%d crc-caught=%d acks=%d unreachable=%d\n",
+			st.XportRetransmits, st.XportDupsDropped, st.XportCorruptsCaught,
+			st.XportAcks, st.XportUnreachable)
 	}
 	if !*baseline {
 		if err := m.VerifyParity(); err != nil {

@@ -12,12 +12,19 @@ import (
 	"revive/internal/workload"
 )
 
-// BugDataBeforeLog names the deliberately broken build used to validate the
+// BugDataBeforeLog names a deliberately broken build used to validate the
 // campaign engine itself: controllers write data before logging it (see
 // core.Controller.BugDataBeforeLog). A campaign whose fault forces a
 // rollback of any line written under the bug must fail the byte-exact
 // oracle.
 const BugDataBeforeLog = "data-before-log"
+
+// BugDropAck names the second deliberately broken build: the transport
+// sends frames fire-and-forget (no acks, no retransmission) while still
+// promising exactly-once delivery. Any campaign whose fabric drops or
+// corrupts a frame must fail the transport audit — the exactly-once
+// invariant is violated at the final quiescent point.
+const BugDropAck = "drop-ack"
 
 // interval is the campaign checkpoint interval: short, so every run crosses
 // several two-phase commits.
@@ -47,7 +54,7 @@ type Outcome struct {
 	NoFault     bool   `json:"no_fault"` // trigger never fired before completion
 	ArmedAt     int64  `json:"armed_at_ns,omitempty"`
 	FiredAt     int64  `json:"fired_at_ns,omitempty"`
-	FiredNode   int    `json:"fired_node"` // node whose controller fired a step trigger; -1 otherwise
+	FiredNode   int    `json:"fired_node"`       // node whose controller fired a step trigger; -1 otherwise
 	Target      uint64 `json:"target,omitempty"` // rollback target epoch
 	Lost        []int  `json:"lost,omitempty"`   // every node ever lost
 	SecondFired bool   `json:"second_fired,omitempty"`
@@ -56,8 +63,23 @@ type Outcome struct {
 	Recovered     bool `json:"recovered,omitempty"`
 	Completed     bool `json:"completed,omitempty"`
 
+	// Fabric-fault bookkeeping (unreliable-interconnect campaigns).
+	NetFaulted  bool   `json:"net_faulted,omitempty"` // a fault plan was attached
+	Escalations int    `json:"escalations,omitempty"` // unreachability reports escalated to node-loss recovery
+	Retransmits uint64 `json:"retransmits,omitempty"` // transport retransmissions
+	Drops       uint64 `json:"drops,omitempty"`       // fabric-injected drops
+	Corruptions uint64 `json:"corruptions,omitempty"` // fabric-injected corruptions
+	Failovers   uint64 `json:"failovers,omitempty"`   // routes steered around dead links
+	Dedups      uint64 `json:"dedups,omitempty"`      // duplicate frames suppressed
+
 	Checks     int         `json:"checks"`
 	Violations []Violation `json:"violations,omitempty"`
+
+	// EndAt is the simulated clock when the run ended. Fabric-only
+	// schedules with identical seeds differ only in their fault plan, so
+	// comparing EndAt across drop probabilities measures the execution-time
+	// cost of retransmission (EXPERIMENTS.md E17).
+	EndAt int64 `json:"end_ns,omitempty"`
 }
 
 // Failed reports whether the run violated any invariant.
@@ -65,6 +87,17 @@ func (o *Outcome) Failed() bool { return len(o.Violations) > 0 }
 
 func (o *Outcome) violate(phase, invariant, detail string) {
 	o.Violations = append(o.Violations, Violation{Phase: phase, Invariant: invariant, Detail: detail})
+}
+
+// collectNet copies the machine's fabric and transport counters into the
+// outcome (called once, when the run ends).
+func (o *Outcome) collectNet(m *machine.Machine) {
+	st := m.Stats
+	o.Retransmits = st.XportRetransmits
+	o.Drops = st.NetFaultDrops
+	o.Corruptions = st.NetFaultCorrupts
+	o.Failovers = st.NetRouteFailovers
+	o.Dedups = st.XportDupsDropped
 }
 
 // Invariant is one named machine-wide consistency check.
@@ -82,6 +115,7 @@ func Registry() []Invariant {
 		{"log-markers", (*machine.Machine).VerifyLog},
 		{"lbits", (*machine.Machine).VerifyLBits},
 		{"coherence", (*machine.Machine).VerifyCoherence},
+		{"transport", (*machine.Machine).VerifyTransport},
 	}
 }
 
@@ -112,6 +146,9 @@ func buildMachine(s Schedule) *machine.Machine {
 		for _, ctrl := range m.Ctrls {
 			ctrl.BugDataBeforeLog = true
 		}
+	}
+	if s.Bug == BugDropAck {
+		m.Xport.DisableAcks = true
 	}
 	return m
 }
@@ -156,6 +193,178 @@ func beyondModel(s Schedule, lost []int) bool {
 	return false
 }
 
+// errAbort is the internal signal that a run segment already recorded its
+// terminal outcome (violations or a typed refusal) and the run must stop.
+var errAbort = errors.New("chaos: run aborted")
+
+// runner carries the mutable state of one schedule execution.
+type runner struct {
+	o      *Outcome
+	m      *machine.Machine
+	s      Schedule
+	budget uint64
+
+	escVictim arch.NodeID // node blamed by the unreachability detector; -1 when none
+	everLost  map[int]bool
+
+	// episode is the set of nodes lost since the last fully verified
+	// recovery. The fault-model meta-check must use it, not everLost:
+	// ReVive tolerates one loss per parity group *at a time* — a node that
+	// was lost, recovered and parity-verified may legitimately be followed
+	// by a loss of its group neighbor (sequential, not simultaneous).
+	episode map[int]bool
+}
+
+// lostList returns the cumulative ever-lost set, sorted (reporting only).
+func (r *runner) lostList() []int {
+	return sortedKeys(r.everLost)
+}
+
+// episodeList returns the current damage episode's lost set, sorted.
+func (r *runner) episodeList() []int {
+	return sortedKeys(r.episode)
+}
+
+func sortedKeys(m map[int]bool) []int {
+	var out []int
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// markLost records a node as lost in both the cumulative and the
+// episode-scoped sets.
+func (r *runner) markLost(n int) {
+	r.everLost[n] = true
+	r.episode[n] = true
+}
+
+// seg runs the engine until done() holds, handling any transport
+// escalations that interrupt the segment. Returns errAbort when an
+// escalation ended the run (outcome already recorded), or the watchdog
+// error.
+func (r *runner) seg(done func() bool) error {
+	for {
+		err := r.m.Engine.RunGuarded(r.budget, func() bool { return done() || r.escVictim >= 0 })
+		if r.escVictim >= 0 {
+			if !r.escalate() {
+				return errAbort
+			}
+			continue
+		}
+		return err
+	}
+}
+
+// escalate services one unreachability report: the degradation ladder's
+// last rung. The transport exhausted its retransmit budget, detection
+// blamed a node, and the chaos hook froze the machine — from here the
+// response is exactly the paper's node-loss recovery. The victim's module
+// (memory *and* router: replacing the board replaces its fabric hardware)
+// is marked lost and repaired, memory is rebuilt from parity, and the
+// machine rolls back and resumes. Returns false when the run is over
+// (refusal or violation recorded).
+func (r *runner) escalate() bool {
+	v := r.escVictim
+	r.escVictim = -1
+	o, m := r.o, r.m
+	o.Escalations++
+	if !m.Mems[v].Lost() {
+		m.Mems[v].MarkLost()
+	}
+	// Module replacement: the repaired node comes back with working fabric
+	// hardware, so the plan's kills on its links and router are lifted.
+	m.Net.RepairNode(v)
+	for _, n := range m.LostNodes() {
+		r.markLost(int(n))
+	}
+	// Recovery drives controller steps; the primary fault's step trigger
+	// must not fire off them.
+	hooks := make([]func(core.Step, arch.LineAddr), len(m.Ctrls))
+	for i, ctrl := range m.Ctrls {
+		hooks[i] = ctrl.StepHook
+		ctrl.StepHook = nil
+	}
+	target := m.Ckpt.Epoch()
+	rep, err := m.Recover(-1, target)
+	for i, ctrl := range m.Ctrls {
+		ctrl.StepHook = hooks[i]
+	}
+	beyond := beyondModel(r.s, r.episodeList())
+	switch {
+	case err == nil:
+		if beyond {
+			o.violate("escalation", "fault-model",
+				fmt.Sprintf("recovery accepted damage beyond the fault model (lost %v, group size %d)",
+					r.episodeList(), r.s.GroupSize))
+			return false
+		}
+		o.Recovered = true
+		o.Checks++
+		if snap, ok := m.SnapshotAt(target); !ok {
+			o.violate("escalation", "byte-exact",
+				fmt.Sprintf("snapshot of target epoch %d missing after recovery", target))
+		} else if err := m.VerifyAgainstSnapshot(snap); err != nil {
+			o.violate("escalation", "byte-exact", err.Error())
+		}
+		o.checkQuiescent(m, "escalation")
+		if o.Failed() {
+			return false
+		}
+		if err := m.Resume(rep); err != nil {
+			o.violate("escalation", "resume", err.Error())
+			return false
+		}
+		// Recovery verified end to end (parity included): the damage
+		// episode is closed and the group can tolerate a fresh loss.
+		r.episode = map[int]bool{}
+		return true
+	case isUnrecoverable(err):
+		o.Unrecoverable = true
+		if !beyond {
+			o.violate("escalation", "fault-model",
+				fmt.Sprintf("refused recoverable damage (lost %v, group size %d): %v",
+					r.episodeList(), r.s.GroupSize, err))
+		}
+		return false
+	default:
+		o.violate("escalation", "recovery", err.Error())
+		return false
+	}
+}
+
+// finish drains the run to completion under the livelock watchdog and
+// evaluates the registry one last time. Watchdog trips additionally run the
+// transport audit: a drained-but-stalled engine is a final state for the
+// exactly-once check, and a lost frame with no retransmission (the drop-ack
+// bug) surfaces here.
+func (r *runner) finish() {
+	o, m := r.o, r.m
+	for {
+		if err := r.seg(m.Done); err != nil {
+			if err != errAbort {
+				o.violate("run", "watchdog", err.Error())
+				if terr := m.VerifyTransport(); terr != nil {
+					o.violate("run", "transport", terr.Error())
+				}
+			}
+			return
+		}
+		m.Engine.Run() // drain post-completion events (acks, idle timers)
+		if r.escVictim >= 0 {
+			if !r.escalate() {
+				return
+			}
+			continue
+		}
+		break
+	}
+	o.Completed = true
+	o.checkQuiescent(m, "final")
+}
+
 // RunSchedule executes one schedule on a fresh machine and returns its
 // outcome. The run is fully deterministic: the same schedule always yields
 // the same outcome (shrinking and replay depend on this).
@@ -167,29 +376,60 @@ func RunSchedule(s Schedule) *Outcome {
 	}
 	m := buildMachine(s)
 	m.Load(profile(s))
+	r := &runner{o: o, m: m, s: s, budget: eventBudget(s), escVictim: -1,
+		everLost: map[int]bool{}, episode: map[int]bool{}}
+	defer func() {
+		o.Lost = r.lostList()
+		o.collectNet(m)
+		o.EndAt = int64(m.Engine.Now())
+	}()
 
 	var committed uint64
 	m.OnCheckpoint = func(e uint64) {
 		committed = e
 		o.checkQuiescent(m, fmt.Sprintf("commit-%d", e))
 	}
+	// Transport escalation hook: record the blamed node and fail-stop. The
+	// runner handles recovery outside the event loop.
+	m.OnUnreachable = func(victim arch.NodeID) {
+		if r.escVictim >= 0 {
+			return // already handling one report
+		}
+		r.escVictim = victim
+		m.Freeze()
+	}
 	m.Start()
-	budget := eventBudget(s)
 
-	// Run to the arming point: checkpoint armEpoch committed.
-	if err := m.Engine.RunGuarded(budget, func() bool { return committed >= armEpoch || m.Done() }); err != nil {
+	// Run to the arming point: checkpoint armEpoch committed. No fault plan
+	// is attached yet, so no escalation can interrupt this segment.
+	if err := m.Engine.RunGuarded(r.budget, func() bool { return committed >= armEpoch || m.Done() }); err != nil {
 		o.violate("pre-arm", "watchdog", err.Error())
 		return o
 	}
 	o.ArmedAt = int64(m.Engine.Now())
 	if len(s.Faults) == 0 || (m.Done() && committed < armEpoch) {
 		o.NoFault = true
-		o.finish(m, budget)
+		r.finish()
 		return o
 	}
 
-	// Arm the primary fault's trigger.
-	f := s.Faults[0]
+	// Attach the fabric fault plan: its windows open relative to ArmedAt,
+	// and the transport switches from passthrough to reliable delivery.
+	if p := s.plan(sim.Time(o.ArmedAt)); p != nil {
+		m.SetFaultPlan(p)
+		o.NetFaulted = true
+	}
+
+	primary := primaryIndex(s)
+	if primary < 0 {
+		// Fabric-only schedule: no machine fault to arm; the lossy fabric
+		// itself is the experiment.
+		r.finish()
+		return o
+	}
+
+	// Arm the primary machine fault's trigger.
+	f := s.Faults[primary]
 	fired := false
 	firedNode := arch.NodeID(-1)
 	fire := func(node arch.NodeID) {
@@ -203,9 +443,32 @@ func RunSchedule(s Schedule) *Outcome {
 	}
 	switch f.Trigger {
 	case AtTime:
-		m.Engine.RunUntil(sim.Time(o.ArmedAt + f.DelayNS))
-		if !m.Done() {
-			fire(-1)
+		deadline := sim.Time(o.ArmedAt + f.DelayNS)
+		for !fired {
+			if m.Engine.Now() >= deadline {
+				if !m.Done() {
+					fire(-1)
+				}
+				break
+			}
+			// A marker event pins the exact fire instant; an escalation's
+			// Freeze drops it (Engine.Reset), so the loop re-arms it.
+			reached := false
+			m.Engine.At(deadline, func() { reached = true })
+			err := r.seg(func() bool { return reached || m.Done() })
+			if err == errAbort {
+				return o
+			}
+			if err != nil {
+				o.violate("armed", "watchdog", err.Error())
+				return o
+			}
+			if reached && !m.Done() {
+				fire(-1)
+			}
+			if m.Done() {
+				break
+			}
 		}
 	case AtStep, AtCommit:
 		want := core.StepLogMarkerParityApplied // AtCommit: a checkpoint marker's parity application
@@ -229,9 +492,12 @@ func RunSchedule(s Schedule) *Outcome {
 				fire(ctrl.Node())
 			}
 		}
-		err := m.Engine.RunGuarded(budget, func() bool { return fired || m.Done() })
+		err := r.seg(func() bool { return fired || m.Done() })
 		for _, ctrl := range m.Ctrls {
 			ctrl.StepHook = nil
+		}
+		if err == errAbort {
+			return o
 		}
 		if err != nil {
 			o.violate("armed", "watchdog", err.Error())
@@ -240,7 +506,7 @@ func RunSchedule(s Schedule) *Outcome {
 	}
 	if !fired {
 		o.NoFault = true
-		o.finish(m, budget)
+		r.finish()
 		return o
 	}
 
@@ -254,14 +520,18 @@ func RunSchedule(s Schedule) *Outcome {
 			m.Mems[n].MarkLost()
 		}
 	}
-	everLost := map[int]bool{}
 	for _, n := range m.LostNodes() {
-		everLost[int(n)] = true
+		r.markLost(int(n))
 	}
 
 	// Arm any in-recovery second faults on the phase hook (one-shot each —
 	// the hook fires again on every restart attempt).
-	rec := s.Faults[1:]
+	var rec []Fault
+	for i, rf := range s.Faults {
+		if i != primary && !rf.Kind.IsNet() {
+			rec = append(rec, rf)
+		}
+	}
 	recFired := make([]bool, len(rec))
 	m.OnRecoveryPhase = func(p int) {
 		for i, rf := range rec {
@@ -282,22 +552,18 @@ func RunSchedule(s Schedule) *Outcome {
 		if recFired[i] {
 			o.SecondFired = true
 			for _, n := range rf.Nodes {
-				everLost[n] = true
+				r.markLost(n)
 			}
 		}
 	}
-	for n := range everLost {
-		o.Lost = append(o.Lost, n)
-	}
-	sort.Ints(o.Lost)
-	beyond := beyondModel(s, o.Lost)
+	beyond := beyondModel(s, r.episodeList())
 
 	switch {
 	case err == nil:
 		if beyond {
 			o.violate("post-recovery", "fault-model",
 				fmt.Sprintf("recovery accepted damage beyond the fault model (lost %v, group size %d)",
-					o.Lost, s.GroupSize))
+					r.episodeList(), s.GroupSize))
 			return o
 		}
 		o.Recovered = true
@@ -316,12 +582,13 @@ func RunSchedule(s Schedule) *Outcome {
 			o.violate("resume", "resume", err.Error())
 			return o
 		}
-		o.finish(m, budget)
+		r.episode = map[int]bool{} // verified recovery closes the episode
+		r.finish()
 	case isUnrecoverable(err):
 		o.Unrecoverable = true
 		if !beyond {
 			o.violate("recovery", "fault-model",
-				fmt.Sprintf("refused recoverable damage (lost %v, group size %d): %v", o.Lost, s.GroupSize, err))
+				fmt.Sprintf("refused recoverable damage (lost %v, group size %d): %v", r.episodeList(), s.GroupSize, err))
 		}
 		// The machine is legitimately damaged; no further checks apply.
 	default:
@@ -333,16 +600,4 @@ func RunSchedule(s Schedule) *Outcome {
 // isUnrecoverable matches the typed refusal for beyond-model damage.
 func isUnrecoverable(err error) bool {
 	return errors.Is(err, core.ErrUnrecoverable)
-}
-
-// finish drains the run to completion under the livelock watchdog and
-// evaluates the registry one last time.
-func (o *Outcome) finish(m *machine.Machine, budget uint64) {
-	if err := m.Engine.RunGuarded(budget, m.Done); err != nil {
-		o.violate("run", "watchdog", err.Error())
-		return
-	}
-	m.Engine.Run() // drain post-completion events
-	o.Completed = true
-	o.checkQuiescent(m, "final")
 }

@@ -3,6 +3,7 @@ package chaos
 import (
 	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -33,7 +34,7 @@ func TestGenerateCoversTriggerSpace(t *testing.T) {
 			}
 		}
 	}
-	for _, k := range []FaultKind{NodeLoss, Transient} {
+	for _, k := range []FaultKind{NodeLoss, Transient, MsgDrop, MsgCorrupt, LinkLoss} {
 		if kinds[k] == 0 {
 			t.Errorf("kind %q never generated", k)
 		}
@@ -67,6 +68,28 @@ func TestValidateRejectsMalformedSchedules(t *testing.T) {
 		{"node out of range", func(s *Schedule) {
 			s.Faults = []Fault{{Kind: NodeLoss, Trigger: AtTime, Nodes: []int{99}}}
 		}},
+		{"msg-drop without probability", func(s *Schedule) {
+			s.Faults = []Fault{{Kind: MsgDrop, Trigger: AtTime}}
+		}},
+		{"msg-drop probability above one", func(s *Schedule) {
+			s.Faults = []Fault{{Kind: MsgDrop, Trigger: AtTime, Prob: 1.5}}
+		}},
+		{"msg-corrupt on a step trigger", func(s *Schedule) {
+			s.Faults = []Fault{{Kind: MsgCorrupt, Trigger: AtStep, Step: "log-marker-parity-applied", Prob: 0.01}}
+		}},
+		{"msg-drop unknown class", func(s *Schedule) {
+			s.Faults = []Fault{{Kind: MsgDrop, Trigger: AtTime, Prob: 0.01, Class: "BOGUS"}}
+		}},
+		{"msg-delay without extra latency", func(s *Schedule) {
+			s.Faults = []Fault{{Kind: MsgDelay, Trigger: AtTime, Prob: 0.01}}
+		}},
+		{"link-loss between non-neighbors", func(s *Schedule) {
+			s.Nodes, s.GroupSize = 8, 2
+			s.Faults = []Fault{{Kind: LinkLoss, Trigger: AtTime, Nodes: []int{0, 2}}}
+		}},
+		{"link-loss with no nodes", func(s *Schedule) {
+			s.Faults = []Fault{{Kind: LinkLoss, Trigger: AtTime}}
+		}},
 	}
 	for _, c := range cases {
 		s := ok.clone()
@@ -81,15 +104,24 @@ func TestValidateRejectsMalformedSchedules(t *testing.T) {
 }
 
 // TestRunScheduleDeterministic is the property shrinking and replay rest
-// on: the same schedule always produces the same outcome.
+// on: the same schedule always produces the same outcome — with fabric
+// faults included, since those make every timing wiggle visible through
+// the per-message fault RNG. (This caught a real leak: log frame
+// reclamation once returned frames to the free list in map iteration
+// order, so reused frames landed at different addresses and the whole
+// simulation diverged run to run.)
 func TestRunScheduleDeterministic(t *testing.T) {
 	s := Generate(3)
 	s.Instr = 60000
-	a, b := RunSchedule(s), RunSchedule(s)
-	ja, _ := json.Marshal(a)
-	jb, _ := json.Marshal(b)
-	if string(ja) != string(jb) {
-		t.Fatalf("outcomes differ:\n%s\n%s", ja, jb)
+	s.Faults = append(s.Faults,
+		Fault{Kind: MsgDrop, Trigger: AtTime, Prob: 0.01},
+		Fault{Kind: MsgCorrupt, Trigger: AtTime, Prob: 0.002})
+	a, _ := json.Marshal(RunSchedule(s))
+	for i := 0; i < 3; i++ {
+		b, _ := json.Marshal(RunSchedule(s))
+		if string(a) != string(b) {
+			t.Fatalf("rerun %d diverged:\n%s\nvs\n%s", i, a, b)
+		}
 	}
 }
 
@@ -141,7 +173,7 @@ func TestBrokenBuildCaughtAndShrunk(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := LoadArtifact(blob)
+	s, err := LoadArtifact(blob, "artifact.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,14 +197,171 @@ func TestBrokenBuildCaughtAndShrunk(t *testing.T) {
 func TestLoadArtifactBareSchedule(t *testing.T) {
 	s := Generate(9)
 	blob, _ := json.Marshal(s)
-	got, err := LoadArtifact(blob)
+	got, err := LoadArtifact(blob, "repro.json")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(got, s) {
 		t.Fatalf("bare schedule did not round-trip: %+v vs %+v", got, s)
 	}
-	if _, err := LoadArtifact([]byte("{")); err == nil {
+	if _, err := LoadArtifact([]byte("{"), "bad.json"); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+// TestLoadArtifactStrict: a typo'd key in a hand-edited replay file must
+// fail loudly (naming the file), never silently no-op the fault.
+func TestLoadArtifactStrict(t *testing.T) {
+	s := Generate(9)
+	blob, _ := json.Marshal(s)
+	// "fautls" is the classic typo: without DisallowUnknownFields the
+	// schedule would load with no faults at all and trivially pass.
+	bad := []byte(`{"seed":1,"nodes":4,"group_size":2,"retain":2,"instr":60000,"fautls":[]}`)
+	if _, err := LoadArtifact(bad, "typo.json"); err == nil {
+		t.Fatal("unknown field accepted")
+	} else if !strings.Contains(err.Error(), "typo.json") {
+		t.Fatalf("error does not name the file: %v", err)
+	}
+	// An invalid but well-formed schedule must also name the file.
+	var inv Schedule
+	_ = json.Unmarshal(blob, &inv)
+	inv.Retain = 1
+	invBlob, _ := json.Marshal(inv)
+	if _, err := LoadArtifact(invBlob, "invalid.json"); err == nil {
+		t.Fatal("invalid schedule accepted")
+	} else if !strings.Contains(err.Error(), "invalid.json") {
+		t.Fatalf("error does not name the file: %v", err)
+	}
+}
+
+// TestFabricCampaignsNoViolations is the unreliable-interconnect acceptance
+// check in miniature: campaigns forced onto a lossy, corrupting fabric with
+// a dead link per run must still pass the full invariant registry (the CI
+// smoke and EXPERIMENTS.md E17 run the large version).
+func TestFabricCampaignsNoViolations(t *testing.T) {
+	n := 10
+	if testing.Short() {
+		n = 4
+	}
+	sum := Run(Options{Campaigns: n, Seed: 11, DropProb: 0.01, CorruptProb: 0.001, LinkLoss: true})
+	for _, f := range sum.Failures {
+		t.Errorf("seed %#x: %v", f.CampaignSeed, f.Outcome.Violations)
+	}
+	c := sum.Counters
+	if c.NetFaulted != n {
+		t.Fatalf("NetFaulted = %d, want %d (every campaign carries forced fabric faults)", c.NetFaulted, n)
+	}
+	if c.Drops == 0 || c.Retransmits == 0 {
+		t.Fatalf("fabric faults had no effect: drops=%d retransmits=%d", c.Drops, c.Retransmits)
+	}
+	if c.Corruptions == 0 {
+		t.Errorf("no corruption was injected across %d campaigns", n)
+	}
+	t.Logf("%s", c)
+}
+
+// TestRouterKillEscalatesToNodeLoss drives the degradation ladder end to
+// end: a dead router strands a node, the transport exhausts its retransmit
+// budget, detection blames the victim, and the machine recovers it exactly
+// like a node loss — then resumes and completes byte-exact.
+func TestRouterKillEscalatesToNodeLoss(t *testing.T) {
+	s := Schedule{
+		Seed: 5, Nodes: 4, GroupSize: 2, Retain: 2, Instr: 60000,
+		Faults: []Fault{{Kind: LinkLoss, Trigger: AtTime, DelayNS: 1000, Nodes: []int{2}}},
+	}
+	o := RunSchedule(s)
+	if o.Failed() {
+		t.Fatalf("violations: %v", o.Violations)
+	}
+	if o.Escalations == 0 {
+		t.Fatal("router kill never escalated to node-loss recovery")
+	}
+	if !o.Recovered || !o.Completed {
+		t.Fatalf("escalated run did not recover and complete: %+v", o)
+	}
+	if len(o.Lost) != 1 || o.Lost[0] != 2 {
+		t.Fatalf("escalation blamed %v, want node 2 (the dead router)", o.Lost)
+	}
+}
+
+// TestSingleLinkLossFailsOver: one dead directed link must be absorbed by
+// the routing ladder alone — failover, no escalation, no violations. (On a
+// 4x2 torus the long-way ring route survives; a 2x2 torus is degenerate —
+// both ring directions share endpoints — and would correctly escalate.)
+func TestSingleLinkLossFailsOver(t *testing.T) {
+	s := Schedule{
+		Seed: 6, Nodes: 8, GroupSize: 2, Retain: 2, Instr: 60000,
+		Faults: []Fault{{Kind: LinkLoss, Trigger: AtTime, DelayNS: 1000, Nodes: []int{0, 1}}},
+	}
+	o := RunSchedule(s)
+	if o.Failed() {
+		t.Fatalf("violations: %v", o.Violations)
+	}
+	if o.Escalations != 0 {
+		t.Fatalf("a single dead link escalated (%d escalations); failover should absorb it", o.Escalations)
+	}
+	if o.Failovers == 0 {
+		t.Fatal("no route ever failed over the dead link")
+	}
+	if !o.Completed {
+		t.Fatalf("run did not complete: %+v", o)
+	}
+}
+
+// TestFlushStoreBufferRaceRegression replays the minimal schedule the
+// campaign engine shrank a real bug to: the checkpoint manager declared
+// quiescence while retirements were still chained through untracked
+// store-buffer drain events, so a store could land between FlushDirty's
+// dirty-line fold and the write-back capture — memory got the fresh value
+// while the retained L2 copy stayed stale-but-clean. Buffered stores now
+// count as in-flight work, so the flush cannot begin until they retire.
+func TestFlushStoreBufferRaceRegression(t *testing.T) {
+	s := Schedule{
+		Seed: 6090060009079043311, Nodes: 4, GroupSize: 2, Retain: 3, Instr: 25000,
+		Faults: []Fault{
+			{Kind: Transient, Trigger: AtTime, DelayNS: 31204},
+			{Kind: MsgDrop, Trigger: AtTime, Prob: 0.05},
+		},
+	}
+	o := RunSchedule(s)
+	if o.Failed() {
+		t.Fatalf("violations: %v", o.Violations)
+	}
+	if !o.Completed {
+		t.Fatalf("run did not complete: %+v", o)
+	}
+}
+
+// TestDropAckBugCaughtAndShrunk is the harness self-test for the transport
+// audit: a build that sends fire-and-forget (no acks, no retransmission)
+// on a lossy fabric must be caught by the exactly-once invariant and
+// shrunk to a replayable artifact.
+func TestDropAckBugCaughtAndShrunk(t *testing.T) {
+	sum := Run(Options{Campaigns: 6, Seed: 42, Bug: BugDropAck, ShrinkBudget: 24})
+	if len(sum.Failures) == 0 {
+		t.Fatal("no campaign caught the drop-ack build")
+	}
+	f := sum.Failures[0]
+	found := false
+	for _, v := range f.Artifact.Violations {
+		if v.Invariant == "transport" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a transport violation from the drop-ack build, got %v", f.Artifact.Violations)
+	}
+	// The shrunk artifact must replay to a failure.
+	blob, err := json.Marshal(f.Artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadArtifact(blob, "drop-ack.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RunSchedule(s)
+	if !out.Failed() {
+		t.Fatalf("replayed drop-ack reproducer no longer fails: %+v", s)
 	}
 }

@@ -1,9 +1,11 @@
 package chaos
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 
+	"revive/internal/network"
 	"revive/internal/sim"
 	"revive/internal/stats"
 )
@@ -14,6 +16,14 @@ type Options struct {
 	Seed         uint64 // master seed; campaign seeds derive from it
 	Bug          string // deliberately broken build to apply ("" = healthy)
 	ShrinkBudget int    // re-executions allowed per failing schedule (default 48)
+
+	// Forced fabric faults, layered onto every generated schedule (the
+	// acceptance sweep: -drop/-corrupt/-link-loss in revive-chaos). Zero
+	// values add nothing; Generate still rolls its own fabric faults.
+	DropProb    float64 // per-message drop probability
+	CorruptProb float64 // per-message corruption probability
+	LinkLoss    bool    // kill one random link or router per campaign
+
 	// Log, if set, receives progress lines.
 	Log func(format string, a ...any)
 }
@@ -40,6 +50,35 @@ type Summary struct {
 	Failures []Failure
 }
 
+// force layers the Options' fabric faults onto a generated schedule. The
+// link choice is deterministic in the schedule seed.
+func force(opts Options, s *Schedule) {
+	if opts.DropProb > 0 {
+		s.Faults = append(s.Faults, Fault{Kind: MsgDrop, Trigger: AtTime, Prob: opts.DropProb})
+	}
+	if opts.CorruptProb > 0 {
+		s.Faults = append(s.Faults, Fault{Kind: MsgCorrupt, Trigger: AtTime, Prob: opts.CorruptProb})
+	}
+	if opts.LinkLoss {
+		rng := sim.NewRand(s.Seed ^ 0x11A4)
+		f := Fault{Kind: LinkLoss, Trigger: AtTime, DelayNS: int64(rng.Intn(int(interval)))}
+		a := rng.Intn(s.Nodes)
+		if rng.Bool(0.4) {
+			f.Nodes = []int{a}
+		} else {
+			dimX, dimY := network.TorusShape(s.Nodes)
+			nbs := network.TorusNeighbors(dimX, dimY, a)
+			f.Nodes = []int{a, nbs[rng.Intn(4)]}
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	if opts.Bug == BugDropAck && len(netFaults(*s)) == 0 {
+		// The drop-ack bug is only observable on a lossy fabric; make sure
+		// every campaign of the self-test batch has one.
+		s.Faults = append(s.Faults, Fault{Kind: MsgDrop, Trigger: AtTime, Prob: 0.01})
+	}
+}
+
 // Run executes opts.Campaigns randomized campaigns. Every failing schedule
 // is shrunk to a minimal reproducer. The batch is deterministic in
 // opts.Seed.
@@ -60,14 +99,19 @@ func Run(opts Options) *Summary {
 		seed := master.Uint64()
 		s := Generate(seed)
 		s.Bug = opts.Bug
+		force(opts, &s)
 		out := RunSchedule(s)
 		sum.absorb(out)
 		logf("campaign %3d seed %#016x: %s", i, seed, describe(out))
 		if out.Failed() {
 			shrunk, shrunkOut, runs := Shrink(s, opts.ShrinkBudget)
 			sum.Counters.ShrinkRuns += runs
+			var first any = "original violation did not reproduce (nondeterminism?)"
+			if len(shrunkOut.Violations) > 0 {
+				first = shrunkOut.Violations[0]
+			}
 			logf("  shrunk %d fault(s) to %d in %d runs: %v",
-				len(s.Faults), len(shrunk.Faults), runs, shrunkOut.Violations[0])
+				len(s.Faults), len(shrunk.Faults), runs, first)
 			sum.Failures = append(sum.Failures, Failure{
 				CampaignSeed: seed,
 				Outcome:      out,
@@ -87,8 +131,8 @@ func Run(opts Options) *Summary {
 func (sum *Summary) absorb(o *Outcome) {
 	c := &sum.Counters
 	c.Campaigns++
-	if o.Injected {
-		switch o.Schedule.Faults[0].Kind {
+	if p := primaryIndex(o.Schedule); p >= 0 && o.Injected {
+		switch o.Schedule.Faults[p].Kind {
 		case NodeLoss:
 			c.NodeLosses++
 		case Transient:
@@ -115,42 +159,73 @@ func (sum *Summary) absorb(o *Outcome) {
 	if o.Failed() {
 		c.FailedRuns++
 	}
+	if o.NetFaulted {
+		c.NetFaulted++
+	}
+	c.Escalations += o.Escalations
+	c.Retransmits += o.Retransmits
+	c.Drops += o.Drops
+	c.Corruptions += o.Corruptions
+	c.Failovers += o.Failovers
+	c.Dedups += o.Dedups
 }
 
 // describe renders one outcome as a progress line.
 func describe(o *Outcome) string {
+	fabric := ""
+	if o.NetFaulted {
+		fabric = fmt.Sprintf(" [fabric: drops=%d corrupt=%d rexmit=%d failover=%d escalations=%d]",
+			o.Drops, o.Corruptions, o.Retransmits, o.Failovers, o.Escalations)
+	}
 	switch {
 	case o.Failed():
 		return fmt.Sprintf("VIOLATION %v", o.Violations[0])
 	case o.Unrecoverable:
-		return fmt.Sprintf("unrecoverable as expected (lost %v)", o.Lost)
+		return fmt.Sprintf("unrecoverable as expected (lost %v)%s", o.Lost, fabric)
 	case o.NoFault:
-		return "completed before the trigger fired"
+		return "completed before the trigger fired" + fabric
 	case o.Completed && o.SecondFired:
-		return fmt.Sprintf("double fault, recovered to epoch %d, completed (%d checks)", o.Target, o.Checks)
+		return fmt.Sprintf("double fault, recovered to epoch %d, completed (%d checks)%s", o.Target, o.Checks, fabric)
 	case o.Completed:
-		return fmt.Sprintf("recovered to epoch %d, completed (%d checks)", o.Target, o.Checks)
+		return fmt.Sprintf("recovered to epoch %d, completed (%d checks)%s", o.Target, o.Checks, fabric)
 	default:
-		return fmt.Sprintf("recovered to epoch %d (%d checks)", o.Target, o.Checks)
+		return fmt.Sprintf("recovered to epoch %d (%d checks)%s", o.Target, o.Checks, fabric)
 	}
 }
 
+// strict decodes JSON rejecting unknown fields (a typo'd key in a
+// hand-edited replay file must fail loudly, not silently no-op).
+func strict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
 // LoadArtifact parses a replay file: a full Artifact or a bare Schedule.
-// It returns the schedule to re-execute (the shrunk reproducer when
-// present, else the original).
-func LoadArtifact(data []byte) (Schedule, error) {
+// Unknown JSON fields are rejected, and every error names the file. It
+// returns the schedule to re-execute (the shrunk reproducer when present,
+// else the original).
+func LoadArtifact(data []byte, name string) (Schedule, error) {
 	var a Artifact
-	if err := json.Unmarshal(data, &a); err == nil {
-		if a.Shrunk.Nodes != 0 {
-			return a.Shrunk, a.Shrunk.Validate()
+	if err := strict(data, &a); err == nil {
+		s := a.Shrunk
+		if s.Nodes == 0 {
+			s = a.Original
 		}
-		if a.Original.Nodes != 0 {
-			return a.Original, a.Original.Validate()
+		if s.Nodes == 0 {
+			return s, fmt.Errorf("chaos: %s: artifact carries no schedule", name)
 		}
+		if err := s.Validate(); err != nil {
+			return s, fmt.Errorf("%s: %w", name, err)
+		}
+		return s, nil
 	}
 	var s Schedule
-	if err := json.Unmarshal(data, &s); err != nil {
-		return s, fmt.Errorf("chaos: replay file is neither an artifact nor a schedule: %w", err)
+	if err := strict(data, &s); err != nil {
+		return s, fmt.Errorf("chaos: %s: replay file is neither an artifact nor a schedule: %w", name, err)
 	}
-	return s, s.Validate()
+	if err := s.Validate(); err != nil {
+		return s, fmt.Errorf("%s: %w", name, err)
+	}
+	return s, nil
 }

@@ -4,19 +4,24 @@
 // simultaneous multi-loss; injected at a random simulated time, at a
 // random protocol step of the section 4.2 update sequences, during a
 // checkpoint's two-phase commit, or while a previous recovery is still
-// running), executes it on a full machine, and checks a registry of
-// invariants after every phase: byte-exact memory versus the checkpoint
-// snapshot, parity-stripe XOR consistency, log marker validity, L-bit/log
-// agreement, and a sim-kernel watchdog that flags stalls and livelock.
-// Failing schedules are shrunk to a minimal reproducer and emitted as a
-// replayable JSON artifact (cmd/revive-chaos).
+// running — plus fabric faults: probabilistic message drop, corruption,
+// duplication and delay, and permanent link or router kills), executes it
+// on a full machine, and checks a registry of invariants after every
+// phase: byte-exact memory versus the checkpoint snapshot, parity-stripe
+// XOR consistency, log marker validity, L-bit/log agreement, the
+// transport's exactly-once delivery audit, and a sim-kernel watchdog that
+// flags stalls and livelock. Failing schedules are shrunk to a minimal
+// reproducer and emitted as a replayable JSON artifact (cmd/revive-chaos).
 package chaos
 
 import (
 	"fmt"
 
+	"revive/internal/arch"
 	"revive/internal/core"
+	"revive/internal/network"
 	"revive/internal/sim"
+	"revive/internal/stats"
 )
 
 // FaultKind selects what the fault destroys.
@@ -30,14 +35,45 @@ const (
 	// Transient is a system-wide error that kills all in-flight state
 	// but leaves memory intact.
 	Transient FaultKind = "transient"
+
+	// LinkLoss permanently kills fabric hardware: with two nodes listed,
+	// the directed link Nodes[0] -> Nodes[1]; with one node listed, that
+	// node's whole router (every route in, out or through it dies — the
+	// "network partition of one" that must escalate to node-loss
+	// recovery once the retransmit budget is exhausted).
+	LinkLoss FaultKind = "link-loss"
+	// MsgDrop discards each matching message with probability Prob.
+	MsgDrop FaultKind = "msg-drop"
+	// MsgCorrupt flips a frame-header bit with probability Prob; the
+	// transport CRC must turn it into a retransmission, never a silent
+	// wrong delivery.
+	MsgCorrupt FaultKind = "msg-corrupt"
+	// MsgDup injects an extra copy with probability Prob; receiver dedup
+	// must deliver exactly once.
+	MsgDup FaultKind = "msg-dup"
+	// MsgDelay adds ExtraNS of latency with probability Prob, reordering
+	// the message past later traffic; sequence numbers must restore the
+	// send order.
+	MsgDelay FaultKind = "msg-delay"
 )
+
+// IsNet reports whether the kind is a fabric fault (applied through the
+// network FaultPlan at arming time) rather than a machine fault.
+func (k FaultKind) IsNet() bool {
+	switch k {
+	case LinkLoss, MsgDrop, MsgCorrupt, MsgDup, MsgDelay:
+		return true
+	}
+	return false
+}
 
 // Trigger selects when a fault fires.
 type Trigger string
 
 const (
 	// AtTime fires DelayNS nanoseconds of simulated time after the
-	// arming point (the second checkpoint's commit).
+	// arming point (the second checkpoint's commit). Fabric faults only
+	// use this trigger: their plan window opens at ArmedAt+DelayNS.
 	AtTime Trigger = "time"
 	// AtStep fires at the Skip'th occurrence of protocol step Step after
 	// arming — the section 4.2 race points.
@@ -63,15 +99,23 @@ type Fault struct {
 	Skip int    `json:"skip,omitempty"`
 	// Phase applies to InRecovery: inject after this recovery phase.
 	Phase int `json:"phase,omitempty"`
-	// Nodes lists the nodes to lose (NodeLoss). Empty under AtStep means
-	// "the node whose controller fired the step".
+	// Nodes lists the nodes to lose (NodeLoss), or the link/router to
+	// kill (LinkLoss). Empty under AtStep means "the node whose
+	// controller fired the step".
 	Nodes []int `json:"nodes,omitempty"`
+	// Prob is the per-message probability of the msg-* fabric faults.
+	Prob float64 `json:"prob,omitempty"`
+	// ExtraNS is the added latency of a msg-delay fault.
+	ExtraNS int64 `json:"extra_ns,omitempty"`
+	// Class restricts a msg-* fault to one traffic class by its figure
+	// label ("RD/RDX", "PAR", ...); empty matches every class.
+	Class string `json:"class,omitempty"`
 }
 
 // Schedule is one complete, self-contained campaign description. Running
 // the same schedule always produces the same outcome: the machine model is
-// a deterministic discrete-event simulation and the workload is derived
-// from Seed.
+// a deterministic discrete-event simulation, the workload is derived from
+// Seed, and the fabric fault plan draws from its own seeded PRNG.
 type Schedule struct {
 	Seed      uint64  `json:"seed"`
 	Nodes     int     `json:"nodes"`
@@ -93,6 +137,29 @@ func (s Schedule) clone() Schedule {
 	return c
 }
 
+// primaryIndex returns the index of the schedule's primary machine fault
+// (the one non-InRecovery node-loss/transient), or -1 for a fabric-only
+// schedule.
+func primaryIndex(s Schedule) int {
+	for i, f := range s.Faults {
+		if !f.Kind.IsNet() && f.Trigger != InRecovery {
+			return i
+		}
+	}
+	return -1
+}
+
+// netFaults returns the schedule's fabric faults in order.
+func netFaults(s Schedule) []Fault {
+	var out []Fault
+	for _, f := range s.Faults {
+		if f.Kind.IsNet() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 // Validate rejects malformed schedules (hand-written or corrupted replay
 // artifacts) before the runner touches a machine.
 func (s Schedule) Validate() error {
@@ -108,10 +175,18 @@ func (s Schedule) Validate() error {
 	if s.Instr < 1000 {
 		return fmt.Errorf("chaos: instruction budget %d too small to reach a checkpoint", s.Instr)
 	}
-	if s.Bug != "" && s.Bug != BugDataBeforeLog {
-		return fmt.Errorf("chaos: unknown bug %q", s.Bug)
+	if s.Bug != "" && s.Bug != BugDataBeforeLog && s.Bug != BugDropAck {
+		return fmt.Errorf("chaos: unknown bug %q (known: %q, %q)", s.Bug, BugDataBeforeLog, BugDropAck)
 	}
+	dimX, dimY := network.TorusShape(s.Nodes)
+	primarySeen := false
 	for i, f := range s.Faults {
+		if f.Kind.IsNet() {
+			if err := s.validateNetFault(i, f, dimX, dimY); err != nil {
+				return err
+			}
+			continue
+		}
 		if f.Kind != NodeLoss && f.Kind != Transient {
 			return fmt.Errorf("chaos: fault %d: unknown kind %q", i, f.Kind)
 		}
@@ -126,8 +201,8 @@ func (s Schedule) Validate() error {
 			}
 		case AtCommit:
 		case InRecovery:
-			if i == 0 {
-				return fmt.Errorf("chaos: fault 0 cannot trigger in-recovery (nothing to recover yet)")
+			if !primarySeen {
+				return fmt.Errorf("chaos: fault %d: in-recovery trigger without a preceding machine fault", i)
 			}
 			if f.Phase < 1 || f.Phase > 4 {
 				return fmt.Errorf("chaos: fault %d: recovery phase %d out of range", i, f.Phase)
@@ -138,8 +213,11 @@ func (s Schedule) Validate() error {
 		default:
 			return fmt.Errorf("chaos: fault %d: unknown trigger %q", i, f.Trigger)
 		}
-		if i > 0 && f.Trigger != InRecovery {
-			return fmt.Errorf("chaos: fault %d: only the first fault may trigger outside recovery", i)
+		if f.Trigger != InRecovery {
+			if primarySeen {
+				return fmt.Errorf("chaos: fault %d: only one machine fault may trigger outside recovery", i)
+			}
+			primarySeen = true
 		}
 		if f.Kind == NodeLoss && len(f.Nodes) == 0 && f.Trigger != AtStep {
 			return fmt.Errorf("chaos: fault %d: node-loss without nodes only valid under a step trigger", i)
@@ -153,10 +231,101 @@ func (s Schedule) Validate() error {
 	return nil
 }
 
+// validateNetFault checks one fabric fault.
+func (s Schedule) validateNetFault(i int, f Fault, dimX, dimY int) error {
+	if f.Trigger != AtTime {
+		return fmt.Errorf("chaos: fault %d: fabric fault %q requires the %q trigger", i, f.Kind, AtTime)
+	}
+	if f.DelayNS < 0 {
+		return fmt.Errorf("chaos: fault %d: negative delay", i)
+	}
+	for _, n := range f.Nodes {
+		if n < 0 || n >= s.Nodes {
+			return fmt.Errorf("chaos: fault %d: node %d out of range", i, n)
+		}
+	}
+	if f.Kind == LinkLoss {
+		switch len(f.Nodes) {
+		case 1: // router kill
+		case 2:
+			adjacent := false
+			for _, nb := range network.TorusNeighbors(dimX, dimY, f.Nodes[0]) {
+				if nb == f.Nodes[1] {
+					adjacent = true
+				}
+			}
+			if !adjacent {
+				return fmt.Errorf("chaos: fault %d: nodes %d and %d are not torus neighbors (no such link)",
+					i, f.Nodes[0], f.Nodes[1])
+			}
+		default:
+			return fmt.Errorf("chaos: fault %d: link-loss wants one node (router) or two (directed link), got %d",
+				i, len(f.Nodes))
+		}
+		return nil
+	}
+	// Probabilistic message faults.
+	if f.Prob <= 0 || f.Prob > 1 {
+		return fmt.Errorf("chaos: fault %d: probability %g out of (0, 1]", i, f.Prob)
+	}
+	if f.Class != "" {
+		if _, ok := stats.ParseClass(f.Class); !ok {
+			return fmt.Errorf("chaos: fault %d: unknown traffic class %q", i, f.Class)
+		}
+	}
+	if f.Kind == MsgDelay && f.ExtraNS <= 0 {
+		return fmt.Errorf("chaos: fault %d: msg-delay needs a positive extra_ns", i)
+	}
+	return nil
+}
+
+// plan compiles the schedule's fabric faults into a network FaultPlan
+// whose windows open relative to the arming time. Returns nil when the
+// schedule has none.
+func (s Schedule) plan(armedAt sim.Time) *network.FaultPlan {
+	nf := netFaults(s)
+	if len(nf) == 0 {
+		return nil
+	}
+	p := &network.FaultPlan{Seed: s.Seed ^ 0xFAB71C}
+	for _, f := range nf {
+		at := armedAt + sim.Time(f.DelayNS)
+		if f.Kind == LinkLoss {
+			if len(f.Nodes) == 1 {
+				p.RouterKills = append(p.RouterKills, network.RouterKill{Node: arch.NodeID(f.Nodes[0]), At: at})
+			} else {
+				p.LinkKills = append(p.LinkKills, network.LinkKill{
+					From: arch.NodeID(f.Nodes[0]), To: arch.NodeID(f.Nodes[1]), At: at})
+			}
+			continue
+		}
+		class := network.AnyClass
+		if f.Class != "" {
+			class, _ = stats.ParseClass(f.Class)
+		}
+		r := network.Rule{Prob: f.Prob, Class: class, From: at}
+		switch f.Kind {
+		case MsgDrop:
+			r.Op = network.OpDrop
+		case MsgCorrupt:
+			r.Op = network.OpCorrupt
+		case MsgDup:
+			r.Op = network.OpDup
+		case MsgDelay:
+			r.Op = network.OpDelay
+			r.Extra = sim.Time(f.ExtraNS)
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	return p
+}
+
 // Generate derives a random schedule deterministically from seed. The
 // distribution deliberately includes damage beyond the fault model
 // (same-group multi-loss): the campaign then asserts the typed refusal
-// instead of a recovery.
+// instead of a recovery. About a third of schedules also stress the
+// fabric: lossy/corrupting/duplicating/delaying message rules or a
+// permanent link or router kill ride alongside the machine fault.
 func Generate(seed uint64) Schedule {
 	rng := sim.NewRand(seed)
 	s := Schedule{Seed: seed, Retain: 2}
@@ -223,5 +392,44 @@ func Generate(seed uint64) Schedule {
 			Nodes:   []int{rng.Intn(s.Nodes)},
 		})
 	}
+
+	// Fabric faults: active from a random offset after arming until the
+	// end of the run.
+	if rng.Bool(0.35) {
+		for n := 1 + rng.Intn(2); n > 0; n-- {
+			s.Faults = append(s.Faults, generateNetFault(rng, s.Nodes))
+		}
+	}
 	return s
+}
+
+// generateNetFault draws one fabric fault.
+func generateNetFault(rng *sim.Rand, nodes int) Fault {
+	f := Fault{Trigger: AtTime, DelayNS: int64(rng.Intn(int(interval)))}
+	switch rng.Intn(8) {
+	case 0, 1, 2:
+		f.Kind = MsgDrop
+		f.Prob = 0.002 + 0.018*rng.Float64()
+	case 3, 4:
+		f.Kind = MsgCorrupt
+		f.Prob = 0.0005 + 0.0025*rng.Float64()
+	case 5:
+		f.Kind = MsgDup
+		f.Prob = 0.002 + 0.01*rng.Float64()
+	case 6:
+		f.Kind = MsgDelay
+		f.Prob = 0.005 + 0.02*rng.Float64()
+		f.ExtraNS = int64(50 + rng.Intn(400))
+	default:
+		f.Kind = LinkLoss
+		a := rng.Intn(nodes)
+		if rng.Bool(0.4) {
+			f.Nodes = []int{a} // router kill: forces unreachability escalation
+		} else {
+			dimX, dimY := network.TorusShape(nodes)
+			nbs := network.TorusNeighbors(dimX, dimY, a)
+			f.Nodes = []int{a, nbs[rng.Intn(4)]}
+		}
+	}
+	return f
 }

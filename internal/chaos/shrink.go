@@ -2,10 +2,10 @@ package chaos
 
 // Shrinking: a failing schedule is minimized by deterministic re-execution.
 // Each pass proposes a structurally smaller candidate (fewer faults, a
-// coarser trigger, a shorter delay, fewer skipped steps, a shorter
-// workload, fewer lost nodes) and keeps it only if it still violates an
-// invariant. The result is the minimal reproducer written into the replay
-// artifact.
+// coarser trigger, a shorter delay, fewer skipped steps, a gentler fabric
+// fault, a shorter workload, fewer lost nodes) and keeps it only if it
+// still violates an invariant. The result is the minimal reproducer
+// written into the replay artifact.
 
 // Shrink minimizes s within a budget of re-executions (including the
 // initial reproduction run). It returns the smallest failing schedule
@@ -47,20 +47,20 @@ func Shrink(s Schedule, budget int) (Schedule, *Outcome, int) {
 			}
 		}
 
-		if len(best.Faults) > 0 {
-			f := best.Faults[0]
+		if p := primaryIndex(best); p >= 0 {
+			f := best.Faults[p]
 
 			// Relax a step/commit trigger to a plain time trigger at the
 			// recorded firing offset: if the violation survives, the exact
 			// protocol step was incidental.
 			if (f.Trigger == AtStep || f.Trigger == AtCommit) && bestOut.Injected {
 				c := best.clone()
-				c.Faults[0].Trigger = AtTime
-				c.Faults[0].DelayNS = bestOut.FiredAt - bestOut.ArmedAt
-				c.Faults[0].Step = ""
-				c.Faults[0].Skip = 0
+				c.Faults[p].Trigger = AtTime
+				c.Faults[p].DelayNS = bestOut.FiredAt - bestOut.ArmedAt
+				c.Faults[p].Step = ""
+				c.Faults[p].Skip = 0
 				if f.Kind == NodeLoss && len(f.Nodes) == 0 && bestOut.FiredNode >= 0 {
-					c.Faults[0].Nodes = []int{bestOut.FiredNode}
+					c.Faults[p].Nodes = []int{bestOut.FiredNode}
 				}
 				if try(c) {
 					improved = true
@@ -68,31 +68,61 @@ func Shrink(s Schedule, budget int) (Schedule, *Outcome, int) {
 			}
 
 			// Bisect the injection time toward the arming point.
-			if best.Faults[0].Trigger == AtTime && best.Faults[0].DelayNS > 0 {
+			if best.Faults[p].Trigger == AtTime && best.Faults[p].DelayNS > 0 {
 				c := best.clone()
-				c.Faults[0].DelayNS /= 2
+				c.Faults[p].DelayNS /= 2
 				if try(c) {
 					improved = true
 				}
 			}
 
 			// Fewer skipped step occurrences.
-			if best.Faults[0].Skip > 0 {
+			if best.Faults[p].Skip > 0 {
 				c := best.clone()
-				c.Faults[0].Skip /= 2
+				c.Faults[p].Skip /= 2
 				if try(c) {
 					improved = true
 				}
 			}
+		}
 
-			// Fewer lost nodes per fault.
-			for fi := range best.Faults {
-				for ni := len(best.Faults[fi].Nodes) - 1; ni >= 0 && len(best.Faults[fi].Nodes) > 1; ni-- {
-					c := best.clone()
-					c.Faults[fi].Nodes = append(c.Faults[fi].Nodes[:ni], c.Faults[fi].Nodes[ni+1:]...)
-					if try(c) {
-						improved = true
-					}
+		// Fewer lost nodes per fault. Link-loss faults are exempt: their
+		// node list names a link, not a set of victims, and dropping an
+		// endpoint would turn a dead link into a dead router — a larger
+		// fault, not a smaller one.
+		for fi := range best.Faults {
+			if best.Faults[fi].Kind == LinkLoss {
+				continue
+			}
+			for ni := len(best.Faults[fi].Nodes) - 1; ni >= 0 && len(best.Faults[fi].Nodes) > 1; ni-- {
+				c := best.clone()
+				c.Faults[fi].Nodes = append(c.Faults[fi].Nodes[:ni], c.Faults[fi].Nodes[ni+1:]...)
+				if try(c) {
+					improved = true
+				}
+			}
+		}
+
+		// Gentler fabric faults: halve probabilities and delay inflation.
+		// A reproducer that still fails at half the loss rate localizes the
+		// bug better than a storm.
+		for fi := range best.Faults {
+			f := best.Faults[fi]
+			if !f.Kind.IsNet() || f.Kind == LinkLoss {
+				continue
+			}
+			if f.Prob > 0.0001 {
+				c := best.clone()
+				c.Faults[fi].Prob /= 2
+				if try(c) {
+					improved = true
+				}
+			}
+			if f.Kind == MsgDelay && f.ExtraNS > 1 {
+				c := best.clone()
+				c.Faults[fi].ExtraNS /= 2
+				if try(c) {
+					improved = true
 				}
 			}
 		}

@@ -48,7 +48,7 @@ type CacheCtrl struct {
 	l1, l2  *cache.Cache
 	bus     *sim.Resource
 	busCfg  BusConfig
-	net     *network.Network
+	net     network.Fabric
 	amap    *arch.AddressMap
 	st      *stats.Stats
 	tracker *Tracker
@@ -74,7 +74,7 @@ type CacheCtrl struct {
 
 // NewCacheCtrl builds one node's cache controller.
 func NewCacheCtrl(engine *sim.Engine, node arch.NodeID, l1Cfg, l2Cfg cache.Config,
-	busCfg BusConfig, net *network.Network, amap *arch.AddressMap,
+	busCfg BusConfig, net network.Fabric, amap *arch.AddressMap,
 	st *stats.Stats, tracker *Tracker) *CacheCtrl {
 	return &CacheCtrl{
 		engine: engine, node: node,
@@ -160,6 +160,11 @@ func (c *CacheCtrl) Store(addr arch.Addr, val uint64, done func()) {
 		return
 	}
 	c.sb = append(c.sb, sbEntry{addr: addr, val: val})
+	// A buffered store is in-flight work: the drain chain advances through
+	// plain scheduled events with no MSHR of its own, so without this the
+	// tracker can read zero — and a checkpoint begin its flush — while
+	// retirements are still pending (stale data reaches memory).
+	c.tracker.Inc()
 	c.drain()
 	done()
 }
@@ -205,6 +210,7 @@ func (c *CacheCtrl) drainHead() {
 	// Writable: retire the store.
 	c.applyStore(l1l, e)
 	c.sb = c.sb[1:]
+	c.tracker.Dec()
 	if c.sbStalled != nil {
 		retry := c.sbStalled
 		c.sbStalled = nil
@@ -311,6 +317,7 @@ func (c *CacheCtrl) retireHeadStoreIfReady(line arch.LineAddr) {
 	}
 	c.applyStore(l1l, c.sb[0])
 	c.sb = c.sb[1:]
+	c.tracker.Dec()
 	if c.sbStalled != nil {
 		retry := c.sbStalled
 		c.sbStalled = nil
@@ -514,6 +521,12 @@ func (c *CacheCtrl) FlushDirty(done func()) {
 	if c.flushDone != nil {
 		panic("coherence: concurrent flushes")
 	}
+	if len(c.sb) != 0 {
+		// A store retiring mid-flush lands between dirty-line enumeration
+		// and write-back capture, so its value would reach memory but not
+		// the retained L2 copy.
+		panic("coherence: flush with buffered stores")
+	}
 	// Fold dirty L1 lines into L2 first, paying one L1+L2 access each.
 	t := c.engine.Now()
 	for _, l1l := range c.l1.DirtyLines() {
@@ -549,7 +562,11 @@ func (c *CacheCtrl) flushIssue() {
 		}
 		data := l2l.Data
 		if l1l := c.l1.Probe(line); l1l != nil && l1l.State == cache.Modified {
-			data = l1l.Data // dirtied again after the merge? defensive
+			// Dirtied again after the merge. Ship the fresh data and fold
+			// it into L2 too: wbAck downgrades both levels to clean, so a
+			// stale L2 copy here would survive as clean-but-wrong.
+			data = l1l.Data
+			l2l.Data = l1l.Data
 		}
 		c.flushing[line] = true
 		c.flushInflight++

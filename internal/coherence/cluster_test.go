@@ -45,7 +45,7 @@ func newCluster(nodes int) *cluster {
 	default:
 		netCfg.DimX, netCfg.DimY = nodes, 1
 	}
-	net := network.New(engine, netCfg, st)
+	net := network.MustNew(engine, netCfg, st)
 	c := &cluster{engine: engine, st: st, tracker: tracker, amap: amap, net: net}
 	for n := 0; n < nodes; n++ {
 		m := mem.New(engine, mem.DefaultConfig())

@@ -100,7 +100,7 @@ type DirCtrl struct {
 	node    arch.NodeID
 	cfg     DirConfig
 	mem     *mem.Memory
-	net     *network.Network
+	net     network.Fabric
 	amap    *arch.AddressMap
 	st      *stats.Stats
 	tracker *Tracker
@@ -118,7 +118,7 @@ type DirCtrl struct {
 // NewDirCtrl builds the home controller for one node. Wire the cache
 // controllers afterwards with SetCaches.
 func NewDirCtrl(engine *sim.Engine, node arch.NodeID, cfg DirConfig, m *mem.Memory,
-	net *network.Network, amap *arch.AddressMap, st *stats.Stats, tracker *Tracker) *DirCtrl {
+	net network.Fabric, amap *arch.AddressMap, st *stats.Stats, tracker *Tracker) *DirCtrl {
 	return &DirCtrl{
 		engine: engine, node: node, cfg: cfg, mem: m, net: net, amap: amap,
 		st: st, tracker: tracker,

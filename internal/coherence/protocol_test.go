@@ -514,3 +514,32 @@ func TestSharedLineManyWritersSerialized(t *testing.T) {
 		t.Fatal("memory never received any store")
 	}
 }
+
+// TestStoreBufferCountsAsOutstanding: a buffered store is in-flight work.
+// The checkpoint algorithm's quiescence wait relies on this — the drain
+// chain advances through plain scheduled events, so if the buffer were
+// invisible to the tracker a flush could begin with retirements pending
+// (the store would reach memory but not the retained L2 copy).
+func TestStoreBufferCountsAsOutstanding(t *testing.T) {
+	c := newCluster(2)
+	a := addrOnPage(1, 0, 0)
+	c.store(0, a, 1)
+	if c.tracker.Quiescent() {
+		t.Fatal("tracker quiescent with a store still buffered")
+	}
+	c.run(t) // fails if the count never drains back to zero
+}
+
+// TestFlushRefusesBufferedStores: FlushDirty's precondition (no pending
+// processor-side work) is now enforced, not just documented.
+func TestFlushRefusesBufferedStores(t *testing.T) {
+	c := newCluster(2)
+	a := addrOnPage(1, 0, 0)
+	c.store(0, a, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FlushDirty accepted a non-empty store buffer")
+		}
+	}()
+	c.caches[0].FlushDirty(func() {})
+}

@@ -74,7 +74,7 @@ type Controller struct {
 	topo    arch.Topology
 	amap    *arch.AddressMap
 	dirs    []*coherence.DirCtrl
-	net     *network.Network
+	net     network.Fabric
 	st      *stats.Stats
 	tracker *coherence.Tracker
 	peers   []*Controller // indexed by node; set by Wire
@@ -121,7 +121,7 @@ type Controller struct {
 
 // NewController builds the ReVive extension for one node.
 func NewController(engine *sim.Engine, node arch.NodeID, topo arch.Topology,
-	amap *arch.AddressMap, dirs []*coherence.DirCtrl, net *network.Network,
+	amap *arch.AddressMap, dirs []*coherence.DirCtrl, net network.Fabric,
 	st *stats.Stats, tracker *coherence.Tracker) *Controller {
 	return &Controller{
 		engine: engine, node: node, topo: topo, amap: amap, dirs: dirs, net: net,

@@ -22,7 +22,7 @@ func newCtrlRig() (*sim.Engine, []*Controller, *arch.AddressMap) {
 	amap := arch.NewAddressMap(topo)
 	netCfg := network.DefaultConfig()
 	netCfg.DimX, netCfg.DimY = 4, 2
-	net := network.New(engine, netCfg, st)
+	net := network.MustNew(engine, netCfg, st)
 	var dirs []*coherence.DirCtrl
 	for n := 0; n < 8; n++ {
 		m := mem.New(engine, mem.DefaultConfig())

@@ -10,6 +10,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"revive/internal/arch"
 	"revive/internal/mem"
@@ -155,12 +156,20 @@ func (l *HWLog) ReclaimTo(keepFrom uint64) {
 		}
 		l.head++
 	}
-	// Frames wholly behind the head return to the free list for reuse.
+	// Frames wholly behind the head return to the free list for reuse, in
+	// ring order: the free list feeds slot allocation, so its order must
+	// not depend on map iteration or the whole simulation loses
+	// run-to-run reproducibility.
+	var dead []int
 	for mf := range l.frameFor {
 		if mf < l.head/slotsPerFrame {
-			l.free = append(l.free, l.frameFor[mf])
-			delete(l.frameFor, mf)
+			dead = append(dead, mf)
 		}
+	}
+	sort.Ints(dead)
+	for _, mf := range dead {
+		l.free = append(l.free, l.frameFor[mf])
+		delete(l.frameFor, mf)
 	}
 }
 

@@ -56,6 +56,35 @@ func (m *Machine) ScheduleNodeLoss(at, detectLatency sim.Time, node arch.NodeID,
 	m.scheduleError(at, detectLatency, node, done)
 }
 
+// ResolveUnreachable decides which endpoint of a failed transport path is
+// actually at fault. When a sender exhausts its retransmit budget it only
+// knows the *path* src->dst is dead — if src's own router died, src sees
+// every destination as unreachable and would blame the wrong node. The
+// resolver takes the global detector's view the paper assumes (section
+// 3.1.2 treats detection as given): it counts how many other live nodes
+// can still route to each endpoint, and blames the more isolated one; on a
+// tie the destination is blamed (the sender demonstrably still has a
+// working egress for the report itself).
+func (m *Machine) ResolveUnreachable(src, dst arch.NodeID) arch.NodeID {
+	reach := func(n arch.NodeID) int {
+		cnt := 0
+		for w := 0; w < m.Cfg.Nodes; w++ {
+			id := arch.NodeID(w)
+			if id == src || id == dst {
+				continue
+			}
+			if m.Net.Reachable(id, n) {
+				cnt++
+			}
+		}
+		return cnt
+	}
+	if reach(src) < reach(dst) {
+		return src
+	}
+	return dst
+}
+
 func (m *Machine) scheduleError(at, detectLatency sim.Time, node arch.NodeID,
 	done func(DetectionReport)) {
 	m.Engine.At(at, func() {

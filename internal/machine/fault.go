@@ -56,6 +56,7 @@ func (m *Machine) InjectTransient() {
 func (m *Machine) Freeze() {
 	m.Engine.Reset()
 	m.Tracker.Reset()
+	m.Xport.Reset() // in-flight transport frames roll back with everything else
 	for _, ctrl := range m.Ctrls {
 		ctrl.Halt()
 	}

@@ -98,6 +98,7 @@ type Machine struct {
 	Topo    arch.Topology
 	AMap    *arch.AddressMap
 	Net     *network.Network
+	Xport   *network.Transport
 	Mems    []*mem.Memory
 	Dirs    []*coherence.DirCtrl
 	Caches  []*coherence.CacheCtrl
@@ -119,6 +120,11 @@ type Machine struct {
 	// restarts. Note the hook fires again on each restart attempt —
 	// one-shot injectors must guard themselves.
 	OnRecoveryPhase func(phase int)
+	// OnUnreachable, if set, receives the node the detection layer blames
+	// when the transport exhausts its retransmit budget (see
+	// ResolveUnreachable). The handler is expected to treat it as a node
+	// loss: freeze, mark lost, repair the fabric, recover.
+	OnUnreachable func(victim arch.NodeID)
 }
 
 // New assembles a machine (no workload yet).
@@ -130,26 +136,37 @@ func New(cfg Config) *Machine {
 	}
 	if cfg.Net.DimX*cfg.Net.DimY != cfg.Nodes {
 		// Pick a torus shape for non-default node counts.
-		cfg.Net.DimX, cfg.Net.DimY = torusShape(cfg.Nodes)
+		cfg.Net.DimX, cfg.Net.DimY = network.TorusShape(cfg.Nodes)
 	}
 	engine := sim.NewEngine()
 	st := stats.New()
 	tracker := &coherence.Tracker{}
 	amap := arch.NewAddressMap(topo)
-	net := network.New(engine, cfg.Net, st)
+	net, err := network.New(engine, cfg.Net, st)
+	if err != nil {
+		panic(err)
+	}
+	// Every controller sends through the reliable transport. With no
+	// fault plan attached it is a strict passthrough to the raw torus.
+	xport := network.NewTransport(net, network.DefaultTransportConfig())
 
 	m := &Machine{
 		Cfg: cfg, Engine: engine, Stats: st, Tracker: tracker,
-		Topo: topo, AMap: amap, Net: net,
+		Topo: topo, AMap: amap, Net: net, Xport: xport,
 		snapshots: make(map[uint64]*Snapshot),
+	}
+	xport.OnUnreachable = func(src, dst arch.NodeID) {
+		if m.OnUnreachable != nil {
+			m.OnUnreachable(m.ResolveUnreachable(src, dst))
+		}
 	}
 	for n := 0; n < cfg.Nodes; n++ {
 		mm := mem.New(engine, cfg.Mem)
 		m.Mems = append(m.Mems, mm)
 		m.Dirs = append(m.Dirs, coherence.NewDirCtrl(engine, arch.NodeID(n), cfg.Dir,
-			mm, net, amap, st, tracker))
+			mm, xport, amap, st, tracker))
 		m.Caches = append(m.Caches, coherence.NewCacheCtrl(engine, arch.NodeID(n),
-			cfg.L1, cfg.L2, cfg.Bus, net, amap, st, tracker))
+			cfg.L1, cfg.L2, cfg.Bus, xport, amap, st, tracker))
 	}
 	for n := 0; n < cfg.Nodes; n++ {
 		m.Dirs[n].SetCaches(m.Caches)
@@ -158,7 +175,7 @@ func New(cfg Config) *Machine {
 	if cfg.Revive {
 		for n := 0; n < cfg.Nodes; n++ {
 			ctrl := core.NewController(engine, arch.NodeID(n), topo, amap,
-				m.Dirs, net, st, tracker)
+				m.Dirs, xport, st, tracker)
 			ctrl.DisableLBits = cfg.DisableLBits
 			ctrl.DisableEagerLog = cfg.DisableEagerLog
 			m.Ctrls = append(m.Ctrls, ctrl)
@@ -172,14 +189,11 @@ func New(cfg Config) *Machine {
 	return m
 }
 
-func torusShape(nodes int) (x, y int) {
-	x = 1
-	for i := 2; i*i <= nodes; i++ {
-		if nodes%i == 0 {
-			x = i
-		}
-	}
-	return nodes / x, x
+// SetFaultPlan attaches a fabric fault plan. Every controller already
+// sends through the reliable transport, which switches from passthrough to
+// framed/acknowledged mode the moment the plan is non-empty.
+func (m *Machine) SetFaultPlan(p *network.FaultPlan) {
+	m.Net.SetPlan(p)
 }
 
 // Load attaches a workload: one processor per node.

@@ -135,6 +135,18 @@ func (m *Machine) VerifyLBits() error {
 	return nil
 }
 
+// VerifyTransport checks the reliable transport's exactly-once invariant:
+// no payload was ever delivered twice and — once the event queue has fully
+// drained, so no retransmission or ack can still be in flight — every
+// payload sent was delivered, explicitly failed, or rolled back. On a
+// perfect fabric the transport is a passthrough and the check is vacuous.
+func (m *Machine) VerifyTransport() error {
+	if m.Xport == nil {
+		return nil
+	}
+	return m.Xport.Verify(m.Engine.Pending() == 0)
+}
+
 // VerifyCoherence checks the machine-wide coherence invariants at
 // quiescence, relating each home directory's view to the actual cache
 // contents and memory:
@@ -185,7 +197,8 @@ func (m *Machine) VerifyCoherence() error {
 				if isDirty {
 					dirty = append(dirty, arch.NodeID(n))
 				} else if l2.Data != memData {
-					err = fmt.Errorf("node %d: clean copy of %#x differs from memory", n, e.Line)
+					err = fmt.Errorf("node %d: clean copy of %#x differs from memory (dir=%s owner=%d sharers=%#x l2state=%v cache=%x mem=%x)",
+						n, e.Line, e.State, e.Owner, e.Sharers, l2.State, l2.Data[:8], memData[:8])
 					return
 				}
 			}

@@ -1,0 +1,186 @@
+package network
+
+import (
+	"revive/internal/arch"
+	"revive/internal/sim"
+	"revive/internal/stats"
+)
+
+// FaultPlan makes the fabric unreliable. The paper's fault model (section
+// 3.1.2) assumes the interconnect either delivers a message or fails in a
+// detectable, fail-stop way; the plan models the raw physical layer
+// *before* that assumption holds: individual messages can be dropped,
+// duplicated, delayed (reordered past later traffic) or corrupted in
+// flight, and a directed link or a whole router can die permanently. The
+// reliable transport layer (transport.go) restores the paper's assumption
+// on top: CRC turns corruption into loss, acks and retransmission mask
+// loss, sequence numbers suppress duplicates and reorder, and a exhausted
+// retransmit budget turns a dead route into a detectable node failure.
+//
+// All randomness derives from Seed through the simulator's own PRNG, so a
+// plan replays bit-identically: the same schedule always produces the same
+// drops in the same order.
+
+// FaultOp selects what a probabilistic rule does to a matching message.
+type FaultOp string
+
+const (
+	// OpDrop discards the message in the fabric (it still occupies the
+	// links it traversed; the loss happens at the receiving interface).
+	OpDrop FaultOp = "drop"
+	// OpCorrupt flips one random bit of the transport frame header in
+	// flight. A frameless (raw-mode) message cannot carry the flip
+	// anywhere detectable, so it is treated as a drop — the link-level
+	// checksum of a real fabric would discard it the same way.
+	OpCorrupt FaultOp = "corrupt"
+	// OpDup injects an extra copy of the message (delivered separately).
+	OpDup FaultOp = "dup"
+	// OpDelay adds Extra latency before the message enters the fabric,
+	// letting later traffic overtake it (reordering).
+	OpDelay FaultOp = "delay"
+)
+
+// AnyClass in a Rule matches every traffic class.
+const AnyClass stats.Class = -1
+
+// Rule is one probabilistic per-message fault. A message is judged against
+// every rule whose class matches and whose time window contains the send.
+type Rule struct {
+	Op    FaultOp
+	Prob  float64     // per-message probability
+	Class stats.Class // AnyClass or a specific traffic class
+	// [From, Until) bounds the rule's active window; Until == 0 means
+	// no upper bound.
+	From, Until sim.Time
+	// Extra is the added latency of an OpDelay rule.
+	Extra sim.Time
+}
+
+// LinkKill permanently disables the directed link From->To at time At.
+type LinkKill struct {
+	From, To arch.NodeID
+	At       sim.Time
+}
+
+// RouterKill permanently disables a node's router at time At: nothing can
+// be sent from, delivered to, or forwarded through the node.
+type RouterKill struct {
+	Node arch.NodeID
+	At   sim.Time
+}
+
+// FaultPlan is a seeded description of fabric misbehaviour. A nil or empty
+// plan is a perfect fabric. Kill entries are checked lazily against the
+// current simulated time (never via scheduled events), so they survive the
+// event-queue reset of a machine freeze.
+type FaultPlan struct {
+	Seed        uint64
+	Rules       []Rule
+	LinkKills   []LinkKill
+	RouterKills []RouterKill
+
+	rng *sim.Rand
+}
+
+// Empty reports whether the plan changes nothing (nil counts as empty).
+func (p *FaultPlan) Empty() bool {
+	return p == nil || (len(p.Rules) == 0 && len(p.LinkKills) == 0 && len(p.RouterKills) == 0)
+}
+
+// verdict is the combined outcome of judging one message.
+type verdict struct {
+	drop, corrupt, dup bool
+	delay              sim.Time
+}
+
+// judge rolls every matching rule for a message sent now. Rolls consume the
+// plan's PRNG in rule order, keeping replays deterministic.
+func (p *FaultPlan) judge(now sim.Time, class stats.Class) verdict {
+	var v verdict
+	if len(p.Rules) == 0 {
+		return v
+	}
+	if p.rng == nil {
+		p.rng = sim.NewRand(p.Seed ^ 0x5DEECE66D)
+	}
+	for _, r := range p.Rules {
+		if r.Class != AnyClass && r.Class != class {
+			continue
+		}
+		if now < r.From || (r.Until > 0 && now >= r.Until) {
+			continue
+		}
+		if !p.rng.Bool(r.Prob) {
+			continue
+		}
+		switch r.Op {
+		case OpDrop:
+			v.drop = true
+		case OpCorrupt:
+			v.corrupt = true
+		case OpDup:
+			v.dup = true
+		case OpDelay:
+			v.delay += r.Extra
+		}
+	}
+	return v
+}
+
+// corruptBit picks the header bit an OpCorrupt verdict flips.
+func (p *FaultPlan) corruptBit() int {
+	if p.rng == nil {
+		p.rng = sim.NewRand(p.Seed ^ 0x5DEECE66D)
+	}
+	return p.rng.Intn(frameHdrLen * 8)
+}
+
+// linkDead reports whether the directed link from->to is dead at time now.
+func (p *FaultPlan) linkDead(now sim.Time, from, to arch.NodeID) bool {
+	if p == nil {
+		return false
+	}
+	for _, k := range p.LinkKills {
+		if k.From == from && k.To == to && k.At <= now {
+			return true
+		}
+	}
+	return false
+}
+
+// routerDead reports whether node's router is dead at time now.
+func (p *FaultPlan) routerDead(now sim.Time, node arch.NodeID) bool {
+	if p == nil {
+		return false
+	}
+	for _, k := range p.RouterKills {
+		if k.Node == node && k.At <= now {
+			return true
+		}
+	}
+	return false
+}
+
+// RepairNode removes every kill touching node: the module replacement that
+// recovery from a node loss implies includes the node's router and its link
+// interfaces, so recovery traffic (and the resumed workload) can reach the
+// replacement. Probabilistic rules are untouched.
+func (p *FaultPlan) RepairNode(node arch.NodeID) {
+	if p == nil {
+		return
+	}
+	links := p.LinkKills[:0]
+	for _, k := range p.LinkKills {
+		if k.From != node && k.To != node {
+			links = append(links, k)
+		}
+	}
+	p.LinkKills = links
+	routers := p.RouterKills[:0]
+	for _, k := range p.RouterKills {
+		if k.Node != node {
+			routers = append(routers, k)
+		}
+	}
+	p.RouterKills = routers
+}

@@ -12,7 +12,7 @@ import (
 func newNet() (*sim.Engine, *Network, *stats.Stats) {
 	e := sim.NewEngine()
 	st := stats.New()
-	return e, New(e, DefaultConfig(), st), st
+	return e, MustNew(e, DefaultConfig(), st), st
 }
 
 func TestHopsNeighbors(t *testing.T) {
@@ -186,5 +186,27 @@ func TestMinLatencyMatchesTable3Formula(t *testing.T) {
 	// Control message, 2 hops: 30 + 16 + 16*0.16=2 -> 48.
 	if got := n.MinLatency(0, 5, ControlBytes); got != 48 {
 		t.Fatalf("MinLatency(0,5,16B) = %d, want 48", got)
+	}
+}
+
+func TestMinLatencyCornerToCorner(t *testing.T) {
+	_, n, _ := newNet()
+	// Corner to corner on the 4x4 torus is 2 hops (one wrap per dimension):
+	// 30 base + 2*8 per-hop + 80B * 0.16 ns/B = 12 -> 58.
+	if got := n.MinLatency(0, 15, DataBytes); got != 58 {
+		t.Fatalf("MinLatency(0,15,80B) = %d, want 58", got)
+	}
+}
+
+func TestWraparoundRouteDeliversAtShortestWay(t *testing.T) {
+	e, n, _ := newNet()
+	// 0 (0,0) to 3 (3,0): the minus-X wrap is 1 hop; the plus-X way is 3.
+	// Delivery at MinLatency proves the router picked the short way.
+	var at sim.Time
+	n.Send(Message{Src: 0, Dst: 3, Bytes: ControlBytes, Class: stats.ClassRead,
+		Deliver: func() { at = e.Now() }})
+	e.Run()
+	if want := n.MinLatency(0, 3, ControlBytes); at != want {
+		t.Fatalf("delivered at %d, want %d (shortest-way wraparound)", at, want)
 	}
 }

@@ -28,7 +28,7 @@ func newRig() *rig {
 	amap := arch.NewAddressMap(topo)
 	netCfg := network.DefaultConfig()
 	netCfg.DimX, netCfg.DimY = 2, 1
-	net := network.New(engine, netCfg, st)
+	net := network.MustNew(engine, netCfg, st)
 	var dirs []*coherence.DirCtrl
 	var caches []*coherence.CacheCtrl
 	for n := 0; n < 2; n++ {

@@ -30,6 +30,10 @@ const (
 	ClassParity
 	// ClassRecovery is traffic generated during rollback recovery.
 	ClassRecovery
+	// ClassXport is reliable-transport overhead traffic: positive
+	// acknowledgments (retransmitted payloads stay in their original
+	// class). Zero on a perfect fabric.
+	ClassXport
 	// NumClasses is the number of traffic classes.
 	NumClasses
 )
@@ -49,6 +53,8 @@ func (c Class) String() string {
 		return "PAR"
 	case ClassRecovery:
 		return "RECOV"
+	case ClassXport:
+		return "XPORT"
 	default:
 		return fmt.Sprintf("Class(%d)", int(c))
 	}
@@ -82,6 +88,22 @@ type Stats struct {
 	CkpInterruptTime   sim.Time // total interrupt delivery time
 	LogBytesPeak       uint64   // max retained log bytes on any node
 	LogBytesPeakPerCkp uint64   // peak of a single checkpoint interval's log
+
+	// Unreliable-interconnect accounting (all zero on a perfect fabric).
+	// The fault plan injects drops/corruptions/duplicates/delays; the
+	// reliable transport masks them with retransmission, dedup and CRC
+	// checks; routing masks dead links with failover.
+	NetFaultDrops      uint64 // messages discarded in the fabric by the fault plan
+	NetFaultCorrupts   uint64 // messages bit-flipped in the fabric by the fault plan
+	NetFaultDups       uint64 // extra copies injected by the fault plan
+	NetFaultDelays     uint64 // messages given extra latency by the fault plan
+	NetRouteFailovers  uint64 // messages routed around a dead link/router
+	NetRouteDrops      uint64 // messages with no usable route at all
+	XportRetransmits   uint64 // payload frames re-sent after an ack timeout
+	XportDupsDropped   uint64 // duplicate frames suppressed by receiver dedup
+	XportCorruptsCaught uint64 // frames rejected on a CRC mismatch
+	XportAcks          uint64 // positive acknowledgments sent
+	XportUnreachable   uint64 // destinations given up on (retransmit budget exhausted)
 
 	// Recovery phase durations (most recent recovery).
 	RecoveryPhase1 sim.Time
@@ -161,6 +183,15 @@ type Campaign struct {
 	Violations     int // invariant violations observed
 	FailedRuns     int // campaigns with at least one violation
 	ShrinkRuns     int // re-executions spent minimizing failing schedules
+
+	// Unreliable-interconnect campaign totals.
+	NetFaulted  int    // campaigns run with fabric faults active
+	Escalations int    // transport-unreachability reports escalated to node-loss recovery
+	Retransmits uint64 // transport retransmissions across all campaigns
+	Drops       uint64 // fabric-injected message drops
+	Corruptions uint64 // fabric-injected corruptions (all caught by CRC)
+	Failovers   uint64 // messages re-routed around dead links
+	Dedups      uint64 // duplicate frames suppressed
 }
 
 // Add accumulates o into c.
@@ -177,12 +208,37 @@ func (c *Campaign) Add(o Campaign) {
 	c.Violations += o.Violations
 	c.FailedRuns += o.FailedRuns
 	c.ShrinkRuns += o.ShrinkRuns
+	c.NetFaulted += o.NetFaulted
+	c.Escalations += o.Escalations
+	c.Retransmits += o.Retransmits
+	c.Drops += o.Drops
+	c.Corruptions += o.Corruptions
+	c.Failovers += o.Failovers
+	c.Dedups += o.Dedups
 }
 
 func (c Campaign) String() string {
-	return fmt.Sprintf("campaigns=%d faults(node-loss=%d transient=%d mid-recovery=%d none=%d) "+
+	s := fmt.Sprintf("campaigns=%d faults(node-loss=%d transient=%d mid-recovery=%d none=%d) "+
 		"recoveries=%d unrecoverable=%d completions=%d checks=%d violations=%d failed=%d shrink-runs=%d",
 		c.Campaigns, c.NodeLosses, c.Transients, c.DuringRecov, c.NoFault,
 		c.Recoveries, c.Unrecoverables, c.Completions, c.Checks, c.Violations,
 		c.FailedRuns, c.ShrinkRuns)
+	if c.NetFaulted > 0 {
+		s += fmt.Sprintf("\nfabric: faulted=%d escalations=%d drops=%d corruptions=%d "+
+			"retransmits=%d dedups=%d failovers=%d",
+			c.NetFaulted, c.Escalations, c.Drops, c.Corruptions,
+			c.Retransmits, c.Dedups, c.Failovers)
+	}
+	return s
+}
+
+// ParseClass maps a Class.String() label back to its Class (chaos schedules
+// name classes in JSON by that label).
+func ParseClass(name string) (Class, bool) {
+	for c := Class(0); c < NumClasses; c++ {
+		if c.String() == name {
+			return c, true
+		}
+	}
+	return 0, false
 }
