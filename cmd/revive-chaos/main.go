@@ -11,7 +11,13 @@
 //	revive-chaos -campaigns 200 -drop 0.01 -corrupt 0.001 -link-loss
 //	revive-chaos -campaigns 10 -bug data-before-log -out fail.json
 //	revive-chaos -campaigns 10 -bug drop-ack      # transport-audit self-test
+//	revive-chaos -campaigns 10 -bug data-before-log -json  # machine-readable
 //	revive-chaos -replay fail.json                # re-execute a reproducer
+//
+// Every failing campaign also carries a flight recording: the last -flight
+// events of the shrunk reproducer's re-execution. With -out, each recording
+// is additionally written as a Chrome trace-event file next to the artifact
+// (open in Perfetto).
 //
 // Exit status is 0 when every campaign holds all invariants, 1 otherwise.
 package main
@@ -21,8 +27,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"revive/internal/chaos"
+	"revive/internal/stats"
+	"revive/internal/trace"
 )
 
 func main() {
@@ -35,11 +44,13 @@ func main() {
 	linkLoss := flag.Bool("link-loss", false, "force one random link or router kill into every campaign")
 	out := flag.String("out", "", "write failing campaigns' artifacts to this JSON file")
 	replay := flag.String("replay", "", "re-execute the schedule or artifact in this JSON file and exit")
+	flight := flag.Int("flight", trace.DefaultCapacity, "flight-recorder ring size for failing campaigns (0 disables)")
+	jsonOut := flag.Bool("json", false, "print the batch summary as machine-readable JSON instead of text")
 	verbose := flag.Bool("v", false, "log every campaign")
 	flag.Parse()
 
 	if *replay != "" {
-		os.Exit(replayFile(*replay))
+		os.Exit(replayFile(*replay, *flight, *jsonOut))
 	}
 	if *bug != "" && *bug != chaos.BugDataBeforeLog && *bug != chaos.BugDropAck {
 		fmt.Fprintf(os.Stderr, "unknown -bug %q (known: %q, %q)\n", *bug, chaos.BugDataBeforeLog, chaos.BugDropAck)
@@ -53,21 +64,43 @@ func main() {
 	opts := chaos.Options{
 		Campaigns: *campaigns, Seed: *seed, Bug: *bug, ShrinkBudget: *budget,
 		DropProb: *drop, CorruptProb: *corrupt, LinkLoss: *linkLoss,
+		FlightEvents: *flight,
 	}
-	if *verbose {
+	if *flight <= 0 {
+		opts.FlightEvents = -1
+	}
+	if *verbose && !*jsonOut {
 		opts.Log = func(f string, a ...any) { fmt.Printf(f+"\n", a...) }
 	}
 	sum := chaos.Run(opts)
-	fmt.Println(sum.Counters.String())
+
+	if *jsonOut {
+		result := struct {
+			Counters stats.Campaign  `json:"counters"`
+			Failures []chaos.Failure `json:"failures,omitempty"`
+		}{Counters: sum.Counters, Failures: sum.Failures}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(result); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Println(sum.Counters.String())
+	}
 
 	if len(sum.Failures) == 0 {
-		fmt.Println("all campaigns held every invariant")
+		if !*jsonOut {
+			fmt.Println("all campaigns held every invariant")
+		}
 		return
 	}
-	for _, f := range sum.Failures {
-		fmt.Printf("FAIL seed %#016x: %v\n", f.CampaignSeed, f.Outcome.Violations[0])
-		fmt.Printf("  minimal reproducer: %d fault(s), %d instr (shrunk in %d runs)\n",
-			len(f.Artifact.Shrunk.Faults), f.Artifact.Shrunk.Instr, f.Artifact.ShrinkRuns)
+	if !*jsonOut {
+		for _, f := range sum.Failures {
+			fmt.Printf("FAIL seed %#016x: %v\n", f.CampaignSeed, f.Outcome.Violations[0])
+			fmt.Printf("  minimal reproducer: %d fault(s), %d instr (shrunk in %d runs)\n",
+				len(f.Artifact.Shrunk.Faults), f.Artifact.Shrunk.Instr, f.Artifact.ShrinkRuns)
+		}
 	}
 	if *out != "" {
 		blob, err := json.MarshalIndent(sum.Failures, "", "  ")
@@ -76,17 +109,53 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "writing artifacts:", err)
-		} else {
+		} else if !*jsonOut {
 			fmt.Printf("wrote %d artifact(s) to %s (re-run with -replay)\n", len(sum.Failures), *out)
 		}
+		writeFlightDumps(*out, sum.Failures, *jsonOut)
 	}
 	os.Exit(1)
 }
 
+// writeFlightDumps renders each failure's flight recording as a Chrome
+// trace-event file next to the artifact file: fail.json becomes
+// fail.flight0.json, fail.flight1.json, ...
+func writeFlightDumps(out string, failures []chaos.Failure, quiet bool) {
+	base := strings.TrimSuffix(out, ".json")
+	for i, f := range failures {
+		if len(f.FlightRecorder) == 0 {
+			continue
+		}
+		path := fmt.Sprintf("%s.flight%d.json", base, i)
+		if err := writeChromeFile(path, f.FlightRecorder); err != nil {
+			fmt.Fprintln(os.Stderr, "writing flight recording:", err)
+			continue
+		}
+		if !quiet {
+			fmt.Printf("  flight recording: %d event(s) to %s (open in Perfetto)\n",
+				len(f.FlightRecorder), path)
+		}
+	}
+}
+
+// writeChromeFile writes events to path in Chrome trace-event format.
+func writeChromeFile(path string, events []trace.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeEvents(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // replayFile re-executes a minimal reproducer. The file may hold a single
 // artifact, a bare schedule, or the artifact list -out writes (the first
-// entry replays).
-func replayFile(path string) int {
+// entry replays). The replay runs with the flight recorder on; if it
+// reproduces a violation, the recording lands in <path>.flight.json.
+func replayFile(path string, flight int, jsonOut bool) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -101,15 +170,35 @@ func replayFile(path string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	fmt.Printf("replaying: %d node(s), group size %d, %d instr, bug=%q, %d fault(s)\n",
-		s.Nodes, s.GroupSize, s.Instr, s.Bug, len(s.Faults))
-	out := chaos.RunSchedule(s)
+	if !jsonOut {
+		fmt.Printf("replaying: %d node(s), group size %d, %d instr, bug=%q, %d fault(s)\n",
+			s.Nodes, s.GroupSize, s.Instr, s.Bug, len(s.Faults))
+	}
+	var out *chaos.Outcome
+	var events []trace.Event
+	if flight > 0 {
+		out, events = chaos.RunScheduleTraced(s, flight)
+	} else {
+		out = chaos.RunSchedule(s)
+	}
 	blob, _ := json.MarshalIndent(out, "", "  ")
 	fmt.Println(string(blob))
 	if out.Failed() {
-		fmt.Printf("reproduced %d violation(s)\n", len(out.Violations))
+		if len(events) > 0 {
+			fp := strings.TrimSuffix(path, ".json") + ".flight.json"
+			if err := writeChromeFile(fp, events); err != nil {
+				fmt.Fprintln(os.Stderr, "writing flight recording:", err)
+			} else if !jsonOut {
+				fmt.Printf("flight recording: %d event(s) to %s (open in Perfetto)\n", len(events), fp)
+			}
+		}
+		if !jsonOut {
+			fmt.Printf("reproduced %d violation(s)\n", len(out.Violations))
+		}
 		return 1
 	}
-	fmt.Println("schedule ran clean")
+	if !jsonOut {
+		fmt.Println("schedule ran clean")
+	}
 	return 0
 }

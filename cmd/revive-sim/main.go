@@ -8,17 +8,23 @@
 //	revive-sim -app Radix -baseline          # no recovery support
 //	revive-sim -app Ocean -mirror            # mirroring instead of parity
 //	revive-sim -app LU -interval 200us       # custom checkpoint interval
+//	revive-sim -app FFT -trace out.json -series out.csv   # observability sinks
+//	revive-sim -app FFT -json                # machine-readable stats
 //	revive-sim -list                         # the 12 applications
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"revive"
 	"revive/internal/stats"
+	"revive/internal/trace"
 )
 
 func main() {
@@ -35,6 +41,11 @@ func main() {
 		util     = flag.Bool("util", false, "print the per-node utilization report")
 		record   = flag.String("record", "", "write the workload's trace to this file and exit")
 		replay   = flag.String("replay", "", "run a recorded trace instead of an application")
+
+		traceOut    = flag.String("trace", "", "write a Chrome trace-event JSON of the run (load in Perfetto)")
+		traceEvents = flag.Int("trace-events", 1<<20, "event ring capacity for -trace (the last N events are kept)")
+		seriesOut   = flag.String("series", "", "write the per-epoch metric time-series (CSV, or JSON with a .json suffix)")
+		jsonOut     = flag.Bool("json", false, "print the run result as machine-readable JSON instead of text")
 	)
 	flag.Parse()
 
@@ -100,6 +111,12 @@ func main() {
 			cfg.Checkpoint.Interval = revive.Time(interval.Nanoseconds())
 		}
 	}
+	if *traceOut != "" {
+		cfg.Trace = trace.New(*traceEvents)
+	}
+	if *seriesOut != "" {
+		cfg.Series = &trace.Series{}
+	}
 
 	m := revive.New(cfg)
 	m.Load(wl)
@@ -113,50 +130,117 @@ func main() {
 	} else if *mirror {
 		mode = "ReVive mirroring"
 	}
-	fmt.Printf("%s on %d nodes, %s\n", appLabel, *nodes, mode)
-	fmt.Printf("  instructions:   %d (%.1fM)\n", st.Instructions, float64(st.Instructions)/1e6)
-	fmt.Printf("  memory refs:    %d (%.1f%% loads)\n", st.MemRefs,
-		100*float64(st.Loads)/float64(st.MemRefs))
-	fmt.Printf("  exec time:      %.2f ms simulated (%.1fs wall)\n",
-		float64(st.ExecTime)/1e6, wall.Seconds())
-	fmt.Printf("  IPC:            %.2f per processor\n",
-		float64(st.Instructions)/float64(st.ExecTime)/float64(*nodes))
-	fmt.Printf("  L1 miss rate:   %.2f%%   L2 miss rate: %.2f%% (%.2f misses/1000 instr)\n",
-		100*float64(st.L1Misses)/float64(st.L1Misses+st.L1Hits),
-		100*st.L2MissRate(), st.L2MissesPer1000Instr())
+
+	if *traceOut != "" {
+		if err := writeFileWith(*traceOut, cfg.Trace.WriteChrome); err != nil {
+			fmt.Fprintln(os.Stderr, "writing trace:", err)
+			os.Exit(2)
+		}
+	}
+	if *seriesOut != "" {
+		writer := cfg.Series.WriteCSV
+		if strings.HasSuffix(*seriesOut, ".json") {
+			writer = cfg.Series.WriteJSON
+		}
+		if err := writeFileWith(*seriesOut, writer); err != nil {
+			fmt.Fprintln(os.Stderr, "writing series:", err)
+			os.Exit(2)
+		}
+	}
+
+	parityOK := true
+	var parityErr error
 	if !*baseline {
-		fmt.Printf("  checkpoints:    %d (flush %.1f us, barriers %.1f us, interrupts %.1f us)\n",
-			st.Checkpoints, float64(st.CkpFlushTime)/1000,
-			float64(st.CkpBarrierTime)/1000, float64(st.CkpInterruptTime)/1000)
-		fmt.Printf("  peak log:       %.1f KB\n", float64(st.LogBytesPeak)/1024)
-	}
-	fmt.Println("  memory accesses by class:")
-	for c := stats.Class(0); c < stats.NumClasses; c++ {
-		if st.MemAccesses[c] > 0 {
-			fmt.Printf("    %-8s %12d\n", c, st.MemAccesses[c])
+		if parityErr = m.VerifyParity(); parityErr != nil {
+			parityOK = false
 		}
 	}
-	fmt.Println("  network bytes by class:")
-	for c := stats.Class(0); c < stats.NumClasses; c++ {
-		if st.NetBytes[c] > 0 {
-			fmt.Printf("    %-8s %12d\n", c, st.NetBytes[c])
+
+	if *jsonOut {
+		result := struct {
+			App            string       `json:"app"`
+			Nodes          int          `json:"nodes"`
+			Mode           string       `json:"mode"`
+			WallSeconds    float64      `json:"wall_seconds"`
+			ParityVerified *bool        `json:"parity_verified,omitempty"` // absent for -baseline
+			Stats          *stats.Stats `json:"stats"`
+		}{App: appLabel, Nodes: *nodes, Mode: mode, WallSeconds: wall.Seconds(), Stats: st}
+		if !*baseline {
+			result.ParityVerified = &parityOK
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(result); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Printf("%s on %d nodes, %s\n", appLabel, *nodes, mode)
+		fmt.Printf("  instructions:   %d (%.1fM)\n", st.Instructions, float64(st.Instructions)/1e6)
+		fmt.Printf("  memory refs:    %d (%.1f%% loads)\n", st.MemRefs,
+			100*float64(st.Loads)/float64(st.MemRefs))
+		fmt.Printf("  exec time:      %.2f ms simulated (%.1fs wall)\n",
+			float64(st.ExecTime)/1e6, wall.Seconds())
+		fmt.Printf("  IPC:            %.2f per processor\n",
+			float64(st.Instructions)/float64(st.ExecTime)/float64(*nodes))
+		fmt.Printf("  L1 miss rate:   %.2f%%   L2 miss rate: %.2f%% (%.2f misses/1000 instr)\n",
+			100*float64(st.L1Misses)/float64(st.L1Misses+st.L1Hits),
+			100*st.L2MissRate(), st.L2MissesPer1000Instr())
+		if !*baseline {
+			fmt.Printf("  checkpoints:    %d (flush %.1f us, barriers %.1f us, interrupts %.1f us)\n",
+				st.Checkpoints, float64(st.CkpFlushTime)/1000,
+				float64(st.CkpBarrierTime)/1000, float64(st.CkpInterruptTime)/1000)
+			fmt.Printf("  peak log:       %.1f KB\n", float64(st.LogBytesPeak)/1024)
+		}
+		fmt.Println("  memory accesses by class:")
+		for c := stats.Class(0); c < stats.NumClasses; c++ {
+			if st.MemAccesses[c] > 0 {
+				fmt.Printf("    %-8s %12d\n", c, st.MemAccesses[c])
+			}
+		}
+		fmt.Println("  network bytes by class:")
+		for c := stats.Class(0); c < stats.NumClasses; c++ {
+			if st.NetBytes[c] > 0 {
+				fmt.Printf("    %-8s %12d\n", c, st.NetBytes[c])
+			}
+		}
+		if *util {
+			fmt.Println("  per-node utilization:")
+			m.WriteUtilization(os.Stdout)
+			fmt.Printf("  fabric faults:  drops=%d corrupts=%d dups=%d delays=%d failovers=%d undeliverable=%d\n",
+				st.NetFaultDrops, st.NetFaultCorrupts, st.NetFaultDups, st.NetFaultDelays,
+				st.NetRouteFailovers, st.NetRouteDrops)
+			fmt.Printf("  transport:      retransmits=%d dedups=%d crc-caught=%d acks=%d unreachable=%d\n",
+				st.XportRetransmits, st.XportDupsDropped, st.XportCorruptsCaught,
+				st.XportAcks, st.XportUnreachable)
+		}
+		if *traceOut != "" {
+			fmt.Printf("  trace:          %d event(s) to %s (%d dropped from the ring)\n",
+				cfg.Trace.Total()-cfg.Trace.Dropped(), *traceOut, cfg.Trace.Dropped())
+		}
+		if *seriesOut != "" {
+			fmt.Printf("  series:         %d epoch sample(s) to %s\n", cfg.Series.Len(), *seriesOut)
 		}
 	}
-	if *util {
-		fmt.Println("  per-node utilization:")
-		m.WriteUtilization(os.Stdout)
-		fmt.Printf("  fabric faults:  drops=%d corrupts=%d dups=%d delays=%d failovers=%d undeliverable=%d\n",
-			st.NetFaultDrops, st.NetFaultCorrupts, st.NetFaultDups, st.NetFaultDelays,
-			st.NetRouteFailovers, st.NetRouteDrops)
-		fmt.Printf("  transport:      retransmits=%d dedups=%d crc-caught=%d acks=%d unreachable=%d\n",
-			st.XportRetransmits, st.XportDupsDropped, st.XportCorruptsCaught,
-			st.XportAcks, st.XportUnreachable)
+
+	if !parityOK {
+		fmt.Fprintf(os.Stderr, "PARITY VIOLATION: %v\n", parityErr)
+		os.Exit(1)
 	}
-	if !*baseline {
-		if err := m.VerifyParity(); err != nil {
-			fmt.Fprintf(os.Stderr, "PARITY VIOLATION: %v\n", err)
-			os.Exit(1)
-		}
+	if !*baseline && !*jsonOut {
 		fmt.Println("  parity invariant: verified")
 	}
+}
+
+// writeFileWith streams write's output into path.
+func writeFileWith(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

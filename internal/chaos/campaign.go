@@ -9,6 +9,7 @@ import (
 	"revive/internal/core"
 	"revive/internal/machine"
 	"revive/internal/sim"
+	"revive/internal/trace"
 	"revive/internal/workload"
 )
 
@@ -132,7 +133,7 @@ func (o *Outcome) checkQuiescent(m *machine.Machine, phase string) {
 // buildMachine assembles the campaign machine: the paper's per-node timing
 // with the schedule's size, fast checkpoints and Verify snapshots (the
 // byte-exact oracle needs them).
-func buildMachine(s Schedule) *machine.Machine {
+func buildMachine(s Schedule, tr *trace.Tracer) *machine.Machine {
 	cfg := machine.Default(100)
 	cfg.Nodes = s.Nodes
 	cfg.GroupSize = s.GroupSize
@@ -141,6 +142,7 @@ func buildMachine(s Schedule) *machine.Machine {
 	cfg.Checkpoint.BarrierCost = 1000
 	cfg.Checkpoint.Retain = s.Retain
 	cfg.Verify = true
+	cfg.Trace = tr
 	m := machine.New(cfg)
 	if s.Bug == BugDataBeforeLog {
 		for _, ctrl := range m.Ctrls {
@@ -368,13 +370,25 @@ func (r *runner) finish() {
 // RunSchedule executes one schedule on a fresh machine and returns its
 // outcome. The run is fully deterministic: the same schedule always yields
 // the same outcome (shrinking and replay depend on this).
-func RunSchedule(s Schedule) *Outcome {
+func RunSchedule(s Schedule) *Outcome { return runSchedule(s, nil) }
+
+// RunScheduleTraced executes a schedule with a flight recorder holding the
+// last capacity events and returns the recording alongside the outcome.
+// Tracing never perturbs the simulated run — it observes the same
+// deterministic event sequence RunSchedule executes.
+func RunScheduleTraced(s Schedule, capacity int) (*Outcome, []trace.Event) {
+	tr := trace.New(capacity)
+	o := runSchedule(s, tr)
+	return o, tr.Events()
+}
+
+func runSchedule(s Schedule, tr *trace.Tracer) *Outcome {
 	o := &Outcome{Schedule: s, FiredNode: -1}
 	if err := s.Validate(); err != nil {
 		o.violate("schedule", "validate", err.Error())
 		return o
 	}
-	m := buildMachine(s)
+	m := buildMachine(s, tr)
 	m.Load(profile(s))
 	r := &runner{o: o, m: m, s: s, budget: eventBudget(s), escVictim: -1,
 		everLost: map[int]bool{}, episode: map[int]bool{}}

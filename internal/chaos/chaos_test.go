@@ -1,10 +1,13 @@
 package chaos
 
 import (
+	"bytes"
 	"encoding/json"
 	"reflect"
 	"strings"
 	"testing"
+
+	"revive/internal/trace"
 )
 
 func TestGenerateDeterministic(t *testing.T) {
@@ -363,5 +366,51 @@ func TestDropAckBugCaughtAndShrunk(t *testing.T) {
 	out := RunSchedule(s)
 	if !out.Failed() {
 		t.Fatalf("replayed drop-ack reproducer no longer fails: %+v", s)
+	}
+}
+
+func TestFailureCarriesFlightRecording(t *testing.T) {
+	// Acceptance: an invariant violation produces a flight-recorder dump
+	// alongside the shrunk reproducer, and the dump renders as a valid
+	// Chrome trace.
+	sum := Run(Options{Campaigns: 3, Seed: 42, Bug: BugDataBeforeLog, ShrinkBudget: 24})
+	if len(sum.Failures) == 0 {
+		t.Fatal("no campaign caught the deliberately broken build")
+	}
+	for i, f := range sum.Failures {
+		if len(f.FlightRecorder) == 0 {
+			t.Fatalf("failure %d has no flight recording", i)
+		}
+		// The recording must survive the artifact file's JSON round-trip.
+		blob, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Failure
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatal(err)
+		}
+		if len(back.FlightRecorder) != len(f.FlightRecorder) {
+			t.Fatalf("round-trip lost events: %d -> %d", len(f.FlightRecorder), len(back.FlightRecorder))
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteChromeEvents(&buf, f.FlightRecorder); err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.ValidateChrome(buf.Bytes()); err != nil {
+			t.Fatalf("flight recording is not a valid Chrome trace: %v", err)
+		}
+	}
+}
+
+func TestFlightRecordingDisabled(t *testing.T) {
+	sum := Run(Options{Campaigns: 3, Seed: 42, Bug: BugDataBeforeLog, ShrinkBudget: 24, FlightEvents: -1})
+	if len(sum.Failures) == 0 {
+		t.Fatal("no campaign caught the deliberately broken build")
+	}
+	for i, f := range sum.Failures {
+		if len(f.FlightRecorder) != 0 {
+			t.Fatalf("failure %d carries a flight recording despite FlightEvents < 0", i)
+		}
 	}
 }

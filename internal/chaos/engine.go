@@ -8,6 +8,7 @@ import (
 	"revive/internal/network"
 	"revive/internal/sim"
 	"revive/internal/stats"
+	"revive/internal/trace"
 )
 
 // Options configures a campaign batch.
@@ -24,6 +25,13 @@ type Options struct {
 	CorruptProb float64 // per-message corruption probability
 	LinkLoss    bool    // kill one random link or router per campaign
 
+	// FlightEvents sizes the flight-recorder ring for failing campaigns:
+	// after shrinking, the minimal reproducer is re-executed with tracing
+	// on, and the last FlightEvents events ship with the artifact as a
+	// post-mortem (Failure.FlightRecorder). 0 means the default
+	// (trace.DefaultCapacity); negative disables flight recording.
+	FlightEvents int
+
 	// Log, if set, receives progress lines.
 	Log func(format string, a ...any)
 }
@@ -37,11 +45,15 @@ type Artifact struct {
 	ShrinkRuns int         `json:"shrink_runs"`
 }
 
-// Failure pairs a failing campaign's outcome with its minimized artifact.
+// Failure pairs a failing campaign's outcome with its minimized artifact
+// and, when flight recording is enabled, the post-mortem: the last events
+// of the shrunk reproducer's (deterministic) re-execution. The recording
+// rides next to — not inside — the Artifact, so replay files stay strict.
 type Failure struct {
-	CampaignSeed uint64   `json:"campaign_seed"`
-	Outcome      *Outcome `json:"outcome"`
-	Artifact     Artifact `json:"artifact"`
+	CampaignSeed   uint64        `json:"campaign_seed"`
+	Outcome        *Outcome      `json:"outcome"`
+	Artifact       Artifact      `json:"artifact"`
+	FlightRecorder []trace.Event `json:"flight_recorder,omitempty"`
 }
 
 // Summary aggregates a batch.
@@ -112,6 +124,13 @@ func Run(opts Options) *Summary {
 			}
 			logf("  shrunk %d fault(s) to %d in %d runs: %v",
 				len(s.Faults), len(shrunk.Faults), runs, first)
+			var flight []trace.Event
+			if opts.FlightEvents >= 0 {
+				// One extra deterministic run of the minimal reproducer,
+				// this time with the flight recorder on: the artifact
+				// ships its own post-mortem.
+				_, flight = RunScheduleTraced(shrunk, opts.FlightEvents)
+			}
 			sum.Failures = append(sum.Failures, Failure{
 				CampaignSeed: seed,
 				Outcome:      out,
@@ -121,6 +140,7 @@ func Run(opts Options) *Summary {
 					Violations: shrunkOut.Violations,
 					ShrinkRuns: runs,
 				},
+				FlightRecorder: flight,
 			})
 		}
 	}

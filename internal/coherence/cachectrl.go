@@ -9,6 +9,7 @@ import (
 	"revive/internal/network"
 	"revive/internal/sim"
 	"revive/internal/stats"
+	"revive/internal/trace"
 )
 
 // cacheFill tags the permission granted with a data reply.
@@ -253,6 +254,7 @@ func (c *CacheCtrl) request(line arch.LineAddr, kind reqKind, earliest sim.Time,
 	}
 	m.add(loadDone, retry)
 	c.tracker.Inc()
+	c.st.Trace.AsyncBegin(trace.MissService, int(c.node), uint64(line))
 	homeNode := c.home(line)
 	dir := c.dirs[homeNode]
 	self := c.node
@@ -287,6 +289,7 @@ func (c *CacheCtrl) completeRequest(line arch.LineAddr, at sim.Time) {
 		panic("coherence: reply without MSHR")
 	}
 	delete(c.pending, line)
+	c.st.Trace.AsyncEnd(trace.MissService, int(c.node), uint64(line))
 	c.tracker.Dec()
 	for _, w := range m.loadDone {
 		c.engine.At(at, w)

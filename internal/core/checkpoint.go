@@ -4,6 +4,7 @@ import (
 	"revive/internal/coherence"
 	"revive/internal/sim"
 	"revive/internal/stats"
+	"revive/internal/trace"
 )
 
 // Processor is the checkpoint manager's view of a CPU.
@@ -123,6 +124,8 @@ func (cm *CheckpointManager) Run(done func()) {
 
 	// Phase: interrupt all processors and wait for them to park, then
 	// for all outstanding memory operations to drain.
+	cm.st.Trace.Begin(trace.Checkpoint, -1, cm.epoch+1)
+	cm.st.Trace.Begin(trace.CkpInterrupt, -1, 0)
 	intStart := cm.engine.Now()
 	waitAll(len(cm.procs), func(one func()) {
 		for _, p := range cm.procs {
@@ -132,7 +135,10 @@ func (cm *CheckpointManager) Run(done func()) {
 		cm.tracker.NotifyQuiescent(func() {
 			cm.st.CkpInterruptTime += cm.engine.Now() - intStart
 			// Interrupt delivery and context save cost.
-			cm.engine.After(cm.cfg.InterruptCost+cm.cfg.CtxSaveCost, cm.flushPhase(done))
+			cm.engine.After(cm.cfg.InterruptCost+cm.cfg.CtxSaveCost, func() {
+				cm.st.Trace.End(trace.CkpInterrupt, -1, 0)
+				cm.flushPhase(done)()
+			})
 		})
 	})
 }
@@ -140,6 +146,7 @@ func (cm *CheckpointManager) Run(done func()) {
 func (cm *CheckpointManager) flushPhase(done func()) func() {
 	return func() {
 		flushStart := cm.engine.Now()
+		cm.st.Trace.Begin(trace.CkpFlush, -1, 0)
 		waitAll(len(cm.caches), func(one func()) {
 			for _, cc := range cm.caches {
 				cc.FlushDirty(one)
@@ -149,8 +156,11 @@ func (cm *CheckpointManager) flushPhase(done func()) func() {
 			// "outstanding operations complete" requirement covers them.
 			cm.tracker.NotifyQuiescent(func() {
 				cm.st.CkpFlushTime += cm.engine.Now() - flushStart
+				cm.st.Trace.End(trace.CkpFlush, -1, 0)
+				cm.st.Trace.Begin(trace.CkpBarrier, -1, 1)
 				cm.engine.After(cm.cfg.BarrierCost, func() {
 					cm.st.CkpBarrierTime += cm.cfg.BarrierCost
+					cm.st.Trace.End(trace.CkpBarrier, -1, 1)
 					cm.commitPhase(done)
 				})
 			})
@@ -162,6 +172,7 @@ func (cm *CheckpointManager) commitPhase(done func()) {
 	// Tentative commit: every node writes its checkpoint marker
 	// (checkpoint-commit race, section 4.2).
 	next := cm.epoch + 1
+	cm.st.Trace.Begin(trace.CkpCommit, -1, next)
 	waitAll(len(cm.ctrls), func(one func()) {
 		for _, ctrl := range cm.ctrls {
 			ctrl.writeCkptMarker(next, one)
@@ -169,8 +180,11 @@ func (cm *CheckpointManager) commitPhase(done func()) {
 	}, func() {
 		cm.tracker.NotifyQuiescent(func() {
 			// Second barrier: all processors have marked the checkpoint.
+			cm.st.Trace.Begin(trace.CkpBarrier, -1, 2)
 			cm.engine.After(cm.cfg.BarrierCost, func() {
 				cm.st.CkpBarrierTime += cm.cfg.BarrierCost
+				cm.st.Trace.End(trace.CkpBarrier, -1, 2)
+				cm.st.Trace.End(trace.CkpCommit, -1, next)
 				cm.epoch = next
 				retain := cm.cfg.Retain
 				if retain < 2 {
@@ -183,6 +197,7 @@ func (cm *CheckpointManager) commitPhase(done func()) {
 					}
 				}
 				cm.st.Checkpoints++
+				cm.st.Trace.End(trace.Checkpoint, -1, next)
 				cm.active = false
 				if cm.OnCommit != nil {
 					cm.OnCommit(next)

@@ -7,6 +7,7 @@ import (
 	"revive/internal/network"
 	"revive/internal/sim"
 	"revive/internal/stats"
+	"revive/internal/trace"
 )
 
 // Step identifies an ordered point in ReVive's log/parity/data update
@@ -288,6 +289,7 @@ func wbClass(ckp bool) stats.Class {
 // written, marker validated, then one parity round covering the entry (data
 // line parity strictly before header/marker parity).
 func (c *Controller) appendLog(line arch.LineAddr, old arch.Data, done func()) {
+	c.st.Trace.Instant(trace.LogAppend, int(c.node), uint64(line))
 	m := c.dirs[c.node].Mem()
 	s := c.log.Reserve()
 	hdr := c.local(s.headerLine())
@@ -354,6 +356,7 @@ func (c *Controller) writeCkptMarker(epoch uint64, done func()) {
 		done()
 		return
 	}
+	c.st.Trace.Instant(trace.CkptMarker, int(c.node), epoch)
 	m := c.dirs[c.node].Mem()
 	s := c.log.Reserve()
 	hdr := c.local(s.headerLine())
@@ -470,6 +473,7 @@ func (c *Controller) PendingDebts() int { return len(c.debt) }
 // caller's directory entry stays busy for the duration.
 func (c *Controller) sendParity(u parityUpdate, done func()) {
 	c.tracker.Inc()
+	c.st.Trace.AsyncBegin(trace.ParityUpdate, int(c.node), uint64(u.line))
 	u.from = c
 	self := c.node
 	c.net.Send(network.Message{
@@ -480,6 +484,7 @@ func (c *Controller) sendParity(u parityUpdate, done func()) {
 					Src: u.target.Node, Dst: self, Bytes: network.ControlBytes,
 					Class: stats.ClassParity,
 					Deliver: func() {
+						c.st.Trace.AsyncEnd(trace.ParityUpdate, int(self), uint64(u.line))
 						c.tracker.Dec()
 						done()
 					},

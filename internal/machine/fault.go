@@ -7,6 +7,8 @@ import (
 
 	"revive/internal/arch"
 	"revive/internal/core"
+	"revive/internal/stats"
+	"revive/internal/trace"
 )
 
 // ErrNoRevive is returned when recovery is requested on a machine built
@@ -38,6 +40,7 @@ func (e *RetentionError) Error() string {
 // instant and freezes the machine (all pending events dropped). The paper's
 // worst case: permanent loss of an entire node.
 func (m *Machine) InjectNodeLoss(node arch.NodeID) {
+	m.Stats.Trace.Instant(trace.NodeLost, int(node), 0)
 	m.Mems[node].MarkLost()
 	m.freeze()
 }
@@ -54,6 +57,7 @@ func (m *Machine) InjectTransient() {
 // Fault injectors call it at the instant of the error; mark any lost
 // memories (Mems[n].MarkLost) before or after as needed.
 func (m *Machine) Freeze() {
+	m.Stats.Trace.Instant(trace.Freeze, -1, 0)
 	m.Engine.Reset()
 	m.Tracker.Reset()
 	m.Xport.Reset() // in-flight transport frames roll back with everything else
@@ -170,11 +174,21 @@ func (m *Machine) Recover(lost arch.NodeID, targetEpoch uint64) (core.Report, er
 		if err != nil {
 			return rep, err
 		}
-		if err := m.finishRecovery(rep, targetEpoch); err != nil {
+		if err := m.finishRecovery(rep, targetEpoch, sortedNodes(known)); err != nil {
 			return rep, err
 		}
 		return rep, nil
 	}
+}
+
+// sortedNodes flattens a lost-node set into a sorted int slice.
+func sortedNodes(set map[arch.NodeID]bool) []int {
+	out := make([]int, 0, len(set))
+	for n := range set {
+		out = append(out, int(n))
+	}
+	sort.Ints(out)
+	return out
 }
 
 // recoverableSet validates the fault model over the cumulative ever-lost
@@ -229,8 +243,9 @@ func (m *Machine) recoverOnce(targetEpoch uint64) (core.Report, error) {
 
 // finishRecovery truncates the logs at the target marker and rolls the
 // epoch and attached devices back. The restored log entries must never
-// replay in a future rollback.
-func (m *Machine) finishRecovery(rep core.Report, targetEpoch uint64) error {
+// replay in a future rollback. lost is the cumulative set of nodes lost
+// across the recovery's restart attempts, recorded in the history.
+func (m *Machine) finishRecovery(rep core.Report, targetEpoch uint64, lost []int) error {
 	retain := m.retain()
 	for _, ctrl := range m.Ctrls {
 		if err := ctrl.Log().TruncateAtMarker(targetEpoch); err != nil {
@@ -245,6 +260,21 @@ func (m *Machine) finishRecovery(rep core.Report, targetEpoch uint64) error {
 	m.Stats.RecoveryPhase2 = rep.Phase2
 	m.Stats.RecoveryPhase3 = rep.Phase3
 	m.Stats.RecoveryPhase4 = rep.Phase4
+	m.Stats.RecoveryHistory = append(m.Stats.RecoveryHistory, stats.RecoveryRecord{
+		At: m.Engine.Now(), TargetEpoch: targetEpoch, Lost: lost,
+		Phase1: rep.Phase1, Phase2: rep.Phase2, Phase3: rep.Phase3, Phase4: rep.Phase4,
+	})
+	// Phase times are analytic (the clock does not advance during
+	// recovery), so the trace gets synthetic complete spans laid out from
+	// the freeze instant; Phase 4 overlaps resumed execution.
+	if tr := m.Stats.Trace; tr.Enabled() {
+		now := m.Engine.Now()
+		tr.SpanAt(trace.Recovery, -1, now, rep.Unavailable(), targetEpoch)
+		tr.SpanAt(trace.RecoveryPhase1, -1, now, rep.Phase1, 0)
+		tr.SpanAt(trace.RecoveryPhase2, -1, now+rep.Phase1, rep.Phase2, 0)
+		tr.SpanAt(trace.RecoveryPhase3, -1, now+rep.Phase1+rep.Phase2, rep.Phase3, 0)
+		tr.SpanAt(trace.RecoveryPhase4, -1, now+rep.Unavailable(), rep.Phase4, 0)
+	}
 	return nil
 }
 

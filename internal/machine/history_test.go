@@ -1,0 +1,66 @@
+package machine
+
+import (
+	"testing"
+
+	"revive/internal/sim"
+)
+
+// Satellite: every recovery must land in Stats.RecoveryHistory. The scalar
+// RecoveryPhase1-4 fields only remember the most recent recovery, so a
+// multi-loss run that recovers twice would otherwise silently overwrite the
+// first recovery's accounting.
+func TestRecoveryHistoryRecordsEveryRecovery(t *testing.T) {
+	m := New(verifyCfg())
+	m.Load(testProfile(500000))
+	runToEpoch(t, m, 2, 30*sim.Microsecond)
+	m.InjectTransient()
+	rep1, err := m.Recover(-1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Resume(rep1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run on past the next two commits and lose a node this time.
+	var commit sim.Time = -1
+	m.OnCheckpoint = func(e uint64) {
+		if e == 4 {
+			commit = m.Engine.Now()
+		}
+	}
+	m.Engine.RunWhile(func() bool { return commit < 0 })
+	if commit < 0 {
+		t.Fatal("run finished before checkpoint 4")
+	}
+	m.Engine.RunUntil(commit + 30*sim.Microsecond)
+	m.InjectNodeLoss(1)
+	rep2, err := m.Recover(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hist := m.Stats.RecoveryHistory
+	if len(hist) != 2 {
+		t.Fatalf("RecoveryHistory has %d record(s), want 2: %+v", len(hist), hist)
+	}
+	first, second := hist[0], hist[1]
+	if first.TargetEpoch != 2 || len(first.Lost) != 0 {
+		t.Errorf("first record = %+v, want target epoch 2 and no lost nodes", first)
+	}
+	if second.TargetEpoch != 4 || len(second.Lost) != 1 || second.Lost[0] != 1 {
+		t.Errorf("second record = %+v, want target epoch 4 and lost nodes [1]", second)
+	}
+	if second.At <= first.At {
+		t.Errorf("history out of order: At %d then %d", first.At, second.At)
+	}
+	if first.Phase3 != rep1.Phase3 || second.Phase3 != rep2.Phase3 {
+		t.Errorf("phase times diverge from the recovery reports: %+v / %+v", hist, []any{rep1, rep2})
+	}
+	// The scalars reflect only the last recovery; the history is the full
+	// account.
+	if m.Stats.RecoveryPhase3 != rep2.Phase3 {
+		t.Errorf("RecoveryPhase3 = %d, want the last recovery's %d", m.Stats.RecoveryPhase3, rep2.Phase3)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"revive/internal/proc"
 	"revive/internal/sim"
 	"revive/internal/stats"
+	"revive/internal/trace"
 	"revive/internal/workload"
 )
 
@@ -52,6 +53,15 @@ type Config struct {
 	// Verify keeps a per-checkpoint functional snapshot of all memories
 	// and stream contexts so tests can check rollback byte-for-byte.
 	Verify bool
+
+	// Trace, if non-nil, records flight-recorder events from every layer
+	// of the machine (see internal/trace). Nil disables tracing at zero
+	// cost on the event hot paths.
+	Trace *trace.Tracer
+	// Series, if non-nil, receives one metric sample per committed
+	// checkpoint: per-node log occupancy, traffic by class, miss rates
+	// (the Figure 11 time-series).
+	Series *trace.Series
 }
 
 // Default returns the paper's Table 3 machine: 16 nodes, 7+1 parity,
@@ -140,6 +150,8 @@ func New(cfg Config) *Machine {
 	}
 	engine := sim.NewEngine()
 	st := stats.New()
+	st.Trace = cfg.Trace
+	cfg.Trace.SetClock(engine)
 	tracker := &coherence.Tracker{}
 	amap := arch.NewAddressMap(topo)
 	net, err := network.New(engine, cfg.Net, st)
@@ -242,6 +254,9 @@ func (m *Machine) onCommit(epoch uint64) {
 		snap.Contexts = append(snap.Contexts, p.ContextSnapshot())
 	}
 	m.snapshots[epoch] = snap
+	if m.Cfg.Series != nil {
+		m.sampleSeries(epoch)
+	}
 	retain := uint64(m.Cfg.Checkpoint.Retain)
 	if retain < 2 {
 		retain = 2
@@ -253,6 +268,30 @@ func (m *Machine) onCommit(epoch uint64) {
 	if m.OnCheckpoint != nil {
 		m.OnCheckpoint(epoch)
 	}
+}
+
+// sampleSeries appends the committed epoch's metric snapshot to the
+// configured time-series sink.
+func (m *Machine) sampleSeries(epoch uint64) {
+	s, st := m.Cfg.Series, m.Stats
+	if s.Classes == nil {
+		for c := stats.Class(0); c < stats.NumClasses; c++ {
+			s.Classes = append(s.Classes, c.String())
+		}
+	}
+	smp := trace.Sample{
+		Epoch: epoch, TimeNS: int64(m.Engine.Now()),
+		Instructions: st.Instructions, MemRefs: st.MemRefs,
+		L1Hits: st.L1Hits, L1Misses: st.L1Misses,
+		L2Hits: st.L2Hits, L2Misses: st.L2Misses,
+		Checkpoints: st.Checkpoints,
+		NetBytes:    append([]uint64(nil), st.NetBytes[:]...),
+		MemAccesses: append([]uint64(nil), st.MemAccesses[:]...),
+	}
+	for _, ctrl := range m.Ctrls {
+		smp.NodeLogBytes = append(smp.NodeLogBytes, ctrl.Log().RetainedBytes())
+	}
+	s.Add(smp)
 }
 
 // AttachDevice adds an external I/O device governed by the machine's

@@ -17,6 +17,7 @@ import (
 	"revive/internal/arch"
 	"revive/internal/sim"
 	"revive/internal/stats"
+	"revive/internal/trace"
 )
 
 // Sizes of the messages exchanged by directory controllers. A control
@@ -391,6 +392,7 @@ func (n *Network) Send(m Message) {
 	if v.drop {
 		if n.stats != nil {
 			n.stats.NetFaultDrops++
+			n.stats.Trace.Instant(trace.NetDrop, int(m.Src), uint64(m.Dst))
 		}
 		n.route(m, v.delay, true)
 		return
@@ -411,6 +413,7 @@ func (n *Network) route(m Message, extra sim.Time, discard bool) {
 	}
 	if failover && n.stats != nil {
 		n.stats.NetRouteFailovers++
+		n.stats.Trace.Instant(trace.RouteFailover, int(m.Src), uint64(m.Dst))
 	}
 	serialization := sim.Time(m.Bytes*n.cfg.PicosPerByte) / 1000
 	// Virtual cut-through: the head proceeds hop by hop; each traversed

@@ -8,6 +8,7 @@ import (
 	"revive/internal/arch"
 	"revive/internal/sim"
 	"revive/internal/stats"
+	"revive/internal/trace"
 )
 
 // The reliable end-to-end transport between the controllers and the raw
@@ -203,6 +204,7 @@ func (t *Transport) armTimer(p pairKey, seq uint64, x *xfer) {
 			}
 			if t.stats != nil {
 				t.stats.XportUnreachable++
+				t.stats.Trace.Instant(trace.XportEscalation, int(p.src), uint64(p.dst))
 			}
 			if t.OnUnreachable != nil {
 				t.OnUnreachable(p.src, p.dst)
@@ -212,6 +214,7 @@ func (t *Transport) armTimer(p pairKey, seq uint64, x *xfer) {
 		x.attempt++
 		if t.stats != nil {
 			t.stats.XportRetransmits++
+			t.stats.Trace.Instant(trace.XportRetransmit, int(p.src), seq)
 		}
 		t.net.Send(x.m)
 		t.armTimer(p, seq, x)

@@ -12,6 +12,7 @@ import (
 	"revive/internal/coherence"
 	"revive/internal/sim"
 	"revive/internal/stats"
+	"revive/internal/trace"
 	"revive/internal/workload"
 )
 
@@ -35,6 +36,7 @@ type Proc struct {
 	seq      uint64 // store sequence number (distinct store values)
 	finished bool
 	parked   bool
+	execOpen bool   // an open ProcExec trace span (Begin without End)
 	intReq   func() // pending checkpoint interrupt callback
 
 	// OnFinish runs once when the stream is exhausted.
@@ -68,13 +70,25 @@ func (p *Proc) Finished() bool { return p.finished }
 // Start begins execution.
 func (p *Proc) Start() {
 	p.ckptSnap = p.stream.Snapshot()
+	p.st.Trace.Begin(trace.ProcExec, p.id, 0)
+	p.execOpen = true
 	p.step()
+}
+
+// endExec closes the processor's execution span (stream exhaustion or
+// rollback), at most once per Start.
+func (p *Proc) endExec() {
+	if p.execOpen {
+		p.st.Trace.End(trace.ProcExec, p.id, 0)
+		p.execOpen = false
+	}
 }
 
 // step issues the next trace operation.
 func (p *Proc) step() {
 	if p.intReq != nil {
 		p.parked = true
+		p.st.Trace.Instant(trace.ProcParked, p.id, 0)
 		cb := p.intReq
 		p.intReq = nil
 		cb()
@@ -83,6 +97,7 @@ func (p *Proc) step() {
 	op, ok := p.stream.Next()
 	if !ok {
 		p.finished = true
+		p.endExec()
 		if p.OnFinish != nil {
 			p.OnFinish()
 		}
@@ -103,6 +118,18 @@ func (p *Proc) step() {
 func (p *Proc) issue(op workload.Op) {
 	switch op.Kind {
 	case workload.OpLoad:
+		if tr := p.st.Trace; tr.Enabled() {
+			// The stall span needs a closing continuation; the closure is
+			// allocated only when tracing is on (the disabled hot path
+			// reuses the preallocated stepFn and allocates nothing).
+			addr := uint64(op.Addr)
+			tr.AsyncBegin(trace.ProcStall, p.id, addr)
+			p.cc.Load(op.Addr, func() {
+				tr.AsyncEnd(trace.ProcStall, p.id, addr)
+				p.step()
+			})
+			return
+		}
 		p.cc.Load(op.Addr, p.stepFn)
 	case workload.OpStore:
 		p.seq++
@@ -142,6 +169,7 @@ func (p *Proc) ContextSnapshot() any { return p.ckptSnap }
 // RestoreContext rewinds the stream to a snapshot (rollback) and clears
 // any frozen interrupt/park state from before the error.
 func (p *Proc) RestoreContext(snap any) {
+	p.endExec() // the pre-error execution span dies with the rollback
 	p.stream.Restore(snap)
 	p.finished = false
 	p.parked = false

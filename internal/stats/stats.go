@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"revive/internal/sim"
+	"revive/internal/trace"
 )
 
 // Class labels a network message or memory access with the traffic
@@ -63,6 +64,12 @@ func (c Class) String() string {
 // Stats is the single sink for all machine counters. It is owned by the
 // simulation's event loop, so plain (non-atomic) increments are safe.
 type Stats struct {
+	// Trace, when non-nil, receives flight-recorder events from every
+	// instrumented component. It rides on Stats because every component
+	// already holds the machine's Stats; a nil Trace costs one pointer
+	// check per emit site and allocates nothing.
+	Trace *trace.Tracer `json:"-"`
+
 	// Per-processor progress.
 	Instructions uint64
 	MemRefs      uint64
@@ -105,14 +112,33 @@ type Stats struct {
 	XportAcks          uint64 // positive acknowledgments sent
 	XportUnreachable   uint64 // destinations given up on (retransmit budget exhausted)
 
-	// Recovery phase durations (most recent recovery).
+	// Recovery phase durations of the most recent recovery (kept for
+	// existing reports; RecoveryHistory records every recovery of the run).
 	RecoveryPhase1 sim.Time
 	RecoveryPhase2 sim.Time
 	RecoveryPhase3 sim.Time
 	RecoveryPhase4 sim.Time // background rebuild (estimated, overlaps execution)
 
+	// RecoveryHistory holds one record per completed recovery, in order.
+	// Multi-loss runs recover more than once; the scalar fields above
+	// would silently overwrite earlier phase timings.
+	RecoveryHistory []RecoveryRecord
+
 	// End-to-end.
 	ExecTime sim.Time
+}
+
+// RecoveryRecord is the per-recovery accounting of one completed rollback
+// recovery: when it ran, what it rolled back to, which nodes were lost,
+// and the four phase durations (Figures 7 and 12 are per-recovery plots).
+type RecoveryRecord struct {
+	At          sim.Time `json:"at_ns"`         // simulated time the recovery completed at
+	TargetEpoch uint64   `json:"target_epoch"`  // checkpoint rolled back to
+	Lost        []int    `json:"lost,omitempty"` // nodes lost going into this recovery
+	Phase1      sim.Time `json:"phase1_ns"`
+	Phase2      sim.Time `json:"phase2_ns"`
+	Phase3      sim.Time `json:"phase3_ns"`
+	Phase4      sim.Time `json:"phase4_ns"`
 }
 
 // New returns a zeroed Stats.

@@ -1,6 +1,9 @@
 package stats
 
 import (
+	"reflect"
+	"strconv"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -82,5 +85,72 @@ func TestPropertyTotalsMatchSums(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestParseClassRoundTrip(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		got, ok := ParseClass(c.String())
+		if !ok {
+			t.Errorf("ParseClass(%q) not found", c.String())
+			continue
+		}
+		if got != c {
+			t.Errorf("ParseClass(%q) = %v, want %v", c.String(), got, c)
+		}
+	}
+	if _, ok := ParseClass("no-such-class"); ok {
+		t.Error("ParseClass accepted an unknown name")
+	}
+}
+
+// TestCampaignAddFieldCompleteness walks Campaign by reflection so a field
+// added to the struct but forgotten in Add (or String) fails the build's
+// tests instead of silently dropping counts when summaries merge.
+func TestCampaignAddFieldCompleteness(t *testing.T) {
+	var c Campaign
+	v := reflect.ValueOf(&c).Elem()
+	ty := v.Type()
+	values := make([]uint64, ty.NumField())
+	for i := 0; i < ty.NumField(); i++ {
+		val := uint64(1000 + i*111) // distinct, nonzero, collision-free
+		values[i] = val
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Int:
+			f.SetInt(int64(val))
+		case reflect.Uint64:
+			f.SetUint(val)
+		default:
+			t.Fatalf("Campaign.%s has kind %v: teach this test about it", ty.Field(i).Name, f.Kind())
+		}
+	}
+
+	var sum Campaign
+	sum.Add(c)
+	sum.Add(c)
+	sv := reflect.ValueOf(sum)
+	for i := 0; i < ty.NumField(); i++ {
+		f := sv.Field(i)
+		var got uint64
+		if f.Kind() == reflect.Int {
+			got = uint64(f.Int())
+		} else {
+			got = f.Uint()
+		}
+		if got != 2*values[i] {
+			t.Errorf("after two Adds, Campaign.%s = %d, want %d: field missing from Add?",
+				ty.Field(i).Name, got, 2*values[i])
+		}
+	}
+
+	// Every counter must surface in the report line. NetFaulted is nonzero
+	// above, so the fabric line prints too.
+	line := c.String()
+	for i := 0; i < ty.NumField(); i++ {
+		dec := strconv.FormatUint(values[i], 10)
+		if !strings.Contains(line, dec) {
+			t.Errorf("Campaign.String() does not mention %s=%s:\n%s", ty.Field(i).Name, dec, line)
+		}
 	}
 }

@@ -1,0 +1,195 @@
+// Chrome trace-event JSON sink: the "JSON Array Format" variant wrapped in
+// a traceEvents object, loadable by Perfetto (ui.perfetto.dev) and
+// chrome://tracing. One track (tid) per node, plus a "machine" track for
+// machine-wide events; sync spans render the checkpoint phases, async
+// spans the overlapping miss-service and parity round trips.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one trace-event record. Timestamps are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"` // async span matching
+	S    string         `json:"s,omitempty"`  // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const chromePID = 1
+
+// chromeTID maps an event node to a track: -1 (machine-wide) gets track 0,
+// node n gets track n+1.
+func chromeTID(node int16) int { return int(node) + 1 }
+
+// WriteChrome renders the tracer's retained events (see WriteChromeEvents).
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	return WriteChromeEvents(w, t.Events())
+}
+
+// WriteChromeEvents writes events as Chrome trace-event JSON. The output
+// is self-contained: process/thread name metadata precedes the events.
+func WriteChromeEvents(w io.Writer, events []Event) error {
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	put := func(ce chromeEvent) error {
+		blob, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = w.Write(blob)
+		return err
+	}
+
+	// Track-name metadata for every tid present.
+	tids := map[int]string{}
+	for _, e := range events {
+		tid := chromeTID(e.Node)
+		if e.Node < 0 {
+			tids[tid] = "machine"
+		} else {
+			tids[tid] = fmt.Sprintf("node %d", e.Node)
+		}
+	}
+	if err := put(chromeEvent{Name: "process_name", Ph: "M", PID: chromePID,
+		Args: map[string]any{"name": "revive-sim"}}); err != nil {
+		return err
+	}
+	order := make([]int, 0, len(tids))
+	for tid := range tids {
+		order = append(order, tid)
+	}
+	sort.Ints(order)
+	for _, tid := range order {
+		if err := put(chromeEvent{Name: "thread_name", Ph: "M", PID: chromePID, TID: tid,
+			Args: map[string]any{"name": tids[tid]}}); err != nil {
+			return err
+		}
+	}
+
+	// A wrapped ring (flight-recorder dumps) starts mid-stream: sync End
+	// events whose Begin aged out would break B/E nesting, so they are
+	// dropped (unclosed Begins are fine — viewers auto-close them).
+	open := map[int][]Kind{}
+	for _, e := range events {
+		tid := chromeTID(e.Node)
+		switch e.Ph {
+		case PhBegin:
+			open[tid] = append(open[tid], e.Kind)
+		case PhEnd:
+			st := open[tid]
+			if len(st) == 0 || st[len(st)-1] != e.Kind {
+				continue
+			}
+			open[tid] = st[:len(st)-1]
+		}
+		ce := chromeEvent{
+			Name: e.Kind.String(),
+			Ph:   e.Ph.String(),
+			TS:   float64(e.TS) / 1000, // ns -> us
+			PID:  chromePID,
+			TID:  tid,
+		}
+		if e.Arg != 0 {
+			ce.Args = map[string]any{"arg": e.Arg}
+		}
+		switch e.Ph {
+		case PhInstant:
+			ce.S = "t"
+		case PhAsyncBegin, PhAsyncEnd:
+			ce.Cat = "revive"
+			ce.ID = fmt.Sprintf("%d:%#x", e.Node, e.Arg)
+		case PhSpan:
+			dur := float64(e.Dur) / 1000
+			ce.Dur = &dur
+		}
+		if err := put(ce); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+// ValidateChrome checks that data is well-formed Chrome trace-event JSON:
+// a traceEvents array whose entries carry the required fields, with known
+// phase letters, balanced and properly nested B/E pairs per track, and
+// ids on async events. The CI trace smoke job and the unit tests run it
+// over real simulator output.
+func ValidateChrome(data []byte) error {
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("trace: no traceEvents array")
+	}
+	stacks := map[int][]string{} // tid -> open B names
+	for i, ev := range doc.TraceEvents {
+		name, ok := ev["name"].(string)
+		if !ok || name == "" {
+			return fmt.Errorf("trace: event %d: missing name", i)
+		}
+		ph, ok := ev["ph"].(string)
+		if !ok {
+			return fmt.Errorf("trace: event %d (%s): missing ph", i, name)
+		}
+		if ph == "M" {
+			continue // metadata carries no timestamp
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			return fmt.Errorf("trace: event %d (%s): missing ts", i, name)
+		}
+		tidF, ok := ev["tid"].(float64)
+		if !ok {
+			return fmt.Errorf("trace: event %d (%s): missing tid", i, name)
+		}
+		tid := int(tidF)
+		switch ph {
+		case "i":
+			// ok
+		case "B":
+			stacks[tid] = append(stacks[tid], name)
+		case "E":
+			st := stacks[tid]
+			if len(st) == 0 {
+				return fmt.Errorf("trace: event %d: E %q on tid %d with no open B", i, name, tid)
+			}
+			if top := st[len(st)-1]; top != name {
+				return fmt.Errorf("trace: event %d: E %q does not nest (open: %q)", i, name, top)
+			}
+			stacks[tid] = st[:len(st)-1]
+		case "b", "e":
+			if id, ok := ev["id"].(string); !ok || id == "" {
+				return fmt.Errorf("trace: event %d: async %q without id", i, name)
+			}
+		case "X":
+			if _, ok := ev["dur"].(float64); !ok {
+				return fmt.Errorf("trace: event %d: X %q without dur", i, name)
+			}
+		default:
+			return fmt.Errorf("trace: event %d (%s): unknown ph %q", i, name, ph)
+		}
+	}
+	return nil
+}

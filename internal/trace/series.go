@@ -1,0 +1,134 @@
+// Per-epoch metric time-series sink: one Sample per committed checkpoint,
+// written as CSV (derived per-interval metrics, ready to plot — the
+// Figure 11 log-occupancy curve comes straight out of it) or JSON (the
+// raw cumulative samples, lossless).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Sample is the machine's metric snapshot at one committed checkpoint.
+// Counter fields are cumulative since the start of the run; NodeLogBytes
+// is instantaneous (retained log footprint per node, after reclamation).
+type Sample struct {
+	Epoch        uint64 `json:"epoch"`
+	TimeNS       int64  `json:"time_ns"`
+	Instructions uint64 `json:"instructions"`
+	MemRefs      uint64 `json:"mem_refs"`
+	L1Hits       uint64 `json:"l1_hits"`
+	L1Misses     uint64 `json:"l1_misses"`
+	L2Hits       uint64 `json:"l2_hits"`
+	L2Misses     uint64 `json:"l2_misses"`
+	Checkpoints  int    `json:"checkpoints"`
+
+	// NetBytes and MemAccesses are indexed by the Series' Classes.
+	NetBytes     []uint64 `json:"net_bytes_by_class"`
+	MemAccesses  []uint64 `json:"mem_accesses_by_class"`
+	NodeLogBytes []uint64 `json:"node_log_bytes"`
+}
+
+// Series accumulates per-epoch samples. The zero value is ready to use;
+// the machine fills Classes (stats.Class labels, in order) on the first
+// sample. trace must not import stats, so the labels ride along as strings.
+type Series struct {
+	Classes []string `json:"classes"`
+	Samples []Sample `json:"samples"`
+}
+
+// Add appends one sample.
+func (s *Series) Add(smp Sample) { s.Samples = append(s.Samples, smp) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Samples) }
+
+// WriteJSON writes the raw cumulative samples.
+func (s *Series) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// csvLabel makes a class label safe as a CSV column name.
+func csvLabel(class string) string {
+	return strings.ToLower(strings.NewReplacer("/", "_", " ", "_", ",", "_").Replace(class))
+}
+
+// WriteCSV writes one row per epoch with per-interval metrics derived
+// from the cumulative samples: interval miss rates, per-class network
+// bytes of the interval, and instantaneous per-node log occupancy (the
+// Figure 11 curve: plot log_node_<i> or log_max_bytes against time_ns).
+func (s *Series) WriteCSV(w io.Writer) error {
+	cols := []string{"epoch", "time_ns", "instructions", "mem_refs",
+		"l1_miss_rate", "l2_miss_rate", "log_total_bytes", "log_max_bytes"}
+	for _, c := range s.Classes {
+		cols = append(cols, "net_"+csvLabel(c)+"_bytes")
+	}
+	nodes := 0
+	if len(s.Samples) > 0 {
+		nodes = len(s.Samples[0].NodeLogBytes)
+	}
+	for n := 0; n < nodes; n++ {
+		cols = append(cols, fmt.Sprintf("log_node_%d", n))
+	}
+	if _, err := io.WriteString(w, strings.Join(cols, ",")+"\n"); err != nil {
+		return err
+	}
+
+	var prev Sample
+	for i, smp := range s.Samples {
+		if i == 0 {
+			prev = Sample{} // first interval is measured from run start
+		}
+		dL1Miss := smp.L1Misses - prev.L1Misses
+		dL1 := dL1Miss + smp.L1Hits - prev.L1Hits
+		dL2Miss := smp.L2Misses - prev.L2Misses
+		dRefs := smp.MemRefs - prev.MemRefs
+		total, maxB := uint64(0), uint64(0)
+		for _, b := range smp.NodeLogBytes {
+			total += b
+			if b > maxB {
+				maxB = b
+			}
+		}
+		row := []string{
+			fmt.Sprint(smp.Epoch), fmt.Sprint(smp.TimeNS),
+			fmt.Sprint(smp.Instructions), fmt.Sprint(smp.MemRefs),
+			fmt.Sprintf("%.6f", rate(dL1Miss, dL1)),
+			fmt.Sprintf("%.6f", rate(dL2Miss, dRefs)),
+			fmt.Sprint(total), fmt.Sprint(maxB),
+		}
+		for c := range s.Classes {
+			var d uint64
+			if c < len(smp.NetBytes) {
+				d = smp.NetBytes[c]
+				if c < len(prev.NetBytes) {
+					d -= prev.NetBytes[c]
+				}
+			}
+			row = append(row, fmt.Sprint(d))
+		}
+		for n := 0; n < nodes; n++ {
+			var b uint64
+			if n < len(smp.NodeLogBytes) {
+				b = smp.NodeLogBytes[n]
+			}
+			row = append(row, fmt.Sprint(b))
+		}
+		if _, err := io.WriteString(w, strings.Join(row, ",")+"\n"); err != nil {
+			return err
+		}
+		prev = smp
+	}
+	return nil
+}
+
+func rate(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

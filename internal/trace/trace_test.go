@@ -1,0 +1,269 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"revive/internal/sim"
+)
+
+// fakeClock is a settable Clock.
+type fakeClock struct{ t sim.Time }
+
+func (c *fakeClock) Now() sim.Time { return c.t }
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range Kinds() {
+		name := k.String()
+		if strings.Contains(name, "Kind(") {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+		if seen[name] {
+			t.Fatalf("duplicate kind name %q", name)
+		}
+		seen[name] = true
+		back, ok := ParseKind(name)
+		if !ok || back != k {
+			t.Fatalf("ParseKind(%q) = %v, %v; want %v", name, back, ok, k)
+		}
+	}
+	if _, ok := ParseKind("no-such-kind"); ok {
+		t.Fatal("ParseKind accepted an unknown name")
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	in := []Event{
+		{TS: 100, Kind: LogAppend, Ph: PhInstant, Node: 3, Arg: 42},
+		{TS: 200, Dur: 50, Kind: RecoveryPhase2, Ph: PhSpan, Node: -1},
+		{TS: 300, Kind: MissService, Ph: PhAsyncBegin, Node: 7, Arg: 9},
+	}
+	blob, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"log-append"`) {
+		t.Fatalf("kinds must marshal by name, got %s", blob)
+	}
+	var out []Event
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(4)
+	tr.SetClock(clk)
+	for i := 0; i < 10; i++ {
+		clk.t = sim.Time(i)
+		tr.Instant(LogAppend, 0, uint64(i))
+	}
+	if got := tr.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("Events len = %d, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(6 + i); e.Arg != want || e.TS != int64(want) {
+			t.Fatalf("event %d = %+v, want arg/ts %d (chronological order)", i, e, want)
+		}
+	}
+}
+
+func TestNilTracerIsSafeAndEmpty(t *testing.T) {
+	var tr *Tracer
+	tr.SetClock(&fakeClock{})
+	tr.Instant(LogAppend, 0, 1)
+	tr.Begin(Checkpoint, -1, 1)
+	tr.End(Checkpoint, -1, 1)
+	tr.AsyncBegin(MissService, 2, 3)
+	tr.AsyncEnd(MissService, 2, 3)
+	tr.SpanAt(RecoveryPhase1, -1, 10, 20, 0)
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports Enabled")
+	}
+	if tr.Events() != nil || tr.Total() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer holds events")
+	}
+}
+
+// TestEmitZeroAlloc is the acceptance gate: with tracing disabled (nil
+// tracer) the event hot path allocates nothing — and an enabled tracer's
+// ring writes don't allocate either.
+func TestEmitZeroAlloc(t *testing.T) {
+	var off *Tracer
+	if allocs := testing.AllocsPerRun(1000, func() {
+		off.Instant(LogAppend, 3, 42)
+		off.Begin(CkpFlush, -1, 0)
+		off.End(CkpFlush, -1, 0)
+		off.AsyncBegin(MissService, 1, 7)
+		off.AsyncEnd(MissService, 1, 7)
+	}); allocs != 0 {
+		t.Fatalf("disabled tracer: %v allocs/op, want 0", allocs)
+	}
+	on := New(64)
+	on.SetClock(&fakeClock{t: 5})
+	if allocs := testing.AllocsPerRun(1000, func() {
+		on.Instant(LogAppend, 3, 42)
+		on.AsyncBegin(MissService, 1, 7)
+		on.AsyncEnd(MissService, 1, 7)
+	}); allocs != 0 {
+		t.Fatalf("enabled tracer: %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Instant(LogAppend, 3, uint64(i))
+	}
+}
+
+func BenchmarkEmitEnabled(b *testing.B) {
+	tr := New(8192)
+	tr.SetClock(&fakeClock{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Instant(LogAppend, 3, uint64(i))
+	}
+}
+
+// synthTrace emits a representative mix of every phase kind.
+func synthTrace() *Tracer {
+	clk := &fakeClock{}
+	tr := New(256)
+	tr.SetClock(clk)
+	tr.Begin(ProcExec, 0, 0)
+	clk.t = 10
+	tr.AsyncBegin(MissService, 0, 0x40)
+	tr.AsyncBegin(MissService, 0, 0x80) // overlapping, distinct ids
+	clk.t = 30
+	tr.Instant(LogAppend, 1, 0x40)
+	tr.AsyncEnd(MissService, 0, 0x40)
+	clk.t = 45
+	tr.AsyncEnd(MissService, 0, 0x80)
+	tr.Begin(Checkpoint, -1, 1)
+	tr.Begin(CkpFlush, -1, 0)
+	clk.t = 60
+	tr.End(CkpFlush, -1, 0)
+	tr.End(Checkpoint, -1, 1)
+	tr.SpanAt(RecoveryPhase1, -1, 70, 15, 0)
+	clk.t = 90
+	tr.End(ProcExec, 0, 0)
+	return tr
+}
+
+func TestWriteChromeValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := synthTrace().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("emitted trace is not valid Chrome trace-event JSON: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{`"node 0"`, `"machine"`, `"miss-service"`, `"recovery-phase1"`, `"ph":"X"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteChromeSanitizesWrappedRing(t *testing.T) {
+	// A tiny ring that wraps mid-span: the surviving E events have no B.
+	clk := &fakeClock{}
+	tr := New(2)
+	tr.SetClock(clk)
+	tr.Begin(Checkpoint, -1, 1)
+	for i := 0; i < 5; i++ {
+		clk.t = sim.Time(i + 1)
+		tr.Instant(LogAppend, 0, uint64(i))
+	}
+	clk.t = 10
+	tr.End(Checkpoint, -1, 1) // its Begin aged out of the ring
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("wrapped-ring output must still validate: %v\n%s", err, buf.String())
+	}
+}
+
+func TestValidateChromeRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":     `{"traceEvents":`,
+		"no events":    `{"foo":1}`,
+		"missing name": `{"traceEvents":[{"ph":"i","ts":1,"pid":1,"tid":0}]}`,
+		"bad ph":       `{"traceEvents":[{"name":"x","ph":"Z","ts":1,"pid":1,"tid":0}]}`,
+		"orphan E":     `{"traceEvents":[{"name":"x","ph":"E","ts":1,"pid":1,"tid":0}]}`,
+		"async no id":  `{"traceEvents":[{"name":"x","ph":"b","ts":1,"pid":1,"tid":0}]}`,
+		"X no dur":     `{"traceEvents":[{"name":"x","ph":"X","ts":1,"pid":1,"tid":0}]}`,
+	}
+	for label, doc := range cases {
+		if err := ValidateChrome([]byte(doc)); err == nil {
+			t.Errorf("%s: ValidateChrome accepted %s", label, doc)
+		}
+	}
+}
+
+func TestSeriesCSVAndJSON(t *testing.T) {
+	s := &Series{Classes: []string{"RD/RDX", "LOG"}}
+	s.Add(Sample{Epoch: 1, TimeNS: 1000, Instructions: 100, MemRefs: 40,
+		L1Hits: 30, L1Misses: 10, L2Hits: 6, L2Misses: 4,
+		NetBytes: []uint64{100, 20}, MemAccesses: []uint64{50, 10},
+		NodeLogBytes: []uint64{128, 256}})
+	s.Add(Sample{Epoch: 2, TimeNS: 2000, Instructions: 220, MemRefs: 90,
+		L1Hits: 70, L1Misses: 20, L2Hits: 14, L2Misses: 9,
+		NetBytes: []uint64{160, 50}, MemAccesses: []uint64{80, 25},
+		NodeLogBytes: []uint64{64, 512}})
+
+	var csv bytes.Buffer
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV rows = %d, want header + 2:\n%s", len(lines), csv.String())
+	}
+	header := lines[0]
+	for _, col := range []string{"epoch", "net_rd_rdx_bytes", "net_log_bytes", "log_node_1", "log_max_bytes"} {
+		if !strings.Contains(header, col) {
+			t.Fatalf("CSV header missing %q: %s", col, header)
+		}
+	}
+	// Interval deltas: epoch 2's LOG bytes are 50-20=30; max log is 512.
+	if !strings.Contains(lines[2], ",30,") || !strings.HasSuffix(lines[2], ",512") {
+		t.Fatalf("epoch-2 row lacks interval delta 30 / node log 512: %s", lines[2])
+	}
+	if cols, want := strings.Count(lines[1], ",")+1, strings.Count(header, ",")+1; cols != want {
+		t.Fatalf("row has %d columns, header %d", cols, want)
+	}
+
+	var js bytes.Buffer
+	if err := s.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back Series
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || back.Samples[1].NodeLogBytes[1] != 512 {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+}
