@@ -12,6 +12,12 @@
 //	revive-bench -availability       # section 3.3.2 table
 //	revive-bench -quick -all         # reduced budgets, fast smoke run
 //	revive-bench -apps FFT,Radix     # restrict the application set
+//	revive-bench -all -j 8           # eight simulations at a time
+//
+// The experiment sweeps are embarrassingly parallel (one machine instance
+// per app x variant cell); -j sets how many run at once (default: all
+// CPUs). Reports and progress lines are byte-identical at every -j —
+// see internal/sweep for the determinism contract.
 package main
 
 import (
@@ -35,10 +41,11 @@ func main() {
 		scale        = flag.Int("scale", 100, "divide paper instruction counts by this")
 		appsFlag     = flag.String("apps", "", "comma-separated application subset")
 		missRates    = flag.Bool("missrates", false, "baseline-only miss-rate calibration (Table 4)")
+		jobs         = flag.Int("j", 0, "simulations to run in parallel (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
-	o := revive.Options{Scale: *scale, Quick: *quick}
+	o := revive.Options{Scale: *scale, Quick: *quick, Parallelism: *jobs}
 	apps := revive.Apps(o)
 	if *appsFlag != "" {
 		var picked []revive.App

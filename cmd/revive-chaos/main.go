@@ -8,6 +8,7 @@
 // written as a replayable JSON artifact.
 //
 //	revive-chaos -campaigns 200 -seed 42          # the standing campaign
+//	revive-chaos -campaigns 200 -seed 42 -j 8     # eight campaigns at a time
 //	revive-chaos -campaigns 200 -drop 0.01 -corrupt 0.001 -link-loss
 //	revive-chaos -campaigns 10 -bug data-before-log -out fail.json
 //	revive-chaos -campaigns 10 -bug drop-ack      # transport-audit self-test
@@ -18,6 +19,10 @@
 // events of the shrunk reproducer's re-execution. With -out, each recording
 // is additionally written as a Chrome trace-event file next to the artifact
 // (open in Perfetto).
+//
+// Campaigns (including shrinking) run -j at a time (default: all CPUs);
+// seeds are pre-drawn serially and results absorbed in campaign order, so
+// the summary, artifacts and -v log are byte-identical at every -j.
 //
 // Exit status is 0 when every campaign holds all invariants, 1 otherwise.
 package main
@@ -47,6 +52,7 @@ func main() {
 	flight := flag.Int("flight", trace.DefaultCapacity, "flight-recorder ring size for failing campaigns (0 disables)")
 	jsonOut := flag.Bool("json", false, "print the batch summary as machine-readable JSON instead of text")
 	verbose := flag.Bool("v", false, "log every campaign")
+	jobs := flag.Int("j", 0, "campaigns to run in parallel (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
 	if *replay != "" {
@@ -64,7 +70,7 @@ func main() {
 	opts := chaos.Options{
 		Campaigns: *campaigns, Seed: *seed, Bug: *bug, ShrinkBudget: *budget,
 		DropProb: *drop, CorruptProb: *corrupt, LinkLoss: *linkLoss,
-		FlightEvents: *flight,
+		FlightEvents: *flight, Parallelism: *jobs,
 	}
 	if *flight <= 0 {
 		opts.FlightEvents = -1

@@ -10,7 +10,13 @@
 //	revive-sim -app LU -interval 200us       # custom checkpoint interval
 //	revive-sim -app FFT -trace out.json -series out.csv   # observability sinks
 //	revive-sim -app FFT -json                # machine-readable stats
+//	revive-sim -apps FFT,Radix,Ocean -j 4    # multi-app sweep, 4 at a time
+//	revive-sim -apps all                     # sweep every application
 //	revive-sim -list                         # the 12 applications
+//
+// The -apps sweep runs each application on its own machine instance, -j
+// at a time (default: all CPUs), and prints one summary row per app. The
+// table is byte-identical at every -j (see internal/sweep).
 package main
 
 import (
@@ -24,12 +30,15 @@ import (
 
 	"revive"
 	"revive/internal/stats"
+	"revive/internal/sweep"
 	"revive/internal/trace"
 )
 
 func main() {
 	var (
 		appName  = flag.String("app", "FFT", "application (Table 4 name)")
+		appsFlag = flag.String("apps", "", "comma-separated application sweep, or \"all\" (one summary row per app)")
+		jobs     = flag.Int("j", 0, "simulations to run in parallel for -apps (0 = all CPUs, 1 = serial)")
 		baseline = flag.Bool("baseline", false, "run without recovery support")
 		mirror   = flag.Bool("mirror", false, "mirroring instead of 7+1 parity")
 		noCkpt   = flag.Bool("nockpt", false, "infinite checkpoint interval (CpInf)")
@@ -59,6 +68,13 @@ func main() {
 			fmt.Printf("%-12s %11dM %9.2f%%\n", a.Label, a.PaperInstrM, a.PaperMissPct)
 		}
 		return
+	}
+	if *appsFlag != "" {
+		if *replay != "" || *record != "" || *traceOut != "" || *seriesOut != "" {
+			fmt.Fprintln(os.Stderr, "-apps sweeps are incompatible with -replay, -record, -trace and -series")
+			os.Exit(2)
+		}
+		os.Exit(runAppsSweep(o, *appsFlag, *jobs, *baseline, *mirror, *noCkpt, *interval, *jsonOut))
 	}
 	var wl revive.Workload
 	appLabel := *appName
@@ -98,19 +114,7 @@ func main() {
 		}
 	}
 
-	var cfg revive.Config
-	switch {
-	case *baseline:
-		cfg = revive.BaselineConfig(o)
-	default:
-		cfg = revive.EvalConfig(o)
-		if *noCkpt {
-			cfg.Checkpoint.Interval = 0
-		}
-		if *interval != 0 {
-			cfg.Checkpoint.Interval = revive.Time(interval.Nanoseconds())
-		}
-	}
+	cfg := buildConfig(o, *baseline, *noCkpt, *interval)
 	if *traceOut != "" {
 		cfg.Trace = trace.New(*traceEvents)
 	}
@@ -230,6 +234,124 @@ func main() {
 	if !*baseline && !*jsonOut {
 		fmt.Println("  parity invariant: verified")
 	}
+}
+
+// buildConfig assembles the machine configuration the flags select.
+func buildConfig(o revive.Options, baseline, noCkpt bool, interval time.Duration) revive.Config {
+	if baseline {
+		return revive.BaselineConfig(o)
+	}
+	cfg := revive.EvalConfig(o)
+	if noCkpt {
+		cfg.Checkpoint.Interval = 0
+	}
+	if interval != 0 {
+		cfg.Checkpoint.Interval = revive.Time(interval.Nanoseconds())
+	}
+	return cfg
+}
+
+// modeLabel names the configuration in reports.
+func modeLabel(baseline, mirror bool) string {
+	switch {
+	case baseline:
+		return "baseline (no recovery)"
+	case mirror:
+		return "ReVive mirroring"
+	default:
+		return "ReVive 7+1 parity"
+	}
+}
+
+// runAppsSweep runs one machine instance per requested application, jobs
+// at a time, and prints a per-app summary (one deterministic row per app;
+// wall-clock totals go to stderr so stdout stays byte-identical at every
+// -j). Returns the process exit code: 1 if any run violated parity.
+func runAppsSweep(o revive.Options, names string, jobs int, baseline, mirror, noCkpt bool, interval time.Duration, jsonOut bool) int {
+	apps := revive.Apps(o)
+	if names != "all" {
+		var picked []revive.App
+		for _, name := range strings.Split(names, ",") {
+			a, ok := revive.AppByName(strings.TrimSpace(name), o)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown application %q (try -list)\n", name)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		apps = picked
+	}
+	type row struct {
+		st        *stats.Stats
+		parityErr error
+	}
+	mode := modeLabel(baseline, mirror)
+	start := time.Now()
+	rows := sweep.Run(jobs, len(apps), func(i int) row {
+		m := revive.New(buildConfig(o, baseline, noCkpt, interval))
+		m.Load(apps[i])
+		r := row{st: m.Run()}
+		if !baseline {
+			r.parityErr = m.VerifyParity()
+		}
+		return r
+	}, nil)
+	wall := time.Since(start)
+
+	violations := 0
+	if jsonOut {
+		type jsonRow struct {
+			App            string       `json:"app"`
+			Nodes          int          `json:"nodes"`
+			Mode           string       `json:"mode"`
+			ParityVerified *bool        `json:"parity_verified,omitempty"` // absent for -baseline
+			Stats          *stats.Stats `json:"stats"`
+		}
+		out := make([]jsonRow, len(apps))
+		for i, r := range rows {
+			out[i] = jsonRow{App: apps[i].Label, Nodes: o.Nodes, Mode: mode, Stats: r.st}
+			if !baseline {
+				ok := r.parityErr == nil
+				out[i].ParityVerified = &ok
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		fmt.Printf("sweep of %d application(s) on %d nodes, %s\n", len(apps), o.Nodes, mode)
+		fmt.Printf("%-12s %9s %9s %6s %8s %8s %6s %10s  %s\n",
+			"App", "Instr(M)", "Exec(ms)", "IPC", "L1miss%", "L2miss%", "Ckpts", "PeakLog", "Parity")
+		for i, r := range rows {
+			st := r.st
+			parity := "-"
+			if !baseline {
+				parity = "ok"
+				if r.parityErr != nil {
+					parity = "VIOLATION"
+				}
+			}
+			fmt.Printf("%-12s %9.1f %9.2f %6.2f %8.2f %8.2f %6d %8.1fK  %s\n",
+				apps[i].Label, float64(st.Instructions)/1e6, float64(st.ExecTime)/1e6,
+				float64(st.Instructions)/float64(st.ExecTime)/float64(o.Nodes),
+				100*float64(st.L1Misses)/float64(st.L1Misses+st.L1Hits),
+				100*st.L2MissRate(), st.Checkpoints, float64(st.LogBytesPeak)/1024, parity)
+		}
+	}
+	for i, r := range rows {
+		if r.parityErr != nil {
+			fmt.Fprintf(os.Stderr, "PARITY VIOLATION in %s: %v\n", apps[i].Label, r.parityErr)
+			violations++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d simulation(s) in %.1fs wall\n", len(apps), wall.Seconds())
+	if violations > 0 {
+		return 1
+	}
+	return 0
 }
 
 // writeFileWith streams write's output into path.

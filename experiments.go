@@ -11,8 +11,17 @@ import (
 	"revive/internal/core"
 	"revive/internal/sim"
 	"revive/internal/stats"
+	"revive/internal/sweep"
 	"revive/internal/workload"
 )
+
+// parallelism resolves Options.Parallelism for the sweep runner.
+func (o Options) parallelism() int {
+	if o.Parallelism != 0 {
+		return o.Parallelism
+	}
+	return sweep.DefaultParallelism()
+}
 
 // Variant names one error-free configuration of Figure 8.
 type Variant string
@@ -70,29 +79,40 @@ func (r AppResult) Overhead(v Variant) float64 {
 }
 
 // RunErrorFree executes the full error-free matrix: every application in
-// apps under every variant. It is the expensive sweep behind Figures 8-11;
-// progress (if non-nil) is invoked after each run.
+// apps under every variant. It is the expensive sweep behind Figures 8-11.
+// The app x variant cells are independent simulations and run on
+// o.Parallelism workers; results and progress callbacks (if non-nil,
+// invoked once per run, serialized, in the serial loop's order) are
+// byte-identical at every parallelism.
 func RunErrorFree(o Options, apps []App, progress func(app string, v Variant, st *Stats)) []AppResult {
-	var out []AppResult
-	for _, app := range apps {
-		res := AppResult{App: app, Runs: map[Variant]*Stats{}}
-		for _, v := range Variants {
-			m := New(variantConfig(v, o))
-			m.Load(app)
-			st := m.Run()
-			res.Runs[v] = st
+	out := make([]AppResult, len(apps))
+	for i, app := range apps {
+		out[i] = AppResult{App: app, Runs: map[Variant]*Stats{}}
+	}
+	nv := len(Variants)
+	sweep.Run(o.parallelism(), len(apps)*nv,
+		func(i int) *Stats {
+			m := New(variantConfig(Variants[i%nv], o))
+			m.Load(apps[i/nv])
+			return m.Run()
+		},
+		func(i int, st *Stats) {
+			app, v := apps[i/nv], Variants[i%nv]
+			out[i/nv].Runs[v] = st
 			if progress != nil {
 				progress(app.Label, v, st)
 			}
-		}
-		out = append(out, res)
-	}
+		})
 	return out
 }
 
-// geometricOverheads returns the arithmetic-mean overhead of a variant
-// across results (the paper reports arithmetic averages).
+// meanOverhead returns the arithmetic-mean overhead of a variant across
+// results (the paper reports arithmetic averages). An empty result set
+// yields 0, not NaN.
 func meanOverhead(results []AppResult, v Variant) float64 {
+	if len(results) == 0 {
+		return 0
+	}
 	var sum float64
 	for _, r := range results {
 		sum += r.Overhead(v)
@@ -220,19 +240,28 @@ type RecoveryResult struct {
 // RunRecoveryStudy reproduces the Figure 12 experiment for each app: run to
 // the second checkpoint commit plus 80% of an interval, lose a node, and
 // roll back two checkpoints (to epoch 1). The transient variant repeats it
-// without memory loss.
+// without memory loss. The two runs per app are independent simulations
+// and fan out over o.Parallelism workers; progress fires once per app, in
+// order, when both of its runs are in.
 func RunRecoveryStudy(o Options, apps []App, progress func(app string)) []RecoveryResult {
-	var out []RecoveryResult
-	for _, app := range apps {
-		out = append(out, RecoveryResult{
-			App:       app.Label,
-			NodeLoss:  runOneRecovery(o, app, true),
-			Transient: runOneRecovery(o, app, false),
-		})
-		if progress != nil {
-			progress(app.Label)
-		}
+	out := make([]RecoveryResult, len(apps))
+	for i, app := range apps {
+		out[i].App = app.Label
 	}
+	sweep.Run(o.parallelism(), 2*len(apps),
+		func(i int) Report {
+			return runOneRecovery(o, apps[i/2], i%2 == 0)
+		},
+		func(i int, rep Report) {
+			if i%2 == 0 {
+				out[i/2].NodeLoss = rep
+				return
+			}
+			out[i/2].Transient = rep
+			if progress != nil {
+				progress(apps[i/2].Label)
+			}
+		})
 	return out
 }
 
@@ -352,21 +381,33 @@ func RunTable2(o Options) []Table2Cell {
 		{"high frequency", 250 * sim.Microsecond},
 		{"low frequency", 2 * sim.Millisecond},
 	}
-	var out []Table2Cell
-	for _, s := range sets {
-		base := New(BaselineConfig(o))
-		base.Load(s.prof)
-		baseTime := base.Run().ExecTime
-		for _, f := range freqs {
-			cfg := EvalConfig(o)
-			cfg.Checkpoint.Interval = f.interval
+	// Per working set: one baseline run plus one run per frequency, all
+	// independent. Fan out every simulation, then fold the overheads
+	// serially in the presentation order (set-major, frequency-minor).
+	perSet := 1 + len(freqs)
+	times := sweep.Run(o.parallelism(), len(sets)*perSet,
+		func(i int) sim.Time {
+			s, k := sets[i/perSet], i%perSet
+			var cfg Config
+			if k == 0 {
+				cfg = BaselineConfig(o)
+			} else {
+				cfg = EvalConfig(o)
+				cfg.Checkpoint.Interval = freqs[k-1].interval
+			}
 			m := New(cfg)
 			m.Load(s.prof)
-			st := m.Run()
+			return m.Run().ExecTime
+		}, nil)
+	var out []Table2Cell
+	for si, s := range sets {
+		baseTime := times[si*perSet]
+		for fi, f := range freqs {
+			t := times[si*perSet+1+fi]
 			out = append(out, Table2Cell{
 				WorkingSet: s.name,
 				Frequency:  f.name,
-				Overhead:   float64(st.ExecTime-baseTime) / float64(baseTime),
+				Overhead:   float64(t-baseTime) / float64(baseTime),
 			})
 		}
 	}
@@ -406,8 +447,9 @@ type Figure6Row struct {
 // 3.3.1: ~100 us at 128 KB, ~1 ms at 2 MB).
 func RunFigure6(o Options) []Figure6Row {
 	o = o.withDefaults()
-	var out []Figure6Row
-	for _, l2 := range []int{128 * 1024, 2 * 1024 * 1024} {
+	sizes := []int{128 * 1024, 2 * 1024 * 1024}
+	return sweep.Run(o.parallelism(), len(sizes), func(i int) Figure6Row {
+		l2 := sizes[i]
 		cfg := EvalConfig(o)
 		cfg.Checkpoint.Interval = 0 // manual checkpoint
 		cfg.L1.SizeBytes = l2 / 8
@@ -438,13 +480,12 @@ func RunFigure6(o Options) []Figure6Row {
 		if !done {
 			panic("revive: figure 6 checkpoint did not complete")
 		}
-		out = append(out, Figure6Row{
+		return Figure6Row{
 			L2Bytes:   l2,
 			Dirty:     dirty / cfg.Nodes,
 			FlushTime: m.Stats.CkpFlushTime - flushStart,
-		})
-	}
-	return out
+		}
+	}, nil)
 }
 
 // WriteFigure6 renders the checkpoint-establishment timing.
@@ -572,15 +613,13 @@ func Separator(w io.Writer) {
 }
 
 // RunMissRates runs only the baseline configuration per application — the
-// fast calibration loop behind Table 4.
+// fast calibration loop behind Table 4, one worker per app.
 func RunMissRates(o Options, apps []App) []AppResult {
-	var out []AppResult
-	for _, app := range apps {
+	return sweep.Run(o.parallelism(), len(apps), func(i int) AppResult {
 		m := New(variantConfig(VBase, o))
-		m.Load(app)
-		out = append(out, AppResult{App: app, Runs: map[Variant]*Stats{VBase: m.Run()}})
-	}
-	return out
+		m.Load(apps[i])
+		return AppResult{App: apps[i], Runs: map[Variant]*Stats{VBase: m.Run()}}
+	}, nil)
 }
 
 // ProjectFullRebuild estimates the section 3.3.2 full-node background

@@ -1,5 +1,7 @@
 package arch
 
+import "sort"
+
 // Placement records where a global page lives: its home node and the
 // physical frame assigned within that node's memory.
 type Placement struct {
@@ -83,8 +85,10 @@ func (m *AddressMap) AllocFrame(n NodeID) Frame {
 // (including skipped parity frames), a proxy for its memory footprint.
 func (m *AddressMap) FramesUsed(n NodeID) Frame { return m.nextFrame[n] }
 
-// PagesHomedAt returns the global pages whose home is node n. Recovery uses
-// this to enumerate the data pages lost with a node.
+// PagesHomedAt returns the global pages whose home is node n, sorted by
+// page number. Recovery uses this to enumerate the data pages lost with a
+// node; the sort keeps that enumeration — and hence recovery work order,
+// stats and traces — independent of Go's randomized map-iteration order.
 func (m *AddressMap) PagesHomedAt(n NodeID) []PageNum {
 	var out []PageNum
 	for p, pl := range m.pages {
@@ -92,6 +96,7 @@ func (m *AddressMap) PagesHomedAt(n NodeID) []PageNum {
 			out = append(out, p)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -277,6 +277,33 @@ func TestPagesHomedAtAndRehome(t *testing.T) {
 	}
 }
 
+// Regression: PagesHomedAt must return pages sorted by page number, not in
+// Go's randomized map-iteration order — recovery enumerates a lost node's
+// data pages through it, so an unsorted return made Phase 2/3 work order
+// nondeterministic run to run.
+func TestPagesHomedAtSorted(t *testing.T) {
+	topo := Topology{Nodes: 16, GroupSize: 8}
+	m := NewAddressMap(topo)
+	// Touch enough pages that map iteration order essentially never
+	// matches insertion order, interleaving two homes.
+	for i := 256; i > 0; i-- {
+		m.Touch(PageNum(i), NodeID(3))
+		m.Touch(PageNum(1000+i), NodeID(5))
+	}
+	for _, n := range []NodeID{3, 5} {
+		pages := m.PagesHomedAt(n)
+		if len(pages) != 256 {
+			t.Fatalf("PagesHomedAt(%d) returned %d pages, want 256", n, len(pages))
+		}
+		for i := 1; i < len(pages); i++ {
+			if pages[i-1] >= pages[i] {
+				t.Fatalf("PagesHomedAt(%d) not sorted at index %d: %d >= %d",
+					n, i, pages[i-1], pages[i])
+			}
+		}
+	}
+}
+
 // Property: distinct pages touched at the same node never share a frame.
 func TestPropertyDistinctPagesDistinctFrames(t *testing.T) {
 	f := func(pagesRaw []uint16, nodeRaw uint8) bool {

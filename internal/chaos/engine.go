@@ -8,6 +8,7 @@ import (
 	"revive/internal/network"
 	"revive/internal/sim"
 	"revive/internal/stats"
+	"revive/internal/sweep"
 	"revive/internal/trace"
 )
 
@@ -17,6 +18,13 @@ type Options struct {
 	Seed         uint64 // master seed; campaign seeds derive from it
 	Bug          string // deliberately broken build to apply ("" = healthy)
 	ShrinkBudget int    // re-executions allowed per failing schedule (default 48)
+
+	// Parallelism is how many campaigns (including their shrinking) run
+	// at once. Campaign seeds are pre-drawn serially from the master
+	// PRNG and outcomes are absorbed in campaign order, so the summary,
+	// failure list and log output are byte-identical at every setting.
+	// 0 uses one worker per CPU; 1 forces the serial loop.
+	Parallelism int
 
 	// Forced fabric faults, layered onto every generated schedule (the
 	// acceptance sweep: -drop/-corrupt/-link-loss in revive-chaos). Zero
@@ -91,9 +99,62 @@ func force(opts Options, s *Schedule) {
 	}
 }
 
-// Run executes opts.Campaigns randomized campaigns. Every failing schedule
-// is shrunk to a minimal reproducer. The batch is deterministic in
-// opts.Seed.
+// campaignResult is one campaign's full product: its outcome plus, when it
+// failed, the shrunk reproducer's artifact. Workers build these; the
+// single-goroutine collect folds them into the Summary in campaign order.
+type campaignResult struct {
+	out        *Outcome
+	failure    *Failure // nil when every invariant held
+	origFaults int      // pre-shrink fault count (the shrink log line)
+	shrunkMsg  any      // first shrunk-run violation (the shrink log line)
+}
+
+// runCampaign executes one full campaign: generate from its pre-drawn
+// seed, run, and — on failure — shrink and re-execute the minimal
+// reproducer under the flight recorder. Everything here is deterministic
+// in the seed, so campaigns can run on any worker.
+func runCampaign(opts Options, seed uint64) campaignResult {
+	s := Generate(seed)
+	s.Bug = opts.Bug
+	force(opts, &s)
+	out := RunSchedule(s)
+	res := campaignResult{out: out}
+	if !out.Failed() {
+		return res
+	}
+	shrunk, shrunkOut, runs := Shrink(s, opts.ShrinkBudget)
+	res.origFaults = len(s.Faults)
+	res.shrunkMsg = any("original violation did not reproduce (nondeterminism?)")
+	if len(shrunkOut.Violations) > 0 {
+		res.shrunkMsg = shrunkOut.Violations[0]
+	}
+	var flight []trace.Event
+	if opts.FlightEvents >= 0 {
+		// One extra deterministic run of the minimal reproducer, this
+		// time with the flight recorder on: the artifact ships its own
+		// post-mortem.
+		_, flight = RunScheduleTraced(shrunk, opts.FlightEvents)
+	}
+	res.failure = &Failure{
+		CampaignSeed: seed,
+		Outcome:      out,
+		Artifact: Artifact{
+			Original:   s,
+			Shrunk:     shrunk,
+			Violations: shrunkOut.Violations,
+			ShrinkRuns: runs,
+		},
+		FlightRecorder: flight,
+	}
+	return res
+}
+
+// Run executes opts.Campaigns randomized campaigns on opts.Parallelism
+// workers. Every failing schedule is shrunk to a minimal reproducer. The
+// batch is deterministic in opts.Seed alone: campaign seeds are pre-drawn
+// serially before fan-out, and outcomes are absorbed — and opts.Log lines
+// emitted — in campaign order from a single goroutine, so the Summary and
+// the log are byte-identical at every parallelism.
 func Run(opts Options) *Summary {
 	if opts.Campaigns <= 0 {
 		opts.Campaigns = 50
@@ -105,45 +166,29 @@ func Run(opts Options) *Summary {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	// Pre-draw every campaign seed in the serial loop's order; workers
+	// never touch the master PRNG.
 	master := sim.NewRand(opts.Seed)
-	sum := &Summary{}
-	for i := 0; i < opts.Campaigns; i++ {
-		seed := master.Uint64()
-		s := Generate(seed)
-		s.Bug = opts.Bug
-		force(opts, &s)
-		out := RunSchedule(s)
-		sum.absorb(out)
-		logf("campaign %3d seed %#016x: %s", i, seed, describe(out))
-		if out.Failed() {
-			shrunk, shrunkOut, runs := Shrink(s, opts.ShrinkBudget)
-			sum.Counters.ShrinkRuns += runs
-			var first any = "original violation did not reproduce (nondeterminism?)"
-			if len(shrunkOut.Violations) > 0 {
-				first = shrunkOut.Violations[0]
-			}
-			logf("  shrunk %d fault(s) to %d in %d runs: %v",
-				len(s.Faults), len(shrunk.Faults), runs, first)
-			var flight []trace.Event
-			if opts.FlightEvents >= 0 {
-				// One extra deterministic run of the minimal reproducer,
-				// this time with the flight recorder on: the artifact
-				// ships its own post-mortem.
-				_, flight = RunScheduleTraced(shrunk, opts.FlightEvents)
-			}
-			sum.Failures = append(sum.Failures, Failure{
-				CampaignSeed: seed,
-				Outcome:      out,
-				Artifact: Artifact{
-					Original:   s,
-					Shrunk:     shrunk,
-					Violations: shrunkOut.Violations,
-					ShrinkRuns: runs,
-				},
-				FlightRecorder: flight,
-			})
-		}
+	seeds := make([]uint64, opts.Campaigns)
+	for i := range seeds {
+		seeds[i] = master.Uint64()
 	}
+	sum := &Summary{}
+	sweep.Run(opts.Parallelism, opts.Campaigns,
+		func(i int) campaignResult {
+			return runCampaign(opts, seeds[i])
+		},
+		func(i int, res campaignResult) {
+			sum.absorb(res.out)
+			logf("campaign %3d seed %#016x: %s", i, seeds[i], describe(res.out))
+			if res.failure != nil {
+				sum.Counters.ShrinkRuns += res.failure.Artifact.ShrinkRuns
+				logf("  shrunk %d fault(s) to %d in %d runs: %v",
+					res.origFaults, len(res.failure.Artifact.Shrunk.Faults),
+					res.failure.Artifact.ShrinkRuns, res.shrunkMsg)
+				sum.Failures = append(sum.Failures, *res.failure)
+			}
+		})
 	return sum
 }
 

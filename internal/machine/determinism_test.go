@@ -1,0 +1,63 @@
+package machine
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"revive/internal/sim"
+	"revive/internal/trace"
+)
+
+// nodeLossRun executes one fixed node-loss-and-recovery scenario from
+// identical inputs: run to the second checkpoint plus half an interval,
+// lose node 2, recover, resume, and complete. It returns the final stats
+// (as canonical JSON) and the full trace event sequence.
+func nodeLossRun(t *testing.T) ([]byte, []trace.Event) {
+	t.Helper()
+	cfg := verifyCfg()
+	cfg.Trace = trace.New(1 << 20)
+	m := New(cfg)
+	m.Load(testProfile(150000))
+	runToEpoch(t, m, 2, 50*sim.Microsecond)
+	m.InjectNodeLoss(2)
+	rep, err := m.Recover(2, 2)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if err := m.Resume(rep); err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	m.Engine.Run()
+	if !m.Done() {
+		t.Fatal("machine did not finish after resume")
+	}
+	blob, err := json.Marshal(m.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob, cfg.Trace.Events()
+}
+
+// TestNodeLossRecoveryDeterminism: two identical node-loss recoveries must
+// produce identical stats and identical trace event sequences. Recovery
+// enumerates a lost node's data pages through AddressMap.PagesHomedAt;
+// before that enumeration was sorted it followed Go's randomized
+// map-iteration order, making Phase 2/3 work order — and any trace of
+// it — differ run to run (the same bug class as the PR 2 log free-list
+// fix).
+func TestNodeLossRecoveryDeterminism(t *testing.T) {
+	stats1, events1 := nodeLossRun(t)
+	stats2, events2 := nodeLossRun(t)
+	if string(stats1) != string(stats2) {
+		t.Errorf("two identical node-loss recoveries produced different stats:\n%s\nvs\n%s", stats1, stats2)
+	}
+	if len(events1) != len(events2) {
+		t.Fatalf("trace lengths differ: %d vs %d events", len(events1), len(events2))
+	}
+	for i := range events1 {
+		if !reflect.DeepEqual(events1[i], events2[i]) {
+			t.Fatalf("trace diverges at event %d:\n%+v\nvs\n%+v", i, events1[i], events2[i])
+		}
+	}
+}

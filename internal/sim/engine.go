@@ -196,7 +196,14 @@ func (e *Engine) RunGuarded(maxEvents uint64, done func() bool) error {
 
 // Reset drops every pending event, preserving the clock. Fault injection
 // uses it to model fail-stop: all in-flight work is abandoned at the
-// instant of the error, and recovery rebuilds consistent state.
+// instant of the error, and recovery rebuilds consistent state. The
+// abandoned slots are zeroed first — their closures capture caches,
+// controllers and whole machine graphs, which would otherwise stay
+// reachable through the heap's backing array (the same GC-release idiom
+// pop uses).
 func (e *Engine) Reset() {
+	for i := range e.events {
+		e.events[i] = event{}
+	}
 	e.events = e.events[:0]
 }

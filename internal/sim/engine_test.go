@@ -221,3 +221,35 @@ func TestPropertyFinalTimeIsMaxDelay(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: Reset models fail-stop by abandoning every pending event.
+// Truncating the heap with [:0] without zeroing kept the abandoned
+// closures — which capture caches, controllers and whole machine graphs —
+// reachable through the backing array until the slots were overwritten by
+// later pushes. The leak-shaped check: after Reset, every slot of the
+// retained backing array must be zero, exactly as pop leaves popped slots.
+func TestResetReleasesAbandonedClosures(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 128; i++ {
+		captured := make([]byte, 1<<10) // stand-in for a captured machine graph
+		e.At(Time(i), func() { _ = captured })
+	}
+	e.Reset()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Reset, want 0", e.Pending())
+	}
+	backing := e.events[:cap(e.events)]
+	for i := range backing {
+		if backing[i].fn != nil || backing[i].at != 0 || backing[i].seq != 0 {
+			t.Fatalf("backing slot %d still holds an abandoned event after Reset: %+v",
+				i, backing[i])
+		}
+	}
+	// The engine must stay fully usable on the retained array.
+	ran := false
+	e.After(5, func() { ran = true })
+	e.Run()
+	if !ran || e.Now() != Time(5) {
+		t.Fatalf("engine broken after Reset: ran=%v now=%d", ran, e.Now())
+	}
+}

@@ -1,0 +1,111 @@
+// Package sweep is the deterministic worker pool behind every
+// independent-simulation fan-out in the repository: the error-free
+// experiment matrix, the recovery study, the Table 2 and Figure 6 cells,
+// and the chaos campaign batches. Each cell of such a sweep builds its own
+// machine and shares no state with its siblings, so they can execute on
+// any number of workers — determinism is preserved by construction:
+//
+//   - any randomness a task needs (campaign seeds) is pre-drawn serially
+//     by the caller *before* fan-out, in the same order a serial loop
+//     would draw it;
+//   - results land in an index-ordered slice, so serial folds over them
+//     see the exact sequence the serial loop produced;
+//   - the collect callback (progress lines, counter absorption) runs on
+//     the caller's goroutine in strictly increasing index order, so log
+//     output and fold order are byte-identical at every parallelism.
+//
+// With parallelism 1 the pool degenerates to the plain serial loop it
+// replaced; with parallelism N the observable outputs are identical and
+// only the wall clock changes.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// DefaultParallelism is the worker count used when a caller leaves the
+// parallelism at zero: one worker per available CPU.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// taskPanic preserves a worker panic (with its stack) until the delivery
+// loop reaches the task's index and can re-raise it in program order.
+type taskPanic struct {
+	val   any
+	stack []byte
+}
+
+// Run executes task(0) .. task(n-1) on up to parallelism workers and
+// returns the results in index order. If collect is non-nil it is invoked
+// exactly once per index — on the calling goroutine, in strictly
+// increasing index order — as soon as that index and all its predecessors
+// have finished. parallelism <= 0 selects DefaultParallelism; 1 runs the
+// plain serial loop.
+//
+// A panic inside task is re-raised on the calling goroutine when the
+// delivery order reaches its index, mirroring where a serial loop would
+// have stopped.
+func Run[T any](parallelism, n int, task func(i int) T, collect func(i int, r T)) []T {
+	if n <= 0 {
+		return nil
+	}
+	if parallelism <= 0 {
+		parallelism = DefaultParallelism()
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	out := make([]T, n)
+	if parallelism == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = task(i)
+			if collect != nil {
+				collect(i, out[i])
+			}
+		}
+		return out
+	}
+
+	panics := make([]*taskPanic, n)
+	finished := make(chan int, n) // buffered: workers never block, even if Run unwinds early
+	var cursor atomic.Int64
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = &taskPanic{val: r, stack: debug.Stack()}
+						}
+						finished <- i
+					}()
+					out[i] = task(i)
+				}()
+			}
+		}()
+	}
+
+	// Deliver results in index order: a completed index is held back until
+	// every predecessor has completed, so collect sees the serial sequence.
+	ready := make([]bool, n)
+	next := 0
+	for done := 0; done < n; done++ {
+		ready[<-finished] = true
+		for next < n && ready[next] {
+			if p := panics[next]; p != nil {
+				panic(fmt.Sprintf("sweep: task %d panicked: %v\n%s", next, p.val, p.stack))
+			}
+			if collect != nil {
+				collect(next, out[next])
+			}
+			next++
+		}
+	}
+	return out
+}

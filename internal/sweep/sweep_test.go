@@ -1,0 +1,129 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSerialMatchesParallel: results and collect order must be identical
+// at every parallelism, including oversubscription (more workers than
+// tasks and more tasks than workers).
+func TestSerialMatchesParallel(t *testing.T) {
+	const n = 57
+	task := func(i int) int { return i * i }
+	var wantLog strings.Builder
+	want := Run(1, n, task, func(i, r int) { fmt.Fprintf(&wantLog, "%d=%d;", i, r) })
+	for _, p := range []int{0, 2, 3, 8, 64} {
+		var log strings.Builder
+		got := Run(p, n, task, func(i, r int) { fmt.Fprintf(&log, "%d=%d;", i, r) })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("parallelism %d: result[%d] = %d, want %d", p, i, got[i], want[i])
+			}
+		}
+		if log.String() != wantLog.String() {
+			t.Fatalf("parallelism %d: collect order diverged:\n got %q\nwant %q", p, log.String(), wantLog.String())
+		}
+	}
+}
+
+// TestCollectIsOrderedAndSerialized: collect must observe strictly
+// increasing indices even when tasks finish wildly out of order, and the
+// shared (unsynchronized) state it touches must stay race-free because
+// only one goroutine ever runs collect. Run under -race this doubles as
+// the sweep path's race exercise.
+func TestCollectIsOrderedAndSerialized(t *testing.T) {
+	const n = 200
+	var running atomic.Int64
+	gate := make(chan struct{})
+	close(gate)
+	seen := 0 // unsynchronized on purpose: collect is documented single-goroutine
+	Run(16, n, func(i int) int {
+		running.Add(1)
+		<-gate
+		running.Add(-1)
+		return i
+	}, func(i, r int) {
+		if i != seen {
+			t.Errorf("collect(%d) out of order, want %d", i, seen)
+		}
+		seen++
+	})
+	if seen != n {
+		t.Fatalf("collect ran %d times, want %d", seen, n)
+	}
+}
+
+// TestEmptyAndTiny: degenerate sizes must not hang or panic.
+func TestEmptyAndTiny(t *testing.T) {
+	if got := Run(8, 0, func(i int) int { return i }, nil); got != nil {
+		t.Fatalf("n=0 returned %v, want nil", got)
+	}
+	got := Run(8, 1, func(i int) int { return 41 + i }, nil)
+	if len(got) != 1 || got[0] != 41 {
+		t.Fatalf("n=1 returned %v", got)
+	}
+}
+
+// TestPanicPropagates: a worker panic must surface on the caller's
+// goroutine, in delivery order, with the original message preserved.
+func TestPanicPropagates(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("parallelism %d: panic did not propagate", p)
+				}
+				if !strings.Contains(fmt.Sprint(r), "boom-7") {
+					t.Fatalf("parallelism %d: panic value lost: %v", p, r)
+				}
+			}()
+			Run(p, 16, func(i int) int {
+				if i == 7 {
+					panic("boom-7")
+				}
+				return i
+			}, nil)
+		}()
+	}
+}
+
+// TestPanicDeliveredInOrder: collects before the panicking index must have
+// run; collects after it must not (the serial loop's stopping point).
+func TestPanicDeliveredInOrder(t *testing.T) {
+	last := -1
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a propagated panic")
+		}
+		if last != 4 {
+			t.Fatalf("collected through %d before the panic, want 4", last)
+		}
+	}()
+	Run(8, 32, func(i int) int {
+		if i == 5 {
+			panic("stop")
+		}
+		return i
+	}, func(i, r int) { last = i })
+}
+
+// TestLoadBalancing: with long-tailed tasks every worker must stay busy —
+// verified indirectly by checking all indices execute exactly once under
+// heavy parallelism.
+func TestLoadBalancing(t *testing.T) {
+	const n = 500
+	var ran [n]atomic.Int32
+	Run(32, n, func(i int) struct{} {
+		ran[i].Add(1)
+		return struct{}{}
+	}, nil)
+	for i := range ran {
+		if c := ran[i].Load(); c != 1 {
+			t.Fatalf("task %d ran %d times", i, c)
+		}
+	}
+}

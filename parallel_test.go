@@ -1,0 +1,105 @@
+package revive
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// renderMatrixReports renders every report derived from the error-free
+// matrix into one byte stream.
+func renderMatrixReports(results []AppResult) string {
+	var buf bytes.Buffer
+	WriteFigure8(&buf, results)
+	WriteFigure9(&buf, results)
+	WriteFigure10(&buf, results)
+	WriteFigure11(&buf, results)
+	WriteTable4(&buf, results)
+	WriteStorage(&buf, StorageStudy(results, 8))
+	return buf.String()
+}
+
+// TestErrorFreeMatrixParallelByteIdentical: the Quick error-free matrix
+// must produce byte-identical reports AND a byte-identical progress stream
+// at -j 1 (the old serial loop) and -j 4. This is the determinism contract
+// of internal/sweep end to end: pre-drawn inputs, index-ordered results,
+// serialized in-order progress.
+func TestErrorFreeMatrixParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two Quick matrices")
+	}
+	apps := quickApps(t, "FFT", "Water-Sp")
+	run := func(parallelism int) (string, string) {
+		o := Options{Quick: true, Parallelism: parallelism}
+		var progress strings.Builder
+		results := RunErrorFree(o, apps, func(app string, v Variant, st *Stats) {
+			fmt.Fprintf(&progress, "%s/%s exec=%d ckps=%d\n", app, v, st.ExecTime, st.Checkpoints)
+		})
+		return renderMatrixReports(results), progress.String()
+	}
+	serialReport, serialProgress := run(1)
+	parallelReport, parallelProgress := run(4)
+	if serialReport != parallelReport {
+		t.Errorf("matrix reports differ between -j 1 and -j 4:\n--- j1 ---\n%s\n--- j4 ---\n%s",
+			serialReport, parallelReport)
+	}
+	if serialProgress != parallelProgress {
+		t.Errorf("progress streams differ between -j 1 and -j 4:\n--- j1 ---\n%s\n--- j4 ---\n%s",
+			serialProgress, parallelProgress)
+	}
+}
+
+// TestRecoveryStudyParallelByteIdentical: same contract for the recovery
+// study (two independent recoveries per app fan out).
+func TestRecoveryStudyParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four recovery runs")
+	}
+	apps := quickApps(t, "Water-Sp")
+	run := func(parallelism int) string {
+		o := Options{Quick: true, Parallelism: parallelism}
+		var progress strings.Builder
+		res := RunRecoveryStudy(o, apps, func(app string) { fmt.Fprintln(&progress, app) })
+		var buf bytes.Buffer
+		WriteFigure12(&buf, res)
+		WriteFigure7(&buf, res[0].NodeLoss, CheckpointInterval, CheckpointInterval*8/10)
+		return progress.String() + buf.String()
+	}
+	if serial, parallel := run(1), run(4); serial != parallel {
+		t.Errorf("recovery reports differ between -j 1 and -j 4:\n--- j1 ---\n%s\n--- j4 ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestTable2ParallelByteIdentical: the 9 sensitivity-matrix cells fold to
+// the same table at every parallelism.
+func TestTable2ParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nine synthetic runs, twice")
+	}
+	run := func(parallelism int) string {
+		var buf bytes.Buffer
+		WriteTable2(&buf, RunTable2(Options{Quick: true, Parallelism: parallelism}))
+		return buf.String()
+	}
+	if serial, parallel := run(1), run(4); serial != parallel {
+		t.Errorf("Table 2 differs between -j 1 and -j 4:\n--- j1 ---\n%s\n--- j4 ---\n%s",
+			serial, parallel)
+	}
+}
+
+// quickApps resolves a Quick-scale application subset by name.
+func quickApps(t *testing.T, names ...string) []App {
+	t.Helper()
+	o := Options{Quick: true}
+	var apps []App
+	for _, name := range names {
+		a, ok := AppByName(name, o)
+		if !ok {
+			t.Fatalf("unknown app %q", name)
+		}
+		apps = append(apps, a)
+	}
+	return apps
+}

@@ -122,6 +122,13 @@ type Options struct {
 	DedicatedParity bool
 	// Verify retains per-checkpoint snapshots (recovery experiments).
 	Verify bool
+	// Parallelism is the worker count for the experiment sweeps
+	// (RunErrorFree, RunRecoveryStudy, RunMissRates, RunTable2,
+	// RunFigure6): how many independent simulations run at once. 0 uses
+	// one worker per CPU (runtime.GOMAXPROCS); 1 forces the serial loop.
+	// Results, reports and progress-callback order are byte-identical at
+	// every setting — see internal/sweep.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
