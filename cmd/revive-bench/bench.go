@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"revive/internal/perf"
+)
+
+// runBench executes the benchmark-regression suite (-bench mode): run
+// every suite benchmark matching filter, write a dated JSON report, and
+// compare against the committed baseline. Returns the process exit code:
+// 1 when maxRegress > 0 and some benchmark's ns/op regressed past it.
+func runBench(filter, outPath, baselinePath string, maxRegress float64) int {
+	results := perf.Run(filter, func(name string) {
+		fmt.Fprintf(os.Stderr, "  bench: %s\n", name)
+	})
+	rep := perf.Report{
+		Date:    time.Now().Format("2006-01-02"),
+		Go:      runtime.Version(),
+		Results: results,
+	}
+	if baselinePath != "" {
+		base, err := perf.ReadReport(baselinePath)
+		switch {
+		case err == nil:
+			rep.Baseline = baselinePath
+			rep.Deltas = perf.Compare(base, rep)
+		case os.IsNotExist(err):
+			fmt.Fprintf(os.Stderr, "bench: no baseline at %s, skipping comparison\n", baselinePath)
+		default:
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 2
+		}
+	}
+	if outPath == "" {
+		outPath = "BENCH_" + rep.Date + ".json"
+	}
+	if err := perf.WriteReport(outPath, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return 2
+	}
+	perf.WriteText(os.Stdout, rep)
+	fmt.Fprintf(os.Stderr, "bench: report written to %s\n", outPath)
+	if maxRegress > 0 {
+		regs := perf.Regressions(rep.Deltas, maxRegress)
+		for _, d := range regs {
+			fmt.Fprintf(os.Stderr, "bench: REGRESSION %s ns/op %+.1f%% exceeds %.1f%%\n",
+				d.Name, d.NsPct, maxRegress)
+		}
+		if len(regs) > 0 {
+			return 1
+		}
+	}
+	return 0
+}

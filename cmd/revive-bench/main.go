@@ -13,6 +13,8 @@
 //	revive-bench -quick -all         # reduced budgets, fast smoke run
 //	revive-bench -apps FFT,Radix     # restrict the application set
 //	revive-bench -all -j 8           # eight simulations at a time
+//	revive-bench -bench              # benchmark-regression suite vs. baseline
+//	revive-bench -all -cpuprofile cpu.pb.gz   # profile a full run
 //
 // The experiment sweeps are embarrassingly parallel (one machine instance
 // per app x variant cell); -j sets how many run at once (default: all
@@ -28,6 +30,7 @@ import (
 	"time"
 
 	"revive"
+	"revive/internal/perf"
 )
 
 func main() {
@@ -42,8 +45,30 @@ func main() {
 		appsFlag     = flag.String("apps", "", "comma-separated application subset")
 		missRates    = flag.Bool("missrates", false, "baseline-only miss-rate calibration (Table 4)")
 		jobs         = flag.Int("j", 0, "simulations to run in parallel (0 = all CPUs, 1 = serial)")
+
+		bench           = flag.Bool("bench", false, "run the benchmark-regression suite instead of experiments")
+		benchFilter     = flag.String("bench-filter", "", "restrict -bench to benchmarks whose name contains this")
+		benchOut        = flag.String("bench-out", "", "write the -bench report here (default: BENCH_<date>.json)")
+		benchBaseline   = flag.String("bench-baseline", "BENCH_baseline.json", "baseline report -bench compares against (empty: no comparison)")
+		benchMaxRegress = flag.Float64("bench-max-regress", 0, "exit 1 if any -bench ns/op regressed more than this percent (0: report only)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := perf.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
+
+	if *bench {
+		code := runBench(*benchFilter, *benchOut, *benchBaseline, *benchMaxRegress)
+		stopProfiles()
+		os.Exit(code)
+	}
 
 	o := revive.Options{Scale: *scale, Quick: *quick, Parallelism: *jobs}
 	apps := revive.Apps(o)
@@ -53,6 +78,7 @@ func main() {
 			a, ok := revive.AppByName(strings.TrimSpace(name), o)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "unknown application %q\n", name)
+				stopProfiles()
 				os.Exit(2)
 			}
 			picked = append(picked, a)
@@ -142,6 +168,7 @@ func main() {
 	}
 	if !*all && *fig == 0 && *table == 0 && !*storage && !*availability {
 		flag.Usage()
+		stopProfiles()
 		os.Exit(2)
 	}
 }

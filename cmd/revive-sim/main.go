@@ -12,6 +12,7 @@
 //	revive-sim -app FFT -json                # machine-readable stats
 //	revive-sim -apps FFT,Radix,Ocean -j 4    # multi-app sweep, 4 at a time
 //	revive-sim -apps all                     # sweep every application
+//	revive-sim -app FFT -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //	revive-sim -list                         # the 12 applications
 //
 // The -apps sweep runs each application on its own machine instance, -j
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"revive"
+	"revive/internal/perf"
 	"revive/internal/stats"
 	"revive/internal/sweep"
 	"revive/internal/trace"
@@ -55,8 +57,24 @@ func main() {
 		traceEvents = flag.Int("trace-events", 1<<20, "event ring capacity for -trace (the last N events are kept)")
 		seriesOut   = flag.String("series", "", "write the per-epoch metric time-series (CSV, or JSON with a .json suffix)")
 		jsonOut     = flag.Bool("json", false, "print the run result as machine-readable JSON instead of text")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := perf.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
+	// os.Exit skips deferred calls; every early exit below goes through
+	// this so a profiled error run still writes complete profiles.
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
 
 	o := revive.Options{Nodes: *nodes, Scale: *scale, Quick: *quick}
 	if *mirror {
@@ -72,9 +90,9 @@ func main() {
 	if *appsFlag != "" {
 		if *replay != "" || *record != "" || *traceOut != "" || *seriesOut != "" {
 			fmt.Fprintln(os.Stderr, "-apps sweeps are incompatible with -replay, -record, -trace and -series")
-			os.Exit(2)
+			exit(2)
 		}
-		os.Exit(runAppsSweep(o, *appsFlag, *jobs, *baseline, *mirror, *noCkpt, *interval, *jsonOut))
+		exit(runAppsSweep(o, *appsFlag, *jobs, *baseline, *mirror, *noCkpt, *interval, *jsonOut))
 	}
 	var wl revive.Workload
 	appLabel := *appName
@@ -82,31 +100,31 @@ func main() {
 		f, err := os.Open(*replay)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			exit(2)
 		}
 		wl, err = revive.ReplayTrace(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			exit(2)
 		}
 		appLabel = *replay
 	} else {
 		app, ok := revive.AppByName(*appName, o)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown application %q (try -list)\n", *appName)
-			os.Exit(2)
+			exit(2)
 		}
 		wl = app
 		if *record != "" {
 			f, err := os.Create(*record)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				exit(2)
 			}
 			if err := revive.RecordTrace(f, app, *nodes); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				exit(2)
 			}
 			f.Close()
 			fmt.Printf("trace of %s (%d processors) written to %s\n", app.Label, *nodes, *record)
@@ -138,7 +156,7 @@ func main() {
 	if *traceOut != "" {
 		if err := writeFileWith(*traceOut, cfg.Trace.WriteChrome); err != nil {
 			fmt.Fprintln(os.Stderr, "writing trace:", err)
-			os.Exit(2)
+			exit(2)
 		}
 	}
 	if *seriesOut != "" {
@@ -148,7 +166,7 @@ func main() {
 		}
 		if err := writeFileWith(*seriesOut, writer); err != nil {
 			fmt.Fprintln(os.Stderr, "writing series:", err)
-			os.Exit(2)
+			exit(2)
 		}
 	}
 
@@ -176,7 +194,7 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(result); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			exit(2)
 		}
 	} else {
 		fmt.Printf("%s on %d nodes, %s\n", appLabel, *nodes, mode)
@@ -229,7 +247,7 @@ func main() {
 
 	if !parityOK {
 		fmt.Fprintf(os.Stderr, "PARITY VIOLATION: %v\n", parityErr)
-		os.Exit(1)
+		exit(1)
 	}
 	if !*baseline && !*jsonOut {
 		fmt.Println("  parity invariant: verified")

@@ -55,13 +55,29 @@ type CacheCtrl struct {
 	tracker *Tracker
 	dirs    []*DirCtrl
 
-	pending map[arch.LineAddr]*mshr
+	pending  map[arch.LineAddr]*mshr
+	mshrFree []*mshr // retired MSHRs for reuse (keeps the miss path allocation-free)
 
-	// Store buffer (Table 3: 16 pending stores).
-	sb        []sbEntry
-	sbCap     int
-	sbStalled func() // processor waiting for a free slot
-	draining  bool
+	// drainHeadFn is the bound drain continuation, allocated once: a
+	// method value like c.drainHead allocates a fresh closure at every
+	// evaluation, and the drain chain schedules one per retired store.
+	drainHeadFn func()
+	sendFree    []*sendOp // retired bus sends for reuse
+
+	// Store buffer (Table 3: 16 pending stores). Entries live in
+	// sb[sbHead:]; popping advances the head instead of reslicing so the
+	// backing array is reused rather than regrown on every drain cycle.
+	sb     []sbEntry
+	sbHead int
+	sbCap  int
+	// At most one store can stall on a full buffer (the processor blocks
+	// until it is accepted), so its operands live in fields and the retry
+	// is a plain method call — no per-stall closure.
+	sbStalled   bool
+	stalledAddr arch.Addr
+	stalledVal  uint64
+	stalledDone func()
+	draining    bool
 
 	// Checkpoint flush state.
 	flushQueue    []arch.LineAddr
@@ -77,7 +93,7 @@ type CacheCtrl struct {
 func NewCacheCtrl(engine *sim.Engine, node arch.NodeID, l1Cfg, l2Cfg cache.Config,
 	busCfg BusConfig, net network.Fabric, amap *arch.AddressMap,
 	st *stats.Stats, tracker *Tracker) *CacheCtrl {
-	return &CacheCtrl{
+	c := &CacheCtrl{
 		engine: engine, node: node,
 		l1: cache.New(engine, l1Cfg), l2: cache.New(engine, l2Cfg),
 		bus: sim.NewResource(engine), busCfg: busCfg,
@@ -86,6 +102,8 @@ func NewCacheCtrl(engine *sim.Engine, node arch.NodeID, l1Cfg, l2Cfg cache.Confi
 		sbCap:    16,
 		flushing: make(map[arch.LineAddr]bool),
 	}
+	c.drainHeadFn = c.drainHead
+	return c
 }
 
 // SetDirs wires the machine's directory controllers (indexed by node).
@@ -100,19 +118,65 @@ func (c *CacheCtrl) L2() *cache.Cache { return c.l2 }
 
 // PendingOps reports in-flight processor-side work: outstanding misses plus
 // buffered stores. The checkpoint sequence waits for zero before flushing.
-func (c *CacheCtrl) PendingOps() int { return len(c.pending) + len(c.sb) }
+func (c *CacheCtrl) PendingOps() int { return len(c.pending) + c.sbLen() }
+
+// sbLen is the number of buffered stores.
+func (c *CacheCtrl) sbLen() int { return len(c.sb) - c.sbHead }
+
+// sbPop retires the head store, recycling the backing array once it
+// empties (or compacting when the dead prefix reaches the buffer's
+// capacity, so the array never grows past ~2x the store-buffer depth).
+func (c *CacheCtrl) sbPop() {
+	c.sbHead++
+	if c.sbHead == len(c.sb) {
+		c.sb, c.sbHead = c.sb[:0], 0
+	} else if c.sbHead >= c.sbCap {
+		n := copy(c.sb, c.sb[c.sbHead:])
+		c.sb, c.sbHead = c.sb[:n], 0
+	}
+}
 
 // home returns the line's home node, placing the page on first touch.
 func (c *CacheCtrl) home(line arch.LineAddr) arch.NodeID {
 	return c.amap.TouchLine(line, c.node).Node
 }
 
+// sendOp is a pooled deferred bus send: the message rides in the op and
+// fireFn (bound once) injects it into the fabric when the bus transfer
+// completes. Pooling keeps sendToDir — on the path of every coherence
+// message a node emits — from allocating a closure per send.
+type sendOp struct {
+	c      *CacheCtrl
+	msg    network.Message
+	fireFn func()
+}
+
+func (op *sendOp) fire() {
+	c := op.c
+	msg := op.msg
+	op.msg = network.Message{} // release the Deliver closure
+	c.sendFree = append(c.sendFree, op)
+	c.net.Send(msg)
+}
+
+func (c *CacheCtrl) getSendOp() *sendOp {
+	if n := len(c.sendFree); n > 0 {
+		op := c.sendFree[n-1]
+		c.sendFree[n-1] = nil
+		c.sendFree = c.sendFree[:n-1]
+		return op
+	}
+	op := &sendOp{c: c}
+	op.fireFn = op.fire
+	return op
+}
+
 func (c *CacheCtrl) sendToDir(dst arch.NodeID, bytes int, class stats.Class,
 	earliest sim.Time, fn func()) {
 	start := c.bus.ReserveAt(earliest, c.busCfg.Occupancy(bytes))
-	c.engine.At(start+c.busCfg.Occupancy(bytes), func() {
-		c.net.Send(network.Message{Src: c.node, Dst: dst, Bytes: bytes, Class: class, Deliver: fn})
-	})
+	op := c.getSendOp()
+	op.msg = network.Message{Src: c.node, Dst: dst, Bytes: bytes, Class: class, Deliver: fn}
+	c.engine.At(start+c.busCfg.Occupancy(bytes), op.fireFn)
 }
 
 // --- processor interface ---
@@ -151,11 +215,12 @@ func (c *CacheCtrl) loadAttempt(line arch.LineAddr, done func()) {
 func (c *CacheCtrl) Store(addr arch.Addr, val uint64, done func()) {
 	c.st.MemRefs++
 	c.st.Stores++
-	if len(c.sb) >= c.sbCap {
-		if c.sbStalled != nil {
+	if c.sbLen() >= c.sbCap {
+		if c.sbStalled {
 			panic("coherence: second store while stalled")
 		}
-		c.sbStalled = func() { c.Store(addr, val, done) }
+		c.sbStalled = true
+		c.stalledAddr, c.stalledVal, c.stalledDone = addr, val, done
 		c.st.MemRefs-- // the retry recounts
 		c.st.Stores--
 		return
@@ -170,9 +235,16 @@ func (c *CacheCtrl) Store(addr arch.Addr, val uint64, done func()) {
 	done()
 }
 
+// retryStalled re-submits the store that stalled on a full buffer.
+func (c *CacheCtrl) retryStalled() {
+	done := c.stalledDone
+	c.stalledDone = nil
+	c.Store(c.stalledAddr, c.stalledVal, done)
+}
+
 // drain retires buffered stores in order.
 func (c *CacheCtrl) drain() {
-	if c.draining || len(c.sb) == 0 {
+	if c.draining || c.sbLen() == 0 {
 		return
 	}
 	c.draining = true
@@ -180,11 +252,11 @@ func (c *CacheCtrl) drain() {
 }
 
 func (c *CacheCtrl) drainHead() {
-	if len(c.sb) == 0 {
+	if c.sbLen() == 0 {
 		c.draining = false
 		return
 	}
-	e := c.sb[0]
+	e := c.sb[c.sbHead]
 	line := e.addr.Line()
 	t1 := c.l1.Access()
 	l1l := c.l1.Lookup(line)
@@ -194,7 +266,7 @@ func (c *CacheCtrl) drainHead() {
 		l2l := c.l2.Lookup(line)
 		if l2l == nil {
 			c.st.L2Misses++
-			c.request(line, reqGETX, t2, nil, c.drainHead)
+			c.request(line, reqGETX, t2, nil, c.drainHeadFn)
 			return
 		}
 		c.st.L2Hits++
@@ -205,19 +277,18 @@ func (c *CacheCtrl) drainHead() {
 	}
 	if !c.nodeState(line).CanWrite() {
 		// Shared: upgrade needed. (L1 state mirrors L2 for clean lines.)
-		c.request(line, reqUPG, t1, nil, c.drainHead)
+		c.request(line, reqUPG, t1, nil, c.drainHeadFn)
 		return
 	}
 	// Writable: retire the store.
 	c.applyStore(l1l, e)
-	c.sb = c.sb[1:]
+	c.sbPop()
 	c.tracker.Dec()
-	if c.sbStalled != nil {
-		retry := c.sbStalled
-		c.sbStalled = nil
-		retry()
+	if c.sbStalled {
+		c.sbStalled = false
+		c.retryStalled()
 	}
-	c.engine.At(t1, c.drainHead)
+	c.engine.At(t1, c.drainHeadFn)
 	c.draining = true
 }
 
@@ -246,7 +317,7 @@ func (c *CacheCtrl) request(line arch.LineAddr, kind reqKind, earliest sim.Time,
 	loadDone, retry func()) {
 	m := c.pending[line]
 	if m == nil {
-		m = &mshr{}
+		m = c.getMSHR()
 		c.pending[line] = m
 	} else {
 		m.add(loadDone, retry)
@@ -281,6 +352,31 @@ func (m *mshr) add(loadDone, retry func()) {
 	}
 }
 
+// getMSHR takes an MSHR from the free list (or allocates the first time);
+// putMSHR recycles one at retirement, clearing the waiter slots so their
+// closures are released but keeping the slices' capacity.
+func (c *CacheCtrl) getMSHR() *mshr {
+	if n := len(c.mshrFree); n > 0 {
+		m := c.mshrFree[n-1]
+		c.mshrFree[n-1] = nil
+		c.mshrFree = c.mshrFree[:n-1]
+		return m
+	}
+	return &mshr{}
+}
+
+func (c *CacheCtrl) putMSHR(m *mshr) {
+	for i := range m.loadDone {
+		m.loadDone[i] = nil
+	}
+	for i := range m.retries {
+		m.retries[i] = nil
+	}
+	m.loadDone = m.loadDone[:0]
+	m.retries = m.retries[:0]
+	c.mshrFree = append(c.mshrFree, m)
+}
+
 // completeRequest retires the line's MSHR: loads complete, drain
 // continuations replay, all at time `at` (the reply's bus transfer end).
 func (c *CacheCtrl) completeRequest(line arch.LineAddr, at sim.Time) {
@@ -297,6 +393,7 @@ func (c *CacheCtrl) completeRequest(line arch.LineAddr, at sim.Time) {
 	for _, r := range m.retries {
 		c.engine.At(at, r)
 	}
+	c.putMSHR(m)
 }
 
 // retireHeadStoreIfReady retires the store-buffer head immediately if the
@@ -304,7 +401,7 @@ func (c *CacheCtrl) completeRequest(line arch.LineAddr, at sim.Time) {
 // reply arrival (rather than on a delayed replay) closes the window in
 // which a racing invalidation could steal the line and livelock the store.
 func (c *CacheCtrl) retireHeadStoreIfReady(line arch.LineAddr) {
-	if len(c.sb) == 0 || c.sb[0].addr.Line() != line {
+	if c.sbLen() == 0 || c.sb[c.sbHead].addr.Line() != line {
 		return
 	}
 	if !c.nodeState(line).CanWrite() {
@@ -318,13 +415,12 @@ func (c *CacheCtrl) retireHeadStoreIfReady(line arch.LineAddr) {
 		}
 		l1l = c.fillL1From(l2l)
 	}
-	c.applyStore(l1l, c.sb[0])
-	c.sb = c.sb[1:]
+	c.applyStore(l1l, c.sb[c.sbHead])
+	c.sbPop()
 	c.tracker.Dec()
-	if c.sbStalled != nil {
-		retry := c.sbStalled
-		c.sbStalled = nil
-		retry()
+	if c.sbStalled {
+		c.sbStalled = false
+		c.retryStalled()
 	}
 }
 
@@ -524,7 +620,7 @@ func (c *CacheCtrl) FlushDirty(done func()) {
 	if c.flushDone != nil {
 		panic("coherence: concurrent flushes")
 	}
-	if len(c.sb) != 0 {
+	if c.sbLen() != 0 {
 		// A store retiring mid-flush lands between dirty-line enumeration
 		// and write-back capture, so its value would reach memory but not
 		// the retained L2 copy.
@@ -615,8 +711,9 @@ func (c *CacheCtrl) Reset() {
 	c.l1.InvalidateAll()
 	c.l2.InvalidateAll()
 	c.pending = make(map[arch.LineAddr]*mshr)
-	c.sb = nil
-	c.sbStalled = nil
+	c.sb, c.sbHead = nil, 0
+	c.sbStalled = false
+	c.stalledDone = nil
 	c.draining = false
 	c.flushQueue = nil
 	c.flushInflight = 0

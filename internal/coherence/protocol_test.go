@@ -251,8 +251,8 @@ func TestStoreBufferBackpressure(t *testing.T) {
 	if completions != 24 {
 		t.Fatalf("store completions = %d, want 24", completions)
 	}
-	if len(c.caches[0].sb) != 0 {
-		t.Fatalf("store buffer not drained: %d entries", len(c.caches[0].sb))
+	if c.caches[0].sbLen() != 0 {
+		t.Fatalf("store buffer not drained: %d entries", c.caches[0].sbLen())
 	}
 }
 
@@ -542,4 +542,38 @@ func TestFlushRefusesBufferedStores(t *testing.T) {
 		}
 	}()
 	c.caches[0].FlushDirty(func() {})
+}
+
+// Pin the hot-path wins: an L1-hit load and a store retiring into an
+// already-writable line run entirely on prebound continuations and the
+// reused store-buffer backing, so the cache-hit steady state allocates
+// nothing.
+func TestHitPathZeroAlloc(t *testing.T) {
+	c := newCluster(2)
+	a := addrOnPage(1, 0, 0)
+	noop := func() {}
+	// Warm up: take the line Modified in node 0's hierarchy, then drive
+	// the clock through a full timing-wheel revolution so every bucket
+	// the steady state touches has its backing array.
+	c.caches[0].Store(a, 1, noop)
+	c.run(t)
+	for i := 0; i < 8192; i++ {
+		c.caches[0].Load(a, noop)
+		c.caches[0].Store(a, uint64(i), noop)
+		c.engine.Run()
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.caches[0].Load(a, noop)
+		c.engine.Run()
+	}); allocs != 0 {
+		t.Fatalf("L1-hit load allocates %.1f per op, want 0", allocs)
+	}
+	v := uint64(1)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		v++
+		c.caches[0].Store(a, v, noop)
+		c.engine.Run()
+	}); allocs != 0 {
+		t.Fatalf("writable-line store allocates %.1f per op, want 0", allocs)
+	}
 }

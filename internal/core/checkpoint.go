@@ -87,11 +87,15 @@ func NewCheckpointManager(engine *sim.Engine, cfg CheckpointConfig, procs []Proc
 // Epoch returns the most recently committed checkpoint epoch.
 func (cm *CheckpointManager) Epoch() uint64 { return cm.epoch }
 
-// Start schedules periodic checkpoints (no-op if Interval is zero).
+// Start schedules periodic checkpoints (no-op if Interval is zero). It
+// clears any previous Stop, so a stopped manager can be re-armed — without
+// that, every tick after a Stop→Start would return immediately and the
+// restart would be silently ignored.
 func (cm *CheckpointManager) Start() {
 	if cm.cfg.Interval <= 0 {
 		return
 	}
+	cm.stopped = false
 	cm.engine.After(cm.cfg.Interval, cm.tick)
 }
 

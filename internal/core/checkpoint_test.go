@@ -129,6 +129,31 @@ func TestResetToReArms(t *testing.T) {
 	}
 }
 
+// Regression: Start after a plain Stop (no ResetTo in between) must re-arm
+// the periodic tick. The stopped flag used to survive into the new Start,
+// so every subsequent tick returned immediately and the restarted manager
+// silently never checkpointed again.
+func TestStopStartReArms(t *testing.T) {
+	cfg := CheckpointConfig{Interval: 1000, Retain: 2}
+	engine, cm, _ := newCkptRig(1, cfg)
+	cm.Start()
+	engine.RunUntil(2500)
+	before := cm.Epoch()
+	if before == 0 {
+		t.Fatal("no checkpoints before Stop")
+	}
+	cm.Stop()
+	engine.RunUntil(engine.Now() + 2000)
+	if cm.Epoch() != before {
+		t.Fatal("checkpoints continued after Stop")
+	}
+	cm.Start()
+	engine.RunUntil(engine.Now() + 1500)
+	if cm.Epoch() <= before {
+		t.Fatal("periodic checkpoints did not resume after Stop/Start")
+	}
+}
+
 func TestWaitAll(t *testing.T) {
 	ran := false
 	waitAll(0, func(func()) { t.Fatal("start called for n=0") }, func() { ran = true })

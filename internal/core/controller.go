@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"revive/internal/arch"
 	"revive/internal/coherence"
 	"revive/internal/mem"
@@ -81,7 +83,7 @@ type Controller struct {
 	peers   []*Controller // indexed by node; set by Wire
 
 	log   *HWLog
-	lbits map[arch.LineAddr]bool
+	lbits lbitTable
 	epoch uint64
 	// debt is the parity ledger: for every memory line this controller
 	// has written whose parity update has not yet been applied remotely,
@@ -92,6 +94,12 @@ type Controller struct {
 	// remains (ReconcileParity). XOR accumulation makes the ledger
 	// order-independent.
 	debt map[arch.PhysLine]arch.Data
+	// reconScratch is ReconcileParity's reusable target-sorting buffer;
+	// puFree is the free list backing parity-update registrations. Both
+	// keep the steady-state event loop allocation-free (single-threaded
+	// engine: no synchronization needed).
+	reconScratch []arch.PhysLine
+	puFree       []*parityUpdate
 
 	// DisableLBits is the section 4.1.2 ablation: without the L bit the
 	// old content is logged on *every* write-back (still correct; the
@@ -128,7 +136,7 @@ func NewController(engine *sim.Engine, node arch.NodeID, topo arch.Topology,
 		engine: engine, node: node, topo: topo, amap: amap, dirs: dirs, net: net,
 		st: st, tracker: tracker,
 		log:   NewHWLog(node, amap, dirs[node].Mem()),
-		lbits: make(map[arch.LineAddr]bool),
+		lbits: newLBitTable(),
 		debt:  make(map[arch.PhysLine]arch.Data),
 	}
 }
@@ -147,16 +155,19 @@ func (c *Controller) Node() arch.NodeID { return c.node }
 func (c *Controller) Epoch() uint64 { return c.epoch }
 
 // Logged reports the L bit of a line (tests).
-func (c *Controller) Logged(line arch.LineAddr) bool { return c.lbits[line] }
-
-// ForEachLBit calls fn for every line whose Logged bit is set, in arbitrary
-// order. Invariant checkers cross-check the L-bit table against the log.
-func (c *Controller) ForEachLBit(fn func(arch.LineAddr)) {
-	for line, set := range c.lbits {
-		if set {
-			fn(line)
-		}
+func (c *Controller) Logged(line arch.LineAddr) bool {
+	phys, ok := c.amap.LookupLine(line)
+	if !ok || phys.Node != c.node {
+		return false
 	}
+	return c.lbits.get(lineIndex(phys))
+}
+
+// ForEachLBit calls fn for every line whose Logged bit is set, in ascending
+// line order. Invariant checkers cross-check the L-bit table against the
+// log.
+func (c *Controller) ForEachLBit(fn func(arch.LineAddr)) {
+	c.lbits.forEach(fn)
 }
 
 func (c *Controller) hook(s Step, line arch.LineAddr) {
@@ -177,8 +188,8 @@ func (c *Controller) hookAbort(s Step, line arch.LineAddr) bool {
 func (c *Controller) Halt()   { c.halted = true }
 func (c *Controller) Unhalt() { c.halted = false }
 
-func (c *Controller) needsLog(line arch.LineAddr) bool {
-	return !c.lbits[line] || c.DisableLBits
+func (c *Controller) needsLog(phys arch.PhysLine) bool {
+	return !c.lbits.get(lineIndex(phys)) || c.DisableLBits
 }
 
 func (c *Controller) local(p arch.PhysLine) arch.PhysLine {
@@ -193,12 +204,12 @@ func (c *Controller) local(p arch.PhysLine) arch.PhysLine {
 // copied to the log and the log parity updated, in the background after the
 // reply; the directory entry stays busy until release.
 func (c *Controller) WriteIntent(line arch.LineAddr, phys arch.PhysLine, release func()) {
-	if c.DisableEagerLog || c.BugDataBeforeLog || !c.needsLog(line) {
+	if c.DisableEagerLog || c.BugDataBeforeLog || !c.needsLog(phys) {
 		release()
 		return
 	}
 	c.Events.RDXNotLogged++
-	c.lbits[line] = true
+	c.lbits.set(lineIndex(phys), line)
 	// The data read that supplied the requester also feeds the logger
 	// (Table 1 charges only 1 extra access: the log write).
 	old := c.dirs[c.node].Mem().Peek(phys.MemAddr())
@@ -211,13 +222,13 @@ func (c *Controller) WriteIntent(line arch.LineAddr, phys arch.PhysLine, release
 func (c *Controller) Write(line arch.LineAddr, phys arch.PhysLine, data arch.Data,
 	ckp bool, ack, release func()) {
 	doWrite := func() { c.dataWrite(line, phys, data, ckp, ack, release) }
-	if !c.needsLog(line) {
+	if !c.needsLog(phys) {
 		c.Events.WBLogged++
 		doWrite()
 		return
 	}
 	c.Events.WBNotLogged++
-	c.lbits[line] = true
+	c.lbits.set(lineIndex(phys), line)
 	if c.BugDataBeforeLog {
 		// The deliberately broken build: the data write lands first and
 		// the "old" content fed to the log is peeked *after* it — the log
@@ -382,7 +393,7 @@ func (c *Controller) writeCkptMarker(epoch uint64, done func()) {
 // default keeps the two most recent checkpoints).
 func (c *Controller) CommitEpoch(epoch uint64, retain int) {
 	c.epoch = epoch
-	c.lbits = make(map[arch.LineAddr]bool)
+	c.lbits.clear()
 	if retain < 2 {
 		retain = 2
 	}
@@ -445,28 +456,80 @@ func (c *Controller) payDebt(target arch.PhysLine, delta arch.Data) {
 
 // ReconcileParity settles the ledger after a fail-stop error (recovery
 // Phase 1): every outstanding delta whose parity memory survives is applied
-// directly. A lost node's own controller must call DropPending instead —
-// its buffers died with it (and its data is reconstructed anyway).
+// directly, in sorted target order so that recovery work — and any stats or
+// traces it emits — is independent of Go's randomized map-iteration order.
+// Deltas whose target parity node is itself lost are moot (Phase 4 rebuilds
+// those parity pages from the surviving data) but are counted and traced so
+// the rebuild accounting stays complete. A lost node's own controller must
+// call DropPending instead — its buffers died with it (and its data is
+// reconstructed anyway).
 func (c *Controller) ReconcileParity() {
-	for target, delta := range c.debt {
+	targets := c.reconScratch[:0]
+	for target := range c.debt {
+		targets = append(targets, target)
+	}
+	slices.SortFunc(targets, comparePhysLines)
+	for _, target := range targets {
 		m := c.dirs[target.Node].Mem()
 		if m.Lost() {
+			c.st.ParityDebtsDropped++
+			c.st.Trace.Instant(trace.ParityDebtDropped, int(c.node), target.MemAddr())
 			continue
 		}
+		delta := c.debt[target]
 		cur := m.Peek(target.MemAddr())
 		cur.XOR(&delta)
 		m.Poke(target.MemAddr(), cur)
 	}
-	c.debt = make(map[arch.PhysLine]arch.Data)
+	c.reconScratch = targets[:0]
+	clearDebt(c.debt)
+}
+
+// comparePhysLines orders physical lines by (node, frame, offset).
+func comparePhysLines(a, b arch.PhysLine) int {
+	switch {
+	case a.Node != b.Node:
+		return int(a.Node) - int(b.Node)
+	case a.Frame != b.Frame:
+		return int(a.Frame) - int(b.Frame)
+	default:
+		return int(a.Off) - int(b.Off)
+	}
+}
+
+// clearDebt empties the ledger in place, keeping its buckets for reuse.
+func clearDebt(debt map[arch.PhysLine]arch.Data) {
+	for k := range debt {
+		delete(debt, k)
+	}
 }
 
 // DropPending discards the ledger (the controller itself was lost).
 func (c *Controller) DropPending() {
-	c.debt = make(map[arch.PhysLine]arch.Data)
+	clearDebt(c.debt)
 }
 
 // PendingDebts reports outstanding ledger entries (tests).
 func (c *Controller) PendingDebts() int { return len(c.debt) }
+
+// getUpdate takes a registration from the free list (or allocates the
+// first time); putUpdate returns one once its round trip completes. An
+// update abandoned mid-flight — fabric loss, fail-stop freeze — simply
+// never returns to the list and is collected with its closures.
+func (c *Controller) getUpdate() *parityUpdate {
+	if n := len(c.puFree); n > 0 {
+		p := c.puFree[n-1]
+		c.puFree[n-1] = nil
+		c.puFree = c.puFree[:n-1]
+		return p
+	}
+	return &parityUpdate{}
+}
+
+func (c *Controller) putUpdate(p *parityUpdate) {
+	*p = parityUpdate{}
+	c.puFree = append(c.puFree, p)
+}
 
 // sendParity transmits the update to the parity line's home node and runs
 // done when the acknowledgment returns (Figure 4's messages 3 and 4). The
@@ -474,18 +537,21 @@ func (c *Controller) PendingDebts() int { return len(c.debt) }
 func (c *Controller) sendParity(u parityUpdate, done func()) {
 	c.tracker.Inc()
 	c.st.Trace.AsyncBegin(trace.ParityUpdate, int(c.node), uint64(u.line))
-	u.from = c
+	p := c.getUpdate()
+	*p = u
+	p.from = c
 	self := c.node
 	c.net.Send(network.Message{
-		Src: self, Dst: u.target.Node, Bytes: network.DataBytes, Class: stats.ClassParity,
+		Src: self, Dst: p.target.Node, Bytes: network.DataBytes, Class: stats.ClassParity,
 		Deliver: func() {
-			c.peers[u.target.Node].handleParityUpdate(u, func() {
+			c.peers[p.target.Node].handleParityUpdate(p, func() {
 				c.net.Send(network.Message{
-					Src: u.target.Node, Dst: self, Bytes: network.ControlBytes,
+					Src: p.target.Node, Dst: self, Bytes: network.ControlBytes,
 					Class: stats.ClassParity,
 					Deliver: func() {
-						c.st.Trace.AsyncEnd(trace.ParityUpdate, int(self), uint64(u.line))
+						c.st.Trace.AsyncEnd(trace.ParityUpdate, int(self), uint64(p.line))
 						c.tracker.Dec()
+						c.putUpdate(p)
 						done()
 					},
 				})
@@ -501,7 +567,7 @@ func (c *Controller) sendParity(u parityUpdate, done func()) {
 // piggybacked header update — strictly after the data parity, per the
 // atomic-log-update race rule. Each application pays down the originator's
 // ledger at the instant the parity content changes.
-func (c *Controller) handleParityUpdate(u parityUpdate, ackSend func()) {
+func (c *Controller) handleParityUpdate(u *parityUpdate, ackSend func()) {
 	m := c.dirs[c.node].Mem()
 	apply := func() {
 		finish := func() {

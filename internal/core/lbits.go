@@ -1,0 +1,90 @@
+package core
+
+import (
+	"slices"
+
+	"revive/internal/arch"
+)
+
+// lbitTable is the Logged-bit table of section 3.2.1, modeled the way the
+// hardware builds it: a dense array indexed by the line's physical position
+// in the node's local memory, gang-cleared at every checkpoint commit in a
+// single operation. Instead of physically zeroing the array, each slot
+// holds the generation number it was last set in; a slot is "set" when its
+// stamp equals the current generation, so the gang-clear is one increment —
+// O(1) and allocation-free, like the hardware's one-cycle flash clear.
+//
+// The table is indexed physically rather than by global line address
+// because the global space is sparse (workloads place private regions at
+// widely separated page numbers) while frames are handed out by a per-node
+// cursor, so the table's size tracks the node's allocated memory. Slots
+// belonging to log frames are simply never set.
+type lbitTable struct {
+	gen    uint64
+	stamps []uint64        // generation the slot was last set in
+	lines  []arch.LineAddr // global line address of each set slot (enumeration)
+}
+
+// lineIndex is a physical line's slot in its home node's table.
+func lineIndex(p arch.PhysLine) int {
+	return int(p.Frame)*arch.LinesPerPage + int(p.Off)
+}
+
+func newLBitTable() lbitTable {
+	return lbitTable{gen: 1}
+}
+
+// set marks the line logged in the current generation, growing the table to
+// cover newly allocated frames.
+func (t *lbitTable) set(idx int, line arch.LineAddr) {
+	if idx >= len(t.stamps) {
+		t.grow(idx)
+	}
+	t.stamps[idx] = t.gen
+	t.lines[idx] = line
+}
+
+func (t *lbitTable) grow(idx int) {
+	n := idx + 1
+	if n < 2*len(t.stamps) {
+		n = 2 * len(t.stamps)
+	}
+	stamps := make([]uint64, n)
+	copy(stamps, t.stamps)
+	t.stamps = stamps
+	lines := make([]arch.LineAddr, n)
+	copy(lines, t.lines)
+	t.lines = lines
+}
+
+// get reports whether the line is logged in the current generation.
+func (t *lbitTable) get(idx int) bool {
+	return idx < len(t.stamps) && t.stamps[idx] == t.gen
+}
+
+// clear is the gang-clear: every slot's stamp becomes stale at once. On
+// generation wraparound the stamps are physically zeroed so that slots
+// stamped in a long-dead generation cannot alias the fresh one.
+func (t *lbitTable) clear() {
+	t.gen++
+	if t.gen == 0 {
+		for i := range t.stamps {
+			t.stamps[i] = 0
+		}
+		t.gen = 1
+	}
+}
+
+// forEach calls fn for every set line, in ascending global line order.
+func (t *lbitTable) forEach(fn func(arch.LineAddr)) {
+	var set []arch.LineAddr
+	for i, s := range t.stamps {
+		if s == t.gen {
+			set = append(set, t.lines[i])
+		}
+	}
+	slices.Sort(set)
+	for _, l := range set {
+		fn(l)
+	}
+}

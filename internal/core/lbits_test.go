@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"revive/internal/arch"
+)
+
+// White-box: the gang-clear wraps the generation counter. Slot 3 is stamped
+// in generation 1; after the wrap the counter is 1 again, so without the
+// physical zeroing the long-dead stamp would alias the fresh generation and
+// the line would falsely read as logged.
+func TestLBitGenerationWraparound(t *testing.T) {
+	tb := newLBitTable()
+	tb.set(3, arch.LineAddr(30)) // stamped in generation 1
+	tb.gen = ^uint64(0)          // force the next clear to wrap
+	tb.set(7, arch.LineAddr(70))
+	if tb.get(3) {
+		t.Fatal("slot stamped in a stale generation reads as set")
+	}
+	if !tb.get(7) {
+		t.Fatal("slot stamped in the current generation reads as clear")
+	}
+	tb.clear()
+	if tb.gen != 1 {
+		t.Fatalf("generation after wraparound = %d, want 1", tb.gen)
+	}
+	for i, s := range tb.stamps {
+		if s != 0 {
+			t.Fatalf("stamp %d = %d after wraparound clear, want 0", i, s)
+		}
+	}
+	if tb.get(3) || tb.get(7) {
+		t.Fatal("L bits survived the wraparound gang-clear")
+	}
+	tb.set(1, arch.LineAddr(10))
+	if !tb.get(1) {
+		t.Fatal("table unusable after wraparound")
+	}
+}
+
+// The section 4.1.2 ablation: with DisableLBits the L bit is still
+// maintained but needsLog ignores it, so every write intent re-logs the
+// line instead of being filtered by the bit.
+func TestDisableLBitsForcesRelogging(t *testing.T) {
+	engine, ctrls, amap := newCtrlRig()
+	c := ctrls[3]
+	c.DisableLBits = true
+	line := arch.PageNum(5).FirstLine() + 9
+	phys := amap.TouchLine(line, 3)
+	for i := 0; i < 3; i++ {
+		done := false
+		c.WriteIntent(line, phys, func() { done = true })
+		engine.Run()
+		if !done {
+			t.Fatal("write intent never released")
+		}
+	}
+	// Initial marker + one entry per intent (compare TestWriteIntentLogsOnce:
+	// with L bits enabled the same sequence logs exactly once).
+	if got := c.Log().Entries(); got != 4 {
+		t.Fatalf("log entries = %d, want 4 (marker + one per write intent)", got)
+	}
+	if c.Events.RDXNotLogged != 3 {
+		t.Fatalf("RDXNotLogged = %d, want 3", c.Events.RDXNotLogged)
+	}
+	if !c.Logged(line) {
+		t.Fatal("the ablation must ignore the L bit, not stop maintaining it")
+	}
+}
+
+// Pin the tentpole win: set, get and the O(1) gang-clear are allocation-
+// free once the table covers the touched slot, and so is the debt ledger's
+// steady-state accrue/pay cycle (re-inserting a just-deleted key reuses the
+// map's buckets).
+func TestLBitAndLedgerZeroAlloc(t *testing.T) {
+	tb := newLBitTable()
+	tb.set(512, arch.LineAddr(512)) // grow once, outside the measured loop
+	if allocs := testing.AllocsPerRun(1000, func() {
+		tb.set(37, arch.LineAddr(37))
+		if !tb.get(37) {
+			t.Fatal("bit lost")
+		}
+		tb.clear()
+	}); allocs != 0 {
+		t.Fatalf("L-bit set/get/clear allocates %.1f per op, want 0", allocs)
+	}
+
+	_, ctrls, amap := newCtrlRig()
+	c := ctrls[0]
+	phys := amap.TouchLine(arch.PageNum(3).FirstLine(), 0)
+	var oldD, newD arch.Data
+	newD[0] = 0xFF
+	delta := oldD
+	delta.XOR(&newD)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.accrue(phys, oldD, newD)
+		c.payDebt(c.topo.ParityOf(phys), delta)
+	}); allocs != 0 {
+		t.Fatalf("debt accrue/pay cycle allocates %.1f per op, want 0", allocs)
+	}
+	if c.PendingDebts() != 0 {
+		t.Fatal("ledger not settled after matched accrue/pay cycles")
+	}
+}
+
+// Randomized cross-check of the epoch-stamped dense table against a plain
+// map reference: interleaved sets, gets, gang-clears and growth must agree
+// slot for slot, and the enumeration must yield exactly the reference's
+// lines in ascending order.
+func TestLBitTableMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tb := newLBitTable()
+	ref := make(map[int]arch.LineAddr)
+	const slots = 4096
+	for op := 0; op < 20000; op++ {
+		switch r := rng.Intn(100); {
+		case r < 55: // set
+			idx := rng.Intn(slots)
+			line := arch.LineAddr(idx*7 + 1) // injective slot→line mapping
+			tb.set(idx, line)
+			ref[idx] = line
+		case r < 97: // get
+			idx := rng.Intn(slots)
+			_, want := ref[idx]
+			if got := tb.get(idx); got != want {
+				t.Fatalf("op %d: get(%d) = %v, reference says %v", op, idx, got, want)
+			}
+		default: // gang-clear
+			tb.clear()
+			clear(ref)
+		}
+	}
+	want := make([]arch.LineAddr, 0, len(ref))
+	for _, l := range ref {
+		want = append(want, l)
+	}
+	slices.Sort(want)
+	got := make([]arch.LineAddr, 0, len(ref))
+	tb.forEach(func(l arch.LineAddr) { got = append(got, l) })
+	if !slices.Equal(got, want) {
+		t.Fatalf("enumeration mismatch: got %d lines, reference has %d", len(got), len(want))
+	}
+}

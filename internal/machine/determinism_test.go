@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 
+	"revive/internal/arch"
+	"revive/internal/core"
 	"revive/internal/sim"
 	"revive/internal/trace"
 )
@@ -37,6 +39,91 @@ func nodeLossRun(t *testing.T) ([]byte, []trace.Event) {
 		t.Fatal(err)
 	}
 	return blob, cfg.Trace.Events()
+}
+
+// parityDropRun freezes the machine at a StepDataWritten transition — the
+// parity delta for that write is accrued in the home controller's debt
+// ledger but not yet applied — then loses the target parity node. At
+// recovery, ReconcileParity must drop (and trace) that delta, so the
+// order-sensitive path is exercised deterministically rather than by
+// timing luck. It returns the final stats JSON, the trace events, and how
+// many debts were dropped.
+func parityDropRun(t *testing.T) ([]byte, []trace.Event, uint64) {
+	t.Helper()
+	cfg := verifyCfg()
+	cfg.Trace = trace.New(1 << 20)
+	m := New(cfg)
+	m.Load(testProfile(150000))
+	runToEpoch(t, m, 2, 0)
+	var fired bool
+	var firedLine arch.LineAddr
+	for _, ctrl := range m.Ctrls {
+		ctrl.StepHook = func(s core.Step, line arch.LineAddr) {
+			if fired || s != core.StepDataWritten {
+				return
+			}
+			fired = true
+			firedLine = line
+			m.InjectTransient()
+		}
+	}
+	m.Engine.RunWhile(func() bool { return !fired })
+	if !fired {
+		t.Skip("StepDataWritten never occurred after checkpoint 2")
+	}
+	for _, ctrl := range m.Ctrls {
+		ctrl.StepHook = nil
+	}
+	phys, ok := m.AMap.LookupLine(firedLine)
+	if !ok {
+		t.Fatal("fired line unmapped")
+	}
+	pn := m.Topo.ParityOf(phys).Node
+	m.Mems[pn].MarkLost()
+	rep, err := m.Recover(pn, 2)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if err := m.Resume(rep); err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	m.Engine.Run()
+	if !m.Done() {
+		t.Fatal("machine did not finish after resume")
+	}
+	blob, err := json.Marshal(m.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob, cfg.Trace.Events(), m.Stats.ParityDebtsDropped
+}
+
+// TestReconcileParityDeterminism: ReconcileParity settles the debt ledger
+// — a Go map — and emits a trace instant for each delta whose parity node
+// is lost. Before the targets were sorted, that emission followed the
+// randomized map-iteration order, so two identical runs produced different
+// trace streams. The test requires drops > 0 so the order-sensitive path
+// is actually exercised.
+func TestReconcileParityDeterminism(t *testing.T) {
+	stats1, events1, drops1 := parityDropRun(t)
+	stats2, events2, drops2 := parityDropRun(t)
+	if drops1 == 0 {
+		t.Fatal("scenario dropped no parity debts; the order-sensitive path was not exercised")
+	}
+	if drops1 != drops2 {
+		t.Fatalf("dropped-debt counts differ: %d vs %d", drops1, drops2)
+	}
+	if string(stats1) != string(stats2) {
+		t.Errorf("two identical parity-drop recoveries produced different stats:\n%s\nvs\n%s", stats1, stats2)
+	}
+	if len(events1) != len(events2) {
+		t.Fatalf("trace lengths differ: %d vs %d events", len(events1), len(events2))
+	}
+	for i := range events1 {
+		if !reflect.DeepEqual(events1[i], events2[i]) {
+			t.Fatalf("trace diverges at event %d:\n%+v\nvs\n%+v", i, events1[i], events2[i])
+		}
+	}
 }
 
 // TestNodeLossRecoveryDeterminism: two identical node-loss recoveries must

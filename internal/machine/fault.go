@@ -232,7 +232,7 @@ func (m *Machine) recoverOnce(targetEpoch uint64) (core.Report, error) {
 	}
 	rec := &core.Recovery{
 		Topo: m.Topo, AMap: m.AMap, Mems: m.Mems, Ctrls: m.Ctrls,
-		Cfg:  core.DefaultRecoveryConfig(1),
+		Cfg:       core.DefaultRecoveryConfig(1),
 		PhaseHook: m.OnRecoveryPhase,
 	}
 	if lostNodes := m.LostNodes(); len(lostNodes) > 0 {

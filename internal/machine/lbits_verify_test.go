@@ -1,0 +1,34 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The L-bit/log agreement invariant (VerifyLBits) must hold at quiescence
+// for varied workload shapes, not just the fixed test profile: each set bit
+// promises a validated current-epoch log entry regardless of how hot, how
+// write-heavy or how spread the store stream was.
+func TestVerifyLBitsAcrossProfiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3; i++ {
+		p := testProfile(60000)
+		p.HotLines = 100 + rng.Intn(400)
+		p.HotWriteFrac = 0.2 + 0.6*rng.Float64()
+		p.ColdFrac = 0.005 + 0.02*rng.Float64()
+		p.SharedWriteFrac = 0.1 + 0.4*rng.Float64()
+		m := New(verifyCfg())
+		m.Load(p)
+		m.Start()
+		m.Engine.Run()
+		if !m.Done() {
+			t.Fatalf("profile %d: machine did not finish", i)
+		}
+		if err := m.VerifyLBits(); err != nil {
+			t.Fatalf("profile %d: %v", i, err)
+		}
+		if err := m.VerifyParity(); err != nil {
+			t.Fatalf("profile %d: %v", i, err)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package machine
 
 import (
 	"fmt"
-	"sort"
 
 	"revive/internal/arch"
 	"revive/internal/cache"
@@ -122,14 +121,15 @@ func (m *Machine) VerifyLBits() error {
 			}
 			return true
 		})
-		var lines []arch.LineAddr
-		ctrl.ForEachLBit(func(l arch.LineAddr) { lines = append(lines, l) })
-		sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
-		for _, l := range lines {
-			if !logged[l] {
-				return fmt.Errorf("node %d: L bit set for line %#x but no validated epoch-%d log entry",
+		var err error
+		ctrl.ForEachLBit(func(l arch.LineAddr) { // ascending line order
+			if err == nil && !logged[l] {
+				err = fmt.Errorf("node %d: L bit set for line %#x but no validated epoch-%d log entry",
 					ctrl.Node(), l, cur)
 			}
+		})
+		if err != nil {
+			return err
 		}
 	}
 	return nil

@@ -53,9 +53,46 @@ type Memory struct {
 	data   map[uint64]arch.Data // keyed by line-aligned local address
 	lost   bool
 
+	// opFree is the free list of pooled read/rmw completions and scratch
+	// the RMW working line; both avoid a heap allocation per access on the
+	// hot path (the engine is single-threaded, so a plain slice suffices).
+	opFree  []*memOp
+	scratch arch.Data
+
 	// Accesses counts line accesses (reads+writes) for utilization and
 	// Figure 10 cross-checks.
 	Accesses uint64
+}
+
+// memOp is a pooled timed-completion record: the line content to deliver
+// plus the caller's continuation, with fire bound once so scheduling it
+// does not allocate.
+type memOp struct {
+	m      *Memory
+	d      arch.Data
+	done   func(arch.Data)
+	fireFn func()
+}
+
+// fire delivers the content and returns the op to the pool first, so a
+// continuation that synchronously issues another access reuses it.
+func (op *memOp) fire() {
+	m, d, done := op.m, op.d, op.done
+	op.done = nil
+	m.opFree = append(m.opFree, op)
+	done(d)
+}
+
+func (m *Memory) getOp(d arch.Data, done func(arch.Data)) *memOp {
+	if n := len(m.opFree); n > 0 {
+		op := m.opFree[n-1]
+		m.opFree = m.opFree[:n-1]
+		op.d, op.done = d, done
+		return op
+	}
+	op := &memOp{m: m, d: d, done: done}
+	op.fireFn = op.fire
+	return op
 }
 
 // New returns an empty (all-zero) memory.
@@ -97,8 +134,8 @@ func (m *Memory) Read(addr uint64, done func(arch.Data)) {
 	if m.lost {
 		panic("mem: read of lost memory")
 	}
-	d := m.peek(addr)
-	m.engine.At(m.access(addr), func() { done(d) })
+	op := m.getOp(m.peek(addr), done)
+	m.engine.At(m.access(addr), op.fireFn)
 }
 
 // Write performs a timed write of the line at addr. done may be nil.
@@ -122,12 +159,13 @@ func (m *Memory) ReadModifyWrite(addr uint64, f func(*arch.Data), done func(old 
 	}
 	old := m.peek(addr)
 	m.access(addr) // read
-	d := old
-	f(&d)
-	m.poke(addr, d)
+	m.scratch = old
+	f(&m.scratch)
+	m.poke(addr, m.scratch)
 	at := m.access(addr) // write
 	if done != nil {
-		m.engine.At(at, func() { done(old) })
+		op := m.getOp(old, done)
+		m.engine.At(at, op.fireFn)
 	}
 }
 

@@ -237,3 +237,30 @@ func TestPropertyMinimumLatency(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Pin the hot-path win: timed reads and read-modify-writes reuse pooled
+// completion ops and the RMW scratch line, so the steady state of the
+// parity/log memory traffic allocates nothing.
+func TestAccessZeroAlloc(t *testing.T) {
+	e, m := newTestMem()
+	var d arch.Data
+	d[0] = 1
+	m.Poke(0, d)
+	readDone := func(arch.Data) {}
+	xor := func(l *arch.Data) { l.XOR(&d) }
+	m.Read(0, readDone)
+	m.ReadModifyWrite(0, xor, readDone)
+	e.Run()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		m.Read(0, readDone)
+		e.Run()
+	}); allocs != 0 {
+		t.Fatalf("steady-state Read allocates %.1f per op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		m.ReadModifyWrite(0, xor, readDone)
+		e.Run()
+	}); allocs != 0 {
+		t.Fatalf("steady-state ReadModifyWrite allocates %.1f per op, want 0", allocs)
+	}
+}

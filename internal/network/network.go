@@ -120,6 +120,11 @@ type Network struct {
 	// links[node][dir] is the outgoing link of node in direction dir.
 	links [][numDirs]*sim.Resource
 	plan  *FaultPlan
+	// pathBuf is the reusable hop buffer buildPath fills. Routes are
+	// consumed synchronously inside route/pickRoute and never retained,
+	// and the engine is single-threaded, so one scratch slice serves
+	// every send without allocating.
+	pathBuf []hop
 	// Messages counts total messages sent (including node-local, which
 	// bypass the fabric).
 	Messages uint64
@@ -260,7 +265,7 @@ func (n *Network) ringWalk(path []hop, x, y *int, target, dim int, xDim, long bo
 func (n *Network) buildPath(src, dst arch.NodeID, v variant) []hop {
 	x, y := n.coord(src)
 	tx, ty := n.coord(dst)
-	var path []hop
+	path := n.pathBuf[:0]
 	if v.yFirst {
 		path = n.ringWalk(path, &x, &y, ty, n.cfg.DimY, false, v.yLong)
 		path = n.ringWalk(path, &x, &y, tx, n.cfg.DimX, true, v.xLong)
@@ -268,6 +273,7 @@ func (n *Network) buildPath(src, dst arch.NodeID, v variant) []hop {
 		path = n.ringWalk(path, &x, &y, tx, n.cfg.DimX, true, v.xLong)
 		path = n.ringWalk(path, &x, &y, ty, n.cfg.DimY, false, v.yLong)
 	}
+	n.pathBuf = path
 	return path
 }
 

@@ -1,0 +1,277 @@
+// Package perf is the repository's benchmark-regression harness. It runs
+// a small suite of simulator benchmarks (mirrors of the heaviest
+// bench_test.go cases) through testing.Benchmark, serializes the results
+// as a JSON report, and compares them against a committed baseline so a
+// performance regression fails loudly instead of rotting silently.
+//
+// cmd/revive-bench's -bench mode is the front door: it runs the suite,
+// writes BENCH_<date>.json, and diffs against BENCH_baseline.json.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"slices"
+	"strings"
+	"testing"
+
+	"revive"
+)
+
+// Benchmark is one named suite entry. Bench bodies follow the standard
+// testing idiom (loop to b.N, b.ReportMetric for scalar summaries).
+type Benchmark struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// Suite returns the regression suite: the three heaviest benchmarks of
+// bench_test.go, spanning the hot paths this repository cares about —
+// the Table 1 event microbenchmark (write-back/log/parity pipeline), the
+// full Figure 8 error-free matrix, and the Figure 11 log high-water run.
+func Suite() []Benchmark {
+	return []Benchmark{
+		{Name: "Table1Events", Bench: benchTable1Events},
+		{Name: "Figure8", Bench: benchFigure8},
+		{Name: "Figure11", Bench: benchFigure11},
+	}
+}
+
+// benchTable1Events mirrors BenchmarkTable1Events: a synthetic
+// write-back-heavy profile on 8 nodes exercising the log/parity pipeline.
+func benchTable1Events(b *testing.B) {
+	o := revive.Options{Quick: true, Nodes: 8}
+	prof := revive.Profile{
+		Label: "wb-stream", InstrPerProc: 40_000, MemOpsPer1000: 350,
+		HotLines: 64, HotWriteFrac: 0.9,
+		ColdFrac: 0.05, ColdLines: 32768, ColdWriteFrac: 0.9,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := revive.New(revive.EvalConfig(o))
+		m.Load(prof)
+		st := m.Run()
+		b.ReportMetric(float64(st.MemAccesses[4])/float64(st.MemAccesses[1]+st.MemAccesses[2]+1),
+			"parity-acc-per-wb")
+	}
+}
+
+// benchFigure8 mirrors BenchmarkFigure8: the error-free overhead matrix
+// (4 applications x 5 variants) at the Quick scale.
+func benchFigure8(b *testing.B) {
+	o := revive.Options{Quick: true}
+	apps := suiteApps(o)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		results := revive.RunErrorFree(o, apps, nil)
+		b.ReportMetric(meanOverheadPct(results, revive.VCp), "avg-Cp-overhead-%")
+		b.ReportMetric(meanOverheadPct(results, revive.VCpInf), "avg-CpInf-overhead-%")
+	}
+}
+
+// benchFigure11 mirrors BenchmarkFigure11: the maximum-log-size run on
+// Radix, the paper's largest log.
+func benchFigure11(b *testing.B) {
+	o := revive.Options{Quick: true}
+	app, ok := revive.AppByName("Radix", o)
+	if !ok {
+		b.Fatal("perf: application Radix missing")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := revive.New(revive.EvalConfig(o))
+		m.Load(app)
+		st := m.Run()
+		b.ReportMetric(float64(st.LogBytesPeak)/1024, "peak-log-KB")
+	}
+}
+
+// suiteApps returns the bench_test.go 4-app subset spanning the paper's
+// behaviour range (best case, mid-range, both outliers).
+func suiteApps(o revive.Options) []revive.App {
+	var apps []revive.App
+	for _, name := range []string{"Water-Sp", "Barnes", "FFT", "Radix"} {
+		a, ok := revive.AppByName(name, o)
+		if !ok {
+			panic("perf: application " + name + " missing")
+		}
+		apps = append(apps, a)
+	}
+	return apps
+}
+
+// meanOverheadPct is the arithmetic-mean overhead of a variant across
+// results, in percent (the paper reports arithmetic averages).
+func meanOverheadPct(results []revive.AppResult, v revive.Variant) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range results {
+		sum += r.Overhead(v)
+	}
+	return 100 * sum / float64(len(results))
+}
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string             `json:"name"`
+	N           int                `json:"n"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is one full suite run, optionally carrying the comparison
+// against a baseline report.
+type Report struct {
+	Date     string   `json:"date"`
+	Go       string   `json:"go"`
+	Results  []Result `json:"results"`
+	Baseline string   `json:"baseline,omitempty"`   // path of the compared baseline
+	Deltas   []Delta  `json:"comparison,omitempty"` // vs. that baseline
+}
+
+// Delta compares one benchmark between a baseline and a current run.
+// Negative percentages mean the current run improved.
+type Delta struct {
+	Name      string  `json:"name"`
+	OldNs     float64 `json:"old_ns_per_op"`
+	NewNs     float64 `json:"new_ns_per_op"`
+	NsPct     float64 `json:"ns_pct"`
+	OldAllocs int64   `json:"old_allocs_per_op"`
+	NewAllocs int64   `json:"new_allocs_per_op"`
+	AllocsPct float64 `json:"allocs_pct"`
+}
+
+// Run executes every suite benchmark whose name contains filter
+// (case-insensitive; empty matches all) and returns the measurements.
+// progress, when non-nil, is called with each benchmark's name before it
+// runs (benchmarks take seconds to minutes).
+func Run(filter string, progress func(name string)) []Result {
+	var out []Result
+	for _, bm := range Suite() {
+		if filter != "" && !strings.Contains(strings.ToLower(bm.Name), strings.ToLower(filter)) {
+			continue
+		}
+		if progress != nil {
+			progress(bm.Name)
+		}
+		r := testing.Benchmark(bm.Bench)
+		res := Result{
+			Name:        bm.Name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// Compare matches current results against baseline results by name and
+// returns one Delta per benchmark present in both, in current order.
+func Compare(baseline, current Report) []Delta {
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var out []Delta
+	for _, r := range current.Results {
+		b, ok := base[r.Name]
+		if !ok {
+			continue
+		}
+		d := Delta{
+			Name:      r.Name,
+			OldNs:     b.NsPerOp,
+			NewNs:     r.NsPerOp,
+			OldAllocs: b.AllocsPerOp,
+			NewAllocs: r.AllocsPerOp,
+		}
+		if b.NsPerOp > 0 {
+			d.NsPct = 100 * (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		if b.AllocsPerOp > 0 {
+			d.AllocsPct = 100 * float64(r.AllocsPerOp-b.AllocsPerOp) / float64(b.AllocsPerOp)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Regressions returns the deltas whose ns/op grew by more than maxPct
+// percent over the baseline.
+func Regressions(deltas []Delta, maxPct float64) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.NsPct > maxPct {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ReadReport loads a JSON report from path.
+func ReadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("perf: parsing %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// WriteReport writes the report as indented JSON to path.
+func WriteReport(path string, rep Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteText renders the report (and its baseline comparison, if any) as
+// the human-readable table revive-bench -bench prints.
+func WriteText(w io.Writer, rep Report) {
+	fmt.Fprintf(w, "benchmark suite (%s, %s)\n", rep.Date, rep.Go)
+	fmt.Fprintf(w, "%-14s %6s %15s %15s %12s\n", "Benchmark", "N", "ns/op", "B/op", "allocs/op")
+	for _, r := range rep.Results {
+		fmt.Fprintf(w, "%-14s %6d %15.0f %15d %12d\n",
+			r.Name, r.N, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		for _, k := range sortedKeys(r.Metrics) {
+			fmt.Fprintf(w, "    %-24s %12.3f\n", k, r.Metrics[k])
+		}
+	}
+	if len(rep.Deltas) > 0 {
+		fmt.Fprintf(w, "vs. baseline %s:\n", rep.Baseline)
+		fmt.Fprintf(w, "%-14s %15s %15s %8s %10s %10s %8s\n",
+			"Benchmark", "old ns/op", "new ns/op", "ns%", "old allocs", "new allocs", "allocs%")
+		for _, d := range rep.Deltas {
+			fmt.Fprintf(w, "%-14s %15.0f %15.0f %+7.1f%% %10d %10d %+7.1f%%\n",
+				d.Name, d.OldNs, d.NewNs, d.NsPct, d.OldAllocs, d.NewAllocs, d.AllocsPct)
+		}
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

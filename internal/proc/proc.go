@@ -46,10 +46,15 @@ type Proc struct {
 	// checkpoint (the saved execution context).
 	ckptSnap any
 
-	// stepFn and storeDone are the bound continuations, allocated once:
-	// the processor schedules millions of them.
+	// stepFn, storeDone and issueFn are the bound continuations, allocated
+	// once: the processor schedules millions of them. pendingOp carries the
+	// operation issueFn runs — at most one operation is ever between step
+	// and issue (execution is strictly sequential per processor), so a
+	// single slot replaces a per-event closure capture.
 	stepFn    func()
 	storeDone func()
+	issueFn   func()
+	pendingOp workload.Op
 }
 
 // New builds a processor bound to its node's cache controller.
@@ -58,6 +63,7 @@ func New(engine *sim.Engine, cfg Config, id int, cc *coherence.CacheCtrl,
 	p := &Proc{engine: engine, cfg: cfg, id: id, cc: cc, stream: stream, st: st}
 	p.stepFn = p.step
 	p.storeDone = func() { p.engine.After(1, p.stepFn) }
+	p.issueFn = func() { p.issue(p.pendingOp) }
 	return p
 }
 
@@ -112,7 +118,8 @@ func (p *Proc) step() {
 		p.issue(op)
 		return
 	}
-	p.engine.After(compute, func() { p.issue(op) })
+	p.pendingOp = op
+	p.engine.After(compute, p.issueFn)
 }
 
 func (p *Proc) issue(op workload.Op) {

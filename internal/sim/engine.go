@@ -9,7 +9,10 @@
 // expressed directly in nanoseconds.
 package sim
 
-import "errors"
+import (
+	"errors"
+	"math/bits"
+)
 
 // Time is a point in (or duration of) simulated time, in nanoseconds.
 type Time int64
@@ -22,30 +25,49 @@ const (
 	Second      Time = 1000 * 1000 * 1000
 )
 
-// event is a scheduled callback. seq breaks ties so that events scheduled
-// earlier at the same timestamp run first (stable FIFO order).
+// The event queue is a timing wheel over the near future backed by an
+// overflow heap for everything beyond the window. Component latencies are
+// tens to hundreds of nanoseconds, so with a window of a few microseconds
+// almost every event is scheduled and dispatched in O(1): an append into
+// the bucket of its nanosecond, and a two-word bitmap scan to find the
+// next non-empty bucket. Only long timers (checkpoint ticks, transport
+// timeouts) and the tail of each window take the heap path.
+const (
+	wheelBits = 12
+	wheelSize = 1 << wheelBits // window width in nanoseconds (buckets)
+)
+
+// bucket holds the events of one nanosecond in FIFO order. head indexes
+// the next event to run; consumed slots are nilled for the garbage
+// collector and the slice is reset once drained, so steady state appends
+// reuse the same backing array.
+type bucket struct {
+	fns  []func()
+	head int
+}
+
+// event is a heap-resident callback. seq breaks ties so that events
+// scheduled earlier at the same timestamp run first (stable FIFO order);
+// wheel buckets get that ordering for free from append order.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
 }
 
-// eventHeap is a 4-ary min-heap ordered by (at, seq). Four-way branching
-// halves the sift depth of a binary heap; with tens of millions of events
-// per run the queue is the simulator's hottest structure.
-type eventHeap []event
+// overflowHeap is a 4-ary min-heap ordered by (at, seq) holding the
+// events beyond the wheel window. Four-way branching halves the sift
+// depth of a binary heap.
+type overflowHeap []event
 
-func (h eventHeap) less(i, j int) bool {
+func (h overflowHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) peek() event { return h[0] }
-func (h eventHeap) empty() bool { return len(h) == 0 }
-
-func (h *eventHeap) push(e event) {
+func (h *overflowHeap) push(e event) {
 	*h = append(*h, e)
 	s := *h
 	i := len(s) - 1
@@ -59,7 +81,7 @@ func (h *eventHeap) push(e event) {
 	}
 }
 
-func (h *eventHeap) pop() event {
+func (h *overflowHeap) pop() event {
 	s := *h
 	top := s[0]
 	n := len(s) - 1
@@ -96,9 +118,26 @@ func (h *eventHeap) pop() event {
 // in the machine model is owned by the engine's event loop; no locking is
 // needed anywhere in the simulator.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now Time
+	seq uint64
+
+	// Timing wheel over [wheelStart, wheelStart+wheelSize). Invariants:
+	// wheelStart <= now whenever user code can observe the engine (slide
+	// moves it ahead transiently inside Step, which immediately advances
+	// now to match), every wheel event's time is inside the window, and
+	// every overflow event's time is at or beyond its end — so the next
+	// event is always in the wheel when count > 0.
+	wheelStart Time
+	count      int // events in the wheel
+	buckets    [wheelSize]bucket
+
+	// Two-level occupancy bitmap: bit b of words[w] covers bucket w*64+b,
+	// bit w of summary covers words[w]. Finding the next non-empty bucket
+	// is two trailing-zero scans.
+	words   [wheelSize / 64]uint64
+	summary uint64
+
+	overflow overflowHeap
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -110,7 +149,7 @@ func NewEngine() *Engine {
 func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of scheduled events that have not yet run.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.count + len(e.overflow) }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a modeling bug (an effect preceding its cause).
@@ -118,8 +157,16 @@ func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
+	if idx := t - e.wheelStart; idx < wheelSize {
+		b := &e.buckets[idx]
+		b.fns = append(b.fns, fn)
+		e.words[idx>>6] |= 1 << (uint64(idx) & 63)
+		e.summary |= 1 << (uint64(idx) >> 6)
+		e.count++
+		return
+	}
 	e.seq++
-	e.events.push(event{at: t, seq: e.seq, fn: fn})
+	e.overflow.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
@@ -127,15 +174,65 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// firstIdx returns the lowest non-empty bucket index. count must be > 0.
+func (e *Engine) firstIdx() int {
+	w := bits.TrailingZeros64(e.summary)
+	return w<<6 | bits.TrailingZeros64(e.words[w])
+}
+
+// slide advances the window to the earliest overflow event and refills the
+// wheel from the heap. Only legal when the wheel is empty; heap pops come
+// out in (at, seq) order, so bucket FIFO order stays correct.
+func (e *Engine) slide() {
+	e.wheelStart = e.overflow[0].at
+	limit := e.wheelStart + wheelSize
+	for len(e.overflow) > 0 && e.overflow[0].at < limit {
+		ev := e.overflow.pop()
+		idx := ev.at - e.wheelStart
+		b := &e.buckets[idx]
+		b.fns = append(b.fns, ev.fn)
+		e.words[idx>>6] |= 1 << (uint64(idx) & 63)
+		e.summary |= 1 << (uint64(idx) >> 6)
+		e.count++
+	}
+}
+
+// nextAt returns the timestamp of the next pending event.
+func (e *Engine) nextAt() (Time, bool) {
+	if e.count > 0 {
+		return e.wheelStart + Time(e.firstIdx()), true
+	}
+	if len(e.overflow) > 0 {
+		return e.overflow[0].at, true
+	}
+	return 0, false
+}
+
 // Step runs the single next event, advancing the clock to its timestamp.
 // It returns false if no events remain.
 func (e *Engine) Step() bool {
-	if e.events.empty() {
-		return false
+	if e.count == 0 {
+		if len(e.overflow) == 0 {
+			return false
+		}
+		e.slide()
 	}
-	ev := e.events.pop()
-	e.now = ev.at
-	ev.fn()
+	idx := e.firstIdx()
+	b := &e.buckets[idx]
+	fn := b.fns[b.head]
+	b.fns[b.head] = nil // release the closure for the garbage collector
+	b.head++
+	if b.head == len(b.fns) {
+		b.fns = b.fns[:0]
+		b.head = 0
+		e.words[idx>>6] &^= 1 << (uint64(idx) & 63)
+		if e.words[idx>>6] == 0 {
+			e.summary &^= 1 << (uint64(idx) >> 6)
+		}
+	}
+	e.count--
+	e.now = e.wheelStart + Time(idx)
+	fn()
 	return true
 }
 
@@ -148,7 +245,11 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= t, then advances the clock to
 // exactly t. Events scheduled beyond t remain pending.
 func (e *Engine) RunUntil(t Time) {
-	for !e.events.empty() && e.events.peek().at <= t {
+	for {
+		at, ok := e.nextAt()
+		if !ok || at > t {
+			break
+		}
 		e.Step()
 	}
 	if t > e.now {
@@ -199,11 +300,23 @@ func (e *Engine) RunGuarded(maxEvents uint64, done func() bool) error {
 // instant of the error, and recovery rebuilds consistent state. The
 // abandoned slots are zeroed first — their closures capture caches,
 // controllers and whole machine graphs, which would otherwise stay
-// reachable through the heap's backing array (the same GC-release idiom
-// pop uses).
+// reachable through the retained backing arrays (the same GC-release
+// idiom Step and pop use).
 func (e *Engine) Reset() {
-	for i := range e.events {
-		e.events[i] = event{}
+	for i := range e.buckets {
+		b := &e.buckets[i]
+		for j := b.head; j < len(b.fns); j++ {
+			b.fns[j] = nil
+		}
+		b.fns = b.fns[:0]
+		b.head = 0
 	}
-	e.events = e.events[:0]
+	e.words = [wheelSize / 64]uint64{}
+	e.summary = 0
+	e.count = 0
+	for i := range e.overflow {
+		e.overflow[i] = event{}
+	}
+	e.overflow = e.overflow[:0]
+	e.wheelStart = e.now
 }

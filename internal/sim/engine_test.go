@@ -177,6 +177,100 @@ func TestRunGuardedNoBudget(t *testing.T) {
 	}
 }
 
+// Same-time events must run in scheduling order even when some were
+// beyond the wheel window at scheduling time (heap path) and some were
+// inside it (bucket path): the overflow refill happens before any
+// in-window scheduling for that time can occur.
+func TestSameTimeFIFOAcrossWheelBoundary(t *testing.T) {
+	e := NewEngine()
+	target := Time(5 * wheelSize)
+	var order []int
+	for i := 0; i < 4; i++ { // far future: overflow heap
+		i := i
+		e.At(target, func() { order = append(order, i) })
+	}
+	e.At(target-10, func() { // runs after the slide; in-window appends
+		for i := 4; i < 8; i++ {
+			i := i
+			e.At(target, func() { order = append(order, i) })
+		}
+	})
+	e.Run()
+	if len(order) != 8 {
+		t.Fatalf("ran %d events, want 8 (%v)", len(order), order)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("cross-boundary events not FIFO: %v", order)
+		}
+	}
+	if e.Now() != target {
+		t.Fatalf("final Now() = %d, want %d", e.Now(), target)
+	}
+}
+
+// Events much sparser than the wheel window (long timers) must still run
+// in time order: each one lands in a fresh window.
+func TestSparseFarFutureEvents(t *testing.T) {
+	e := NewEngine()
+	var order []Time
+	delays := []Time{10 * wheelSize, 3 * wheelSize, 7*wheelSize + 1, 1, wheelSize - 1, wheelSize}
+	for _, d := range delays {
+		d := d
+		e.After(d, func() {
+			order = append(order, d)
+			if e.Now() != d {
+				t.Fatalf("event for %d ran at %d", d, e.Now())
+			}
+		})
+	}
+	e.Run()
+	want := []Time{1, wheelSize - 1, wheelSize, 3 * wheelSize, 7*wheelSize + 1, 10 * wheelSize}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// Scheduling into a window that opened beyond a RunUntil stop point must
+// work: RunUntil advances the clock without sliding the wheel, so a
+// subsequent At lands between now and the pending far-future events.
+func TestScheduleBetweenRunUntilAndPendingEvent(t *testing.T) {
+	e := NewEngine()
+	var order []Time
+	e.At(10*wheelSize, func() { order = append(order, e.Now()) })
+	e.RunUntil(2 * wheelSize)
+	if e.Now() != 2*wheelSize {
+		t.Fatalf("Now() = %d, want %d", e.Now(), Time(2*wheelSize))
+	}
+	e.At(3*wheelSize, func() { order = append(order, e.Now()) })
+	e.At(2*wheelSize+5, func() { order = append(order, e.Now()) })
+	e.Run()
+	want := []Time{2*wheelSize + 5, 3 * wheelSize, 10 * wheelSize}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// Pin the hot-path win: steady-state scheduling and dispatch on the wheel
+// — one bucket append, one bitmap update, one callback — is allocation-free
+// once the touched buckets' backing arrays exist.
+func TestEngineSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	e.After(0, fn)
+	e.Run()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		e.After(0, fn)
+		e.Step()
+	}); allocs != 0 {
+		t.Fatalf("steady-state schedule+dispatch allocates %.1f per op, want 0", allocs)
+	}
+}
+
 // Property: for any set of non-negative delays, events observe a
 // monotonically non-decreasing clock.
 func TestPropertyMonotonicClock(t *testing.T) {
@@ -223,29 +317,39 @@ func TestPropertyFinalTimeIsMaxDelay(t *testing.T) {
 }
 
 // Regression: Reset models fail-stop by abandoning every pending event.
-// Truncating the heap with [:0] without zeroing kept the abandoned
+// Truncating the queues with [:0] without zeroing kept the abandoned
 // closures — which capture caches, controllers and whole machine graphs —
-// reachable through the backing array until the slots were overwritten by
+// reachable through the backing arrays until the slots were overwritten by
 // later pushes. The leak-shaped check: after Reset, every slot of the
-// retained backing array must be zero, exactly as pop leaves popped slots.
+// retained backing arrays (wheel buckets and overflow heap alike) must be
+// zero, exactly as dispatch leaves consumed slots.
 func TestResetReleasesAbandonedClosures(t *testing.T) {
 	e := NewEngine()
 	for i := 0; i < 128; i++ {
-		captured := make([]byte, 1<<10) // stand-in for a captured machine graph
-		e.At(Time(i), func() { _ = captured })
+		captured := make([]byte, 1<<10)                    // stand-in for a captured machine graph
+		e.At(Time(i), func() { _ = captured })             // wheel
+		e.At(Time(i)+3*wheelSize, func() { _ = captured }) // overflow heap
 	}
 	e.Reset()
 	if e.Pending() != 0 {
 		t.Fatalf("Pending() = %d after Reset, want 0", e.Pending())
 	}
-	backing := e.events[:cap(e.events)]
+	for i := range e.buckets {
+		fns := e.buckets[i].fns[:cap(e.buckets[i].fns)]
+		for j := range fns {
+			if fns[j] != nil {
+				t.Fatalf("bucket %d slot %d still holds an abandoned closure after Reset", i, j)
+			}
+		}
+	}
+	backing := e.overflow[:cap(e.overflow)]
 	for i := range backing {
 		if backing[i].fn != nil || backing[i].at != 0 || backing[i].seq != 0 {
-			t.Fatalf("backing slot %d still holds an abandoned event after Reset: %+v",
+			t.Fatalf("overflow slot %d still holds an abandoned event after Reset: %+v",
 				i, backing[i])
 		}
 	}
-	// The engine must stay fully usable on the retained array.
+	// The engine must stay fully usable on the retained arrays.
 	ran := false
 	e.After(5, func() { ran = true })
 	e.Run()

@@ -100,17 +100,24 @@ type Stats struct {
 	// The fault plan injects drops/corruptions/duplicates/delays; the
 	// reliable transport masks them with retransmission, dedup and CRC
 	// checks; routing masks dead links with failover.
-	NetFaultDrops      uint64 // messages discarded in the fabric by the fault plan
-	NetFaultCorrupts   uint64 // messages bit-flipped in the fabric by the fault plan
-	NetFaultDups       uint64 // extra copies injected by the fault plan
-	NetFaultDelays     uint64 // messages given extra latency by the fault plan
-	NetRouteFailovers  uint64 // messages routed around a dead link/router
-	NetRouteDrops      uint64 // messages with no usable route at all
-	XportRetransmits   uint64 // payload frames re-sent after an ack timeout
-	XportDupsDropped   uint64 // duplicate frames suppressed by receiver dedup
+	NetFaultDrops       uint64 // messages discarded in the fabric by the fault plan
+	NetFaultCorrupts    uint64 // messages bit-flipped in the fabric by the fault plan
+	NetFaultDups        uint64 // extra copies injected by the fault plan
+	NetFaultDelays      uint64 // messages given extra latency by the fault plan
+	NetRouteFailovers   uint64 // messages routed around a dead link/router
+	NetRouteDrops       uint64 // messages with no usable route at all
+	XportRetransmits    uint64 // payload frames re-sent after an ack timeout
+	XportDupsDropped    uint64 // duplicate frames suppressed by receiver dedup
 	XportCorruptsCaught uint64 // frames rejected on a CRC mismatch
-	XportAcks          uint64 // positive acknowledgments sent
-	XportUnreachable   uint64 // destinations given up on (retransmit budget exhausted)
+	XportAcks           uint64 // positive acknowledgments sent
+	XportUnreachable    uint64 // destinations given up on (retransmit budget exhausted)
+
+	// ParityDebtsDropped counts outstanding parity-ledger deltas that
+	// recovery Phase 1 discarded because the target parity node itself
+	// was lost; Phase 4 rebuilds those parity pages from the surviving
+	// data, so the deltas are moot, but the rebuild accounting needs
+	// them. Omitted from JSON when zero (every healthy run).
+	ParityDebtsDropped uint64 `json:",omitempty"`
 
 	// Recovery phase durations of the most recent recovery (kept for
 	// existing reports; RecoveryHistory records every recovery of the run).
@@ -132,8 +139,8 @@ type Stats struct {
 // recovery: when it ran, what it rolled back to, which nodes were lost,
 // and the four phase durations (Figures 7 and 12 are per-recovery plots).
 type RecoveryRecord struct {
-	At          sim.Time `json:"at_ns"`         // simulated time the recovery completed at
-	TargetEpoch uint64   `json:"target_epoch"`  // checkpoint rolled back to
+	At          sim.Time `json:"at_ns"`          // simulated time the recovery completed at
+	TargetEpoch uint64   `json:"target_epoch"`   // checkpoint rolled back to
 	Lost        []int    `json:"lost,omitempty"` // nodes lost going into this recovery
 	Phase1      sim.Time `json:"phase1_ns"`
 	Phase2      sim.Time `json:"phase2_ns"`

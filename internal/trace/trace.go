@@ -48,6 +48,10 @@ const (
 	// ParityUpdate spans one distributed parity update round trip
 	// (async). Arg is the line.
 	ParityUpdate
+	// ParityDebtDropped marks a parity-ledger delta discarded during
+	// recovery Phase 1 because its target parity node was lost (Phase 4
+	// rebuilds that parity from data). Arg is the target's memory address.
+	ParityDebtDropped
 
 	// Checkpoint spans one full global checkpoint; the phases below nest
 	// inside it. Arg is the committing epoch.
@@ -93,30 +97,31 @@ const (
 )
 
 var kindNames = [numKinds]string{
-	KindNone:        "none",
-	ProcExec:        "proc-exec",
-	ProcStall:       "proc-stall",
-	ProcParked:      "proc-parked",
-	MissService:     "miss-service",
-	LogAppend:       "log-append",
-	CkptMarker:      "ckpt-marker",
-	ParityUpdate:    "parity-update",
-	Checkpoint:      "checkpoint",
-	CkpInterrupt:    "ckpt-interrupt",
-	CkpFlush:        "ckpt-flush",
-	CkpBarrier:      "ckpt-barrier",
-	CkpCommit:       "ckpt-commit",
-	Recovery:        "recovery",
-	RecoveryPhase1:  "recovery-phase1",
-	RecoveryPhase2:  "recovery-phase2",
-	RecoveryPhase3:  "recovery-phase3",
-	RecoveryPhase4:  "recovery-phase4",
-	XportRetransmit: "xport-retransmit",
-	XportEscalation: "xport-escalation",
-	RouteFailover:   "route-failover",
-	NetDrop:         "net-drop",
-	NodeLost:        "node-lost",
-	Freeze:          "freeze",
+	KindNone:          "none",
+	ProcExec:          "proc-exec",
+	ProcStall:         "proc-stall",
+	ProcParked:        "proc-parked",
+	MissService:       "miss-service",
+	LogAppend:         "log-append",
+	CkptMarker:        "ckpt-marker",
+	ParityUpdate:      "parity-update",
+	ParityDebtDropped: "parity-debt-dropped",
+	Checkpoint:        "checkpoint",
+	CkpInterrupt:      "ckpt-interrupt",
+	CkpFlush:          "ckpt-flush",
+	CkpBarrier:        "ckpt-barrier",
+	CkpCommit:         "ckpt-commit",
+	Recovery:          "recovery",
+	RecoveryPhase1:    "recovery-phase1",
+	RecoveryPhase2:    "recovery-phase2",
+	RecoveryPhase3:    "recovery-phase3",
+	RecoveryPhase4:    "recovery-phase4",
+	XportRetransmit:   "xport-retransmit",
+	XportEscalation:   "xport-escalation",
+	RouteFailover:     "route-failover",
+	NetDrop:           "net-drop",
+	NodeLost:          "node-lost",
+	Freeze:            "freeze",
 }
 
 // String returns the kind's kebab-case name.
