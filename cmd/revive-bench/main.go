@@ -10,6 +10,7 @@
 //	revive-bench -table 2            # one table (2 or 4)
 //	revive-bench -storage            # section 6.2 accounting
 //	revive-bench -availability       # section 3.3.2 table
+//	revive-bench -split-domain       # E19 split-fault-domain comparison
 //	revive-bench -quick -all         # reduced budgets, fast smoke run
 //	revive-bench -apps FFT,Radix     # restrict the application set
 //	revive-bench -all -j 8           # eight simulations at a time
@@ -40,6 +41,7 @@ func main() {
 		table        = flag.Int("table", 0, "regenerate one table (2 or 4)")
 		storage      = flag.Bool("storage", false, "section 6.2 storage accounting")
 		availability = flag.Bool("availability", false, "section 3.3.2 availability")
+		splitDomain  = flag.Bool("split-domain", false, "E19 split-fault-domain study (node-loss vs cpu-loss vs mem-partial)")
 		quick        = flag.Bool("quick", false, "reduced instruction budgets")
 		scale        = flag.Int("scale", 100, "divide paper instruction counts by this")
 		appsFlag     = flag.String("apps", "", "comma-separated application subset")
@@ -166,7 +168,19 @@ func main() {
 		revive.WriteAvailability(w, revive.AvailabilityStudy())
 		sep()
 	}
-	if !*all && *fig == 0 && *table == 0 && !*storage && !*availability {
+	if *splitDomain {
+		// Not part of -all: EXPERIMENTS.md E19 records a full run, and the
+		// -quick -all golden stays byte-identical.
+		start := time.Now()
+		app := apps[0]
+		res := revive.RunSplitDomainStudy(o, app, []int{8, 2}, func(gs int) {
+			fmt.Fprintf(os.Stderr, "  split-domain: %s group size %d\n", app.Label, gs)
+		})
+		fmt.Fprintf(os.Stderr, "split-domain study: %v\n", time.Since(start))
+		revive.WriteE19(w, res, revive.EvalConfig(o).Checkpoint.Interval)
+		sep()
+	}
+	if !*all && *fig == 0 && *table == 0 && !*storage && !*availability && !*splitDomain {
 		flag.Usage()
 		stopProfiles()
 		os.Exit(2)

@@ -10,6 +10,7 @@
 //	revive-chaos -campaigns 200 -seed 42          # the standing campaign
 //	revive-chaos -campaigns 200 -seed 42 -j 8     # eight campaigns at a time
 //	revive-chaos -campaigns 200 -drop 0.01 -corrupt 0.001 -link-loss
+//	revive-chaos -campaigns 200 -cpu-loss -mem-partial    # split-domain sweep
 //	revive-chaos -campaigns 10 -bug data-before-log -out fail.json
 //	revive-chaos -campaigns 10 -bug drop-ack      # transport-audit self-test
 //	revive-chaos -campaigns 10 -bug data-before-log -json  # machine-readable
@@ -47,6 +48,8 @@ func main() {
 	drop := flag.Float64("drop", 0, "force a message-drop fault of this probability into every campaign")
 	corrupt := flag.Float64("corrupt", 0, "force a message-corruption fault of this probability into every campaign")
 	linkLoss := flag.Bool("link-loss", false, "force one random link or router kill into every campaign")
+	cpuLoss := flag.Bool("cpu-loss", false, "convert every campaign's primary fault to a cpu-loss (processor dies, memory survives)")
+	memPartial := flag.Bool("mem-partial", false, "convert every campaign's primary fault to a partial memory loss (with -cpu-loss: seeded coin per campaign)")
 	out := flag.String("out", "", "write failing campaigns' artifacts to this JSON file")
 	replay := flag.String("replay", "", "re-execute the schedule or artifact in this JSON file and exit")
 	flight := flag.Int("flight", trace.DefaultCapacity, "flight-recorder ring size for failing campaigns (0 disables)")
@@ -70,6 +73,7 @@ func main() {
 	opts := chaos.Options{
 		Campaigns: *campaigns, Seed: *seed, Bug: *bug, ShrinkBudget: *budget,
 		DropProb: *drop, CorruptProb: *corrupt, LinkLoss: *linkLoss,
+		CPULoss: *cpuLoss, MemPartial: *memPartial,
 		FlightEvents: *flight, Parallelism: *jobs,
 	}
 	if *flight <= 0 {

@@ -8,6 +8,8 @@
 //	revive-sim -app Radix -baseline          # no recovery support
 //	revive-sim -app Ocean -mirror            # mirroring instead of parity
 //	revive-sim -app LU -interval 200us       # custom checkpoint interval
+//	revive-sim -app FFT -fault cpu-loss      # kill node 5's processor mid-run
+//	revive-sim -app FFT -fault mem-partial -fault-frames 16   # partial memory loss
 //	revive-sim -app FFT -trace out.json -series out.csv   # observability sinks
 //	revive-sim -app FFT -json                # machine-readable stats
 //	revive-sim -apps FFT,Radix,Ocean -j 4    # multi-app sweep, 4 at a time
@@ -30,6 +32,7 @@ import (
 	"time"
 
 	"revive"
+	"revive/internal/arch"
 	"revive/internal/perf"
 	"revive/internal/stats"
 	"revive/internal/sweep"
@@ -52,6 +55,13 @@ func main() {
 		util     = flag.Bool("util", false, "print the per-node utilization report")
 		record   = flag.String("record", "", "write the workload's trace to this file and exit")
 		replay   = flag.String("replay", "", "run a recorded trace instead of an application")
+
+		faultKind    = flag.String("fault", "", "inject one fault mid-run: node-loss, cpu-loss, mem-partial or transient (detection, rollback and resume are automatic)")
+		faultNode    = flag.Int("fault-node", 5, "victim node for -fault (ignored for transient)")
+		faultAt      = flag.Duration("fault-at", 0, "error time for -fault (default: 2.5 checkpoint intervals)")
+		faultDetect  = flag.Duration("fault-detect", 0, "detection latency for -fault (default: a tenth of the checkpoint interval)")
+		faultFrameLo = flag.Int("fault-frame-lo", 0, "first lost frame for -fault mem-partial")
+		faultFrames  = flag.Int("fault-frames", 8, "lost frame count for -fault mem-partial")
 
 		traceOut    = flag.String("trace", "", "write a Chrome trace-event JSON of the run (load in Perfetto)")
 		traceEvents = flag.Int("trace-events", 1<<20, "event ring capacity for -trace (the last N events are kept)")
@@ -80,6 +90,20 @@ func main() {
 	if *mirror {
 		o.GroupSize = 2
 	}
+	switch *faultKind {
+	case "", "node-loss", "cpu-loss", "mem-partial", "transient":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fault %q (known: node-loss, cpu-loss, mem-partial, transient)\n", *faultKind)
+		exit(2)
+	}
+	if *faultKind != "" {
+		if *baseline {
+			fmt.Fprintln(os.Stderr, "-fault needs recovery support; drop -baseline")
+			exit(2)
+		}
+		// Resume restores from the target checkpoint's snapshot.
+		o.Verify = true
+	}
 	if *list {
 		fmt.Printf("%-12s %12s %10s\n", "App", "Paper instr", "Paper miss")
 		for _, a := range revive.Apps(o) {
@@ -88,8 +112,8 @@ func main() {
 		return
 	}
 	if *appsFlag != "" {
-		if *replay != "" || *record != "" || *traceOut != "" || *seriesOut != "" {
-			fmt.Fprintln(os.Stderr, "-apps sweeps are incompatible with -replay, -record, -trace and -series")
+		if *replay != "" || *record != "" || *traceOut != "" || *seriesOut != "" || *faultKind != "" {
+			fmt.Fprintln(os.Stderr, "-apps sweeps are incompatible with -replay, -record, -trace, -series and -fault")
 			exit(2)
 		}
 		exit(runAppsSweep(o, *appsFlag, *jobs, *baseline, *mirror, *noCkpt, *interval, *jsonOut))
@@ -142,9 +166,37 @@ func main() {
 
 	m := revive.New(cfg)
 	m.Load(wl)
+	var faultRep *revive.DetectionReport
+	if *faultKind != "" {
+		at := revive.Time(faultAt.Nanoseconds())
+		if at == 0 {
+			at = cfg.Checkpoint.Interval * 5 / 2
+		}
+		det := revive.Time(faultDetect.Nanoseconds())
+		if det == 0 {
+			det = cfg.Checkpoint.Interval / 10
+		}
+		victim := revive.NodeID(*faultNode)
+		done := func(r revive.DetectionReport) { faultRep = &r }
+		switch *faultKind {
+		case "node-loss":
+			m.ScheduleNodeLoss(at, det, victim, done)
+		case "cpu-loss":
+			m.ScheduleCPULoss(at, det, victim, done)
+		case "mem-partial":
+			m.ScheduleMemPartialLoss(at, det, victim,
+				arch.Frame(*faultFrameLo), arch.Frame(*faultFrames), done)
+		case "transient":
+			m.ScheduleTransientError(at, det, done)
+		}
+	}
 	start := time.Now()
 	st := m.Run()
 	wall := time.Since(start)
+	if *faultKind != "" && faultRep == nil {
+		fmt.Fprintln(os.Stderr, "-fault never fired: the run ended before -fault-at; lower it or raise -scale")
+		exit(2)
+	}
 
 	mode := "ReVive 7+1 parity"
 	if *baseline {
@@ -179,16 +231,39 @@ func main() {
 	}
 
 	if *jsonOut {
+		type faultJSON struct {
+			Kind        string      `json:"kind"`
+			Node        int         `json:"node"` // -1 for transient
+			ErrorAtNS   revive.Time `json:"error_at_ns"`
+			DetectedNS  revive.Time `json:"detected_at_ns"`
+			TargetEpoch uint64      `json:"target_epoch"`
+			LostWorkNS  revive.Time `json:"lost_work_ns"`
+			Recovery    string      `json:"recovery"` // core.Report.String
+			Error       string      `json:"error,omitempty"`
+		}
 		result := struct {
 			App            string       `json:"app"`
 			Nodes          int          `json:"nodes"`
 			Mode           string       `json:"mode"`
 			WallSeconds    float64      `json:"wall_seconds"`
 			ParityVerified *bool        `json:"parity_verified,omitempty"` // absent for -baseline
+			Fault          *faultJSON   `json:"fault,omitempty"`           // absent without -fault
 			Stats          *stats.Stats `json:"stats"`
 		}{App: appLabel, Nodes: *nodes, Mode: mode, WallSeconds: wall.Seconds(), Stats: st}
 		if !*baseline {
 			result.ParityVerified = &parityOK
+		}
+		if faultRep != nil {
+			fj := &faultJSON{
+				Kind: *faultKind, Node: int(faultRep.Lost),
+				ErrorAtNS: faultRep.ErrorAt, DetectedNS: faultRep.DetectedAt,
+				TargetEpoch: faultRep.Target, LostWorkNS: faultRep.LostWork,
+				Recovery: faultRep.Recovery.String(),
+			}
+			if faultRep.Err != nil {
+				fj.Error = faultRep.Err.Error()
+			}
+			result.Fault = fj
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -214,6 +289,21 @@ func main() {
 				float64(st.CkpBarrierTime)/1000, float64(st.CkpInterruptTime)/1000)
 			fmt.Printf("  peak log:       %.1f KB\n", float64(st.LogBytesPeak)/1024)
 		}
+		if faultRep != nil {
+			where := fmt.Sprintf(" node %d", faultRep.Lost)
+			if faultRep.Lost < 0 {
+				where = ""
+			}
+			fmt.Printf("  fault:          %s%s at %.1fus, detected at %.1fus\n",
+				*faultKind, where,
+				float64(faultRep.ErrorAt)/1000, float64(faultRep.DetectedAt)/1000)
+			fmt.Printf("  recovery:       %s\n", faultRep.Recovery.String())
+			fmt.Printf("  lost work:      %.1fus (rolled back to epoch %d)\n",
+				float64(faultRep.LostWork)/1000, faultRep.Target)
+			if faultRep.Err != nil {
+				fmt.Printf("  recovery error: %v\n", faultRep.Err)
+			}
+		}
 		fmt.Println("  memory accesses by class:")
 		for c := stats.Class(0); c < stats.NumClasses; c++ {
 			if st.MemAccesses[c] > 0 {
@@ -235,6 +325,10 @@ func main() {
 			fmt.Printf("  transport:      retransmits=%d dedups=%d crc-caught=%d acks=%d unreachable=%d\n",
 				st.XportRetransmits, st.XportDupsDropped, st.XportCorruptsCaught,
 				st.XportAcks, st.XportUnreachable)
+			if len(st.RecoveryHistory) > 0 {
+				fmt.Printf("  recovery scope: rebuilt=%d skipped=%d frames over %d recovery(ies)\n",
+					st.FramesReconstructed, st.FramesSkipped, len(st.RecoveryHistory))
+			}
 		}
 		if *traceOut != "" {
 			fmt.Printf("  trace:          %d event(s) to %s (%d dropped from the ring)\n",
@@ -251,6 +345,9 @@ func main() {
 	}
 	if !*baseline && !*jsonOut {
 		fmt.Println("  parity invariant: verified")
+	}
+	if faultRep != nil && faultRep.Err != nil {
+		exit(1)
 	}
 }
 

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"revive"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestDefaultStatsJSONGolden pins the -json stats payload of a default
+// (no-fault) run byte-for-byte: the split-fault-domain scope counters are
+// omitempty and the fault block is absent, so growing the fault model must
+// not change what a healthy run emits. The golden deliberately excludes the
+// wall-clock wrapper fields (wall_seconds is nondeterministic); everything
+// in Stats is simulation-deterministic.
+func TestDefaultStatsJSONGolden(t *testing.T) {
+	o := revive.Options{Quick: true}
+	app, ok := revive.AppByName("FFT", o)
+	if !ok {
+		t.Fatal("FFT missing from the application table")
+	}
+	m := revive.New(revive.EvalConfig(o))
+	m.Load(app)
+	st := m.Run()
+
+	blob, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob = append(blob, '\n')
+
+	golden := filepath.Join("testdata", "stats_quick_fft.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./cmd/revive-sim -run Golden -update)", err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Errorf("default no-fault stats JSON drifted from %s\n"+
+			"(intentional? regenerate with go test ./cmd/revive-sim -run Golden -update)", golden)
+	}
+	for _, field := range []string{"FramesReconstructed", "FramesSkipped", "frames_rebuilt", "frames_skipped"} {
+		if bytes.Contains(blob, []byte(field)) {
+			t.Errorf("no-fault stats JSON leaks split-domain scope field %q", field)
+		}
+	}
+}

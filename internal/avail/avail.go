@@ -36,6 +36,30 @@ func LostWork(interval, detection sim.Time, worstCase bool) sim.Time {
 	return interval/2 + detection
 }
 
+// FromRecovery composes a Breakdown from measured recovery phase times:
+// Phase 1 is the hardware recovery, Phases 2+3 the ReVive work (Phase 4
+// overlaps resumed execution and is not unavailable time). Split fault
+// domains narrow the window through Phase 2 — a cpu-loss with an intact
+// log skips reconstruction entirely, a partial loss rebuilds only its
+// damaged frame range — and this arithmetic prices the narrowed window
+// exactly as the paper prices the full one.
+func FromRecovery(phase1, phase2, phase3, lostWork sim.Time) Breakdown {
+	return Breakdown{HWRecovery: phase1, ReviveRecovery: phase2 + phase3, LostWork: lostWork}
+}
+
+// Avoided compares a scoped recovery's unavailable window against the
+// classic full node-loss reference: the absolute time saved and the saving
+// as a fraction of the reference window (the E19 "reconstruction cost
+// avoided" headline). A scoped window no shorter than the reference saves
+// zero.
+func Avoided(ref, scoped Breakdown) (sim.Time, float64) {
+	saved := ref.Total() - scoped.Total()
+	if saved <= 0 || ref.Total() <= 0 {
+		return 0, 0
+	}
+	return saved, float64(saved) / float64(ref.Total())
+}
+
 // Availability returns A = (T_E − T_U)/T_E for a mean time between errors
 // and per-error unavailable time. It saturates at 0.
 func Availability(mtbe, unavailable sim.Time) float64 {

@@ -524,18 +524,36 @@ func runSchedule(s Schedule, tr *trace.Tracer) *Outcome {
 		return o
 	}
 
-	// The machine is frozen; apply the fault's memory damage.
-	if f.Kind == NodeLoss {
-		nodes := f.Nodes
-		if len(nodes) == 0 {
-			nodes = []int{int(firedNode)}
-		}
-		for _, n := range nodes {
+	// The machine is frozen; apply the fault's damage. Empty node lists
+	// (step triggers) resolve to the node whose controller fired.
+	victims := f.Nodes
+	if len(victims) == 0 {
+		victims = []int{int(firedNode)}
+	}
+	switch f.Kind {
+	case NodeLoss:
+		for _, n := range victims {
 			m.Mems[n].MarkLost()
 		}
+	case CPULoss:
+		for _, n := range victims {
+			m.MarkCPULost(arch.NodeID(n))
+		}
+	case MemPartialLoss:
+		m.MarkMemPartialLost(arch.NodeID(victims[0]), arch.Frame(f.FrameLo), arch.Frame(f.Frames))
 	}
 	for _, n := range m.LostNodes() {
 		r.markLost(int(n))
+	}
+	// A partial memory loss consumes its parity group's one-loss budget
+	// exactly like a full loss (the stripes crossing the damaged range have
+	// lost a member); a cpu-loss does not — its memory and log survive, so
+	// the group can still absorb a memory loss. The fault-model meta-check
+	// must see partial damage in the episode set.
+	for _, d := range m.DamageSet() {
+		if d.Kind == core.PartialLoss {
+			r.markLost(int(d.Node))
+		}
 	}
 
 	// Arm any in-recovery second faults on the phase hook (one-shot each —
@@ -587,6 +605,29 @@ func runSchedule(s Schedule, tr *trace.Tracer) *Outcome {
 				fmt.Sprintf("snapshot of target epoch %d missing after recovery", o.Target))
 		} else if err := m.VerifyAgainstSnapshot(snap); err != nil {
 			o.violate("post-recovery", "byte-exact", err.Error())
+		}
+		// Split-domain reconstruction scope. A cpu-loss leaves every memory
+		// module and log intact, so a clean (single-fault) recovery must skip
+		// Phase 2 entirely; a partial loss must rebuild at most its damaged
+		// range. A fired second fault widens the damage, so scope checks only
+		// apply to single-fault runs.
+		if !o.SecondFired {
+			switch f.Kind {
+			case CPULoss:
+				o.Checks++
+				if rep.Phase2 != 0 || rep.FramesReconstructed != 0 {
+					o.violate("post-recovery", "reconstruction-skip",
+						fmt.Sprintf("cpu-loss with intact log reconstructed %d frames (phase2=%dns)",
+							rep.FramesReconstructed, rep.Phase2))
+				}
+			case MemPartialLoss:
+				o.Checks++
+				if rep.FramesReconstructed > f.Frames {
+					o.violate("post-recovery", "reconstruction-scope",
+						fmt.Sprintf("partial loss of %d frames reconstructed %d",
+							f.Frames, rep.FramesReconstructed))
+				}
+			}
 		}
 		o.checkQuiescent(m, "post-recovery")
 		if o.Failed() {

@@ -37,7 +37,7 @@ func TestGenerateCoversTriggerSpace(t *testing.T) {
 			}
 		}
 	}
-	for _, k := range []FaultKind{NodeLoss, Transient, MsgDrop, MsgCorrupt, LinkLoss} {
+	for _, k := range []FaultKind{NodeLoss, Transient, CPULoss, MemPartialLoss, MsgDrop, MsgCorrupt, LinkLoss} {
 		if kinds[k] == 0 {
 			t.Errorf("kind %q never generated", k)
 		}
@@ -92,6 +92,30 @@ func TestValidateRejectsMalformedSchedules(t *testing.T) {
 		}},
 		{"link-loss with no nodes", func(s *Schedule) {
 			s.Faults = []Fault{{Kind: LinkLoss, Trigger: AtTime}}
+		}},
+		{"mem-partial with several nodes", func(s *Schedule) {
+			s.Faults = []Fault{{Kind: MemPartialLoss, Trigger: AtTime, Nodes: []int{1, 2}, Frames: 4}}
+		}},
+		{"mem-partial without frames", func(s *Schedule) {
+			s.Faults = []Fault{{Kind: MemPartialLoss, Trigger: AtTime, Nodes: []int{1}}}
+		}},
+		{"mem-partial negative frame_lo", func(s *Schedule) {
+			s.Faults = []Fault{{Kind: MemPartialLoss, Trigger: AtTime, Nodes: []int{1}, FrameLo: -1, Frames: 4}}
+		}},
+		{"frame range on a cpu-loss", func(s *Schedule) {
+			s.Faults = []Fault{{Kind: CPULoss, Trigger: AtTime, Nodes: []int{1}, Frames: 4}}
+		}},
+		{"frame range on a node-loss", func(s *Schedule) {
+			s.Faults = []Fault{{Kind: NodeLoss, Trigger: AtTime, Nodes: []int{1}, FrameLo: 2}}
+		}},
+		{"cpu-loss as the in-recovery fault", func(s *Schedule) {
+			s.Faults = []Fault{
+				{Kind: CPULoss, Trigger: AtTime, Nodes: []int{1}},
+				{Kind: CPULoss, Trigger: InRecovery, Phase: 2, Nodes: []int{2}},
+			}
+		}},
+		{"cpu-loss without nodes on a time trigger", func(s *Schedule) {
+			s.Faults = []Fault{{Kind: CPULoss, Trigger: AtTime}}
 		}},
 	}
 	for _, c := range cases {

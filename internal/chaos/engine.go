@@ -33,6 +33,14 @@ type Options struct {
 	CorruptProb float64 // per-message corruption probability
 	LinkLoss    bool    // kill one random link or router per campaign
 
+	// Forced split-domain faults (-cpu-loss/-mem-partial in revive-chaos).
+	// A schedule admits only one machine fault outside recovery, so these
+	// CONVERT the generated primary's kind rather than appending a second
+	// fault; the conversion is deterministic in the schedule seed. With both
+	// set, each campaign flips a seeded coin between the two kinds.
+	CPULoss    bool // convert primaries to cpu-loss (processor dies, memory survives)
+	MemPartial bool // convert primaries to mem-partial-loss (frame range dies)
+
 	// FlightEvents sizes the flight-recorder ring for failing campaigns:
 	// after shrinking, the minimal reproducer is re-executed with tracing
 	// on, and the last FlightEvents events ship with the artifact as a
@@ -70,9 +78,36 @@ type Summary struct {
 	Failures []Failure
 }
 
-// force layers the Options' fabric faults onto a generated schedule. The
-// link choice is deterministic in the schedule seed.
+// force layers the Options' fabric faults onto a generated schedule and
+// applies any split-domain conversion. Every choice is deterministic in the
+// schedule seed.
 func force(opts Options, s *Schedule) {
+	if (opts.CPULoss || opts.MemPartial) && primaryIndex(*s) >= 0 {
+		p := primaryIndex(*s)
+		rng := sim.NewRand(s.Seed ^ 0x5D0F)
+		toCPU := opts.CPULoss
+		if opts.CPULoss && opts.MemPartial {
+			toCPU = rng.Bool(0.5)
+		}
+		f := &s.Faults[p]
+		f.FrameLo, f.Frames = 0, 0
+		if toCPU {
+			f.Kind = CPULoss
+			if len(f.Nodes) == 0 && f.Trigger != AtStep {
+				f.Nodes = []int{rng.Intn(s.Nodes)}
+			}
+		} else {
+			f.Kind = MemPartialLoss
+			if len(f.Nodes) > 1 {
+				f.Nodes = f.Nodes[:1]
+			}
+			if len(f.Nodes) == 0 {
+				f.Nodes = []int{rng.Intn(s.Nodes)}
+			}
+			f.FrameLo = rng.Intn(24)
+			f.Frames = 1 + rng.Intn(32)
+		}
+	}
 	if opts.DropProb > 0 {
 		s.Faults = append(s.Faults, Fault{Kind: MsgDrop, Trigger: AtTime, Prob: opts.DropProb})
 	}
@@ -200,6 +235,10 @@ func (sum *Summary) absorb(o *Outcome) {
 		switch o.Schedule.Faults[p].Kind {
 		case NodeLoss:
 			c.NodeLosses++
+		case CPULoss:
+			c.CPULosses++
+		case MemPartialLoss:
+			c.MemPartialLosses++
 		case Transient:
 			c.Transients++
 		}

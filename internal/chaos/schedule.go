@@ -1,7 +1,8 @@
 // Package chaos is the randomized fault-campaign engine: the standing
 // correctness harness for the whole ReVive model. A campaign draws a seed,
 // generates a fault schedule (node losses, system-wide transients,
-// simultaneous multi-loss; injected at a random simulated time, at a
+// simultaneous multi-loss, CPU-only losses with surviving memory, partial
+// memory-device losses; injected at a random simulated time, at a
 // random protocol step of the section 4.2 update sequences, during a
 // checkpoint's two-phase commit, or while a previous recovery is still
 // running — plus fabric faults: probabilistic message drop, corruption,
@@ -35,6 +36,15 @@ const (
 	// Transient is a system-wide error that kills all in-flight state
 	// but leaves memory intact.
 	Transient FaultKind = "transient"
+	// CPULoss kills one node's processor and caches; the node's memory
+	// module, directory state and distributed log survive (the CXL-era
+	// split fault domain). Recovery must skip Phase 2 reconstruction and
+	// roll back from the surviving log.
+	CPULoss FaultKind = "cpu-loss"
+	// MemPartialLoss destroys the contiguous frame range
+	// [FrameLo, FrameLo+Frames) of one node's memory while its processor
+	// survives; recovery reconstructs only the damaged range.
+	MemPartialLoss FaultKind = "mem-partial-loss"
 
 	// LinkLoss permanently kills fabric hardware: with two nodes listed,
 	// the directed link Nodes[0] -> Nodes[1]; with one node listed, that
@@ -99,10 +109,14 @@ type Fault struct {
 	Skip int    `json:"skip,omitempty"`
 	// Phase applies to InRecovery: inject after this recovery phase.
 	Phase int `json:"phase,omitempty"`
-	// Nodes lists the nodes to lose (NodeLoss), or the link/router to
-	// kill (LinkLoss). Empty under AtStep means "the node whose
-	// controller fired the step".
+	// Nodes lists the nodes to lose (NodeLoss, CPULoss, MemPartialLoss),
+	// or the link/router to kill (LinkLoss). Empty under AtStep means
+	// "the node whose controller fired the step".
 	Nodes []int `json:"nodes,omitempty"`
+	// FrameLo and Frames delimit a mem-partial-loss's lost frame range
+	// [FrameLo, FrameLo+Frames).
+	FrameLo int `json:"frame_lo,omitempty"`
+	Frames  int `json:"frames,omitempty"`
 	// Prob is the per-message probability of the msg-* fabric faults.
 	Prob float64 `json:"prob,omitempty"`
 	// ExtraNS is the added latency of a msg-delay fault.
@@ -187,7 +201,9 @@ func (s Schedule) Validate() error {
 			}
 			continue
 		}
-		if f.Kind != NodeLoss && f.Kind != Transient {
+		switch f.Kind {
+		case NodeLoss, Transient, CPULoss, MemPartialLoss:
+		default:
 			return fmt.Errorf("chaos: fault %d: unknown kind %q", i, f.Kind)
 		}
 		switch f.Trigger {
@@ -219,8 +235,24 @@ func (s Schedule) Validate() error {
 			}
 			primarySeen = true
 		}
-		if f.Kind == NodeLoss && len(f.Nodes) == 0 && f.Trigger != AtStep {
-			return fmt.Errorf("chaos: fault %d: node-loss without nodes only valid under a step trigger", i)
+		switch f.Kind {
+		case NodeLoss, CPULoss, MemPartialLoss:
+			if len(f.Nodes) == 0 && f.Trigger != AtStep {
+				return fmt.Errorf("chaos: fault %d: %s without nodes only valid under a step trigger", i, f.Kind)
+			}
+		}
+		if f.Kind == MemPartialLoss {
+			if len(f.Nodes) > 1 {
+				return fmt.Errorf("chaos: fault %d: mem-partial-loss damages one node, got %d", i, len(f.Nodes))
+			}
+			if f.Frames < 1 {
+				return fmt.Errorf("chaos: fault %d: mem-partial-loss needs a positive frame count", i)
+			}
+			if f.FrameLo < 0 {
+				return fmt.Errorf("chaos: fault %d: negative frame_lo", i)
+			}
+		} else if f.FrameLo != 0 || f.Frames != 0 {
+			return fmt.Errorf("chaos: fault %d: frame range only valid on mem-partial-loss", i)
 		}
 		for _, n := range f.Nodes {
 			if n < 0 || n >= s.Nodes {
@@ -343,8 +375,13 @@ func Generate(seed uint64) Schedule {
 	s.Instr = 60000 + uint64(rng.Intn(5))*20000
 
 	f := Fault{Kind: NodeLoss}
-	if rng.Bool(0.4) {
+	switch r := rng.Float64(); {
+	case r < 0.32:
 		f.Kind = Transient
+	case r < 0.50:
+		f.Kind = CPULoss
+	case r < 0.62:
+		f.Kind = MemPartialLoss
 	}
 	switch r := rng.Float64(); {
 	case r < 0.40:
@@ -359,7 +396,8 @@ func Generate(seed uint64) Schedule {
 		f.Trigger = AtCommit
 		f.Skip = rng.Intn(2 * s.Nodes)
 	}
-	if f.Kind == NodeLoss {
+	switch f.Kind {
+	case NodeLoss:
 		switch {
 		case f.Trigger == AtStep && rng.Bool(0.5):
 			// Lose the node whose controller fired the step: the exact
@@ -376,6 +414,14 @@ func Generate(seed uint64) Schedule {
 		default:
 			f.Nodes = []int{rng.Intn(s.Nodes)}
 		}
+	case CPULoss:
+		if !(f.Trigger == AtStep && rng.Bool(0.5)) {
+			f.Nodes = []int{rng.Intn(s.Nodes)}
+		}
+	case MemPartialLoss:
+		f.Nodes = []int{rng.Intn(s.Nodes)}
+		f.FrameLo = rng.Intn(24)
+		f.Frames = 1 + rng.Intn(32)
 	}
 	s.Faults = append(s.Faults, f)
 
@@ -385,12 +431,18 @@ func Generate(seed uint64) Schedule {
 		if f.Kind == Transient {
 			phases = []int{1, 3} // a pure rollback has no phase 2/4
 		}
-		s.Faults = append(s.Faults, Fault{
+		second := Fault{
 			Kind:    NodeLoss,
 			Trigger: InRecovery,
 			Phase:   phases[rng.Intn(len(phases))],
 			Nodes:   []int{rng.Intn(s.Nodes)},
-		})
+		}
+		if f.Kind == CPULoss && len(f.Nodes) == 1 && rng.Bool(0.5) {
+			// The cpu-lost node's surviving memory dies too: the
+			// degradation ladder escalates to a full node loss.
+			second.Nodes = []int{f.Nodes[0]}
+		}
+		s.Faults = append(s.Faults, second)
 	}
 
 	// Fabric faults: active from a random offset after arming until the

@@ -3,7 +3,8 @@ package chaos
 // Shrinking: a failing schedule is minimized by deterministic re-execution.
 // Each pass proposes a structurally smaller candidate (fewer faults, a
 // coarser trigger, a shorter delay, fewer skipped steps, a gentler fabric
-// fault, a shorter workload, fewer lost nodes) and keeps it only if it
+// fault, a narrower partial-memory range, a shorter workload, fewer lost
+// nodes) and keeps it only if it
 // still violates an invariant. The result is the minimal reproducer
 // written into the replay artifact.
 
@@ -59,8 +60,13 @@ func Shrink(s Schedule, budget int) (Schedule, *Outcome, int) {
 				c.Faults[p].DelayNS = bestOut.FiredAt - bestOut.ArmedAt
 				c.Faults[p].Step = ""
 				c.Faults[p].Skip = 0
-				if f.Kind == NodeLoss && len(f.Nodes) == 0 && bestOut.FiredNode >= 0 {
-					c.Faults[p].Nodes = []int{bestOut.FiredNode}
+				switch f.Kind {
+				case NodeLoss, CPULoss, MemPartialLoss:
+					// Empty nodes are only valid under a step trigger; pin
+					// the recorded victim before relaxing to a time trigger.
+					if len(f.Nodes) == 0 && bestOut.FiredNode >= 0 {
+						c.Faults[p].Nodes = []int{bestOut.FiredNode}
+					}
 				}
 				if try(c) {
 					improved = true
@@ -124,6 +130,20 @@ func Shrink(s Schedule, budget int) (Schedule, *Outcome, int) {
 				if try(c) {
 					improved = true
 				}
+			}
+		}
+
+		// Narrower partial-memory damage: halve the lost frame range. A
+		// violation that survives with half the frames gone localizes the
+		// damaged state better.
+		for fi := range best.Faults {
+			if best.Faults[fi].Kind != MemPartialLoss || best.Faults[fi].Frames <= 1 {
+				continue
+			}
+			c := best.clone()
+			c.Faults[fi].Frames /= 2
+			if try(c) {
+				improved = true
 			}
 		}
 

@@ -1,0 +1,150 @@
+package chaos
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// Split-fault-domain campaign coverage: the forced -cpu-loss/-mem-partial
+// conversion, healthy campaigns over the new kinds, strict JSON replay of
+// schedules carrying them, and shrinking of a failing mem-partial schedule.
+
+func TestForceConvertsPrimaryDeterministically(t *testing.T) {
+	cpu, part, both := 0, 0, 0
+	for seed := uint64(0); seed < 60; seed++ {
+		s := Generate(seed)
+		if primaryIndex(s) < 0 {
+			continue
+		}
+		a, b := s.clone(), s.clone()
+		force(Options{CPULoss: true, MemPartial: true}, &a)
+		force(Options{CPULoss: true, MemPartial: true}, &b)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: forced conversion not deterministic:\n%+v\n%+v", seed, a, b)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: converted schedule invalid: %v", seed, err)
+		}
+		switch a.Faults[primaryIndex(a)].Kind {
+		case CPULoss:
+			cpu++
+		case MemPartialLoss:
+			part++
+		default:
+			t.Fatalf("seed %d: primary not converted: %+v", seed, a.Faults[primaryIndex(a)])
+		}
+		both++
+
+		c := s.clone()
+		force(Options{CPULoss: true}, &c)
+		if k := c.Faults[primaryIndex(c)].Kind; k != CPULoss {
+			t.Fatalf("seed %d: -cpu-loss alone converted to %q", seed, k)
+		}
+		d := s.clone()
+		force(Options{MemPartial: true}, &d)
+		f := d.Faults[primaryIndex(d)]
+		if f.Kind != MemPartialLoss || f.Frames < 1 || len(f.Nodes) > 1 {
+			t.Fatalf("seed %d: -mem-partial alone produced %+v", seed, f)
+		}
+	}
+	if cpu == 0 || part == 0 {
+		t.Fatalf("the both-flags coin never landed on one side: cpu=%d partial=%d of %d", cpu, part, both)
+	}
+}
+
+func TestSplitDomainCampaignsNoViolations(t *testing.T) {
+	n := 10
+	if testing.Short() {
+		n = 4
+	}
+	sum := Run(Options{Campaigns: n, Seed: 7, CPULoss: true, MemPartial: true})
+	for _, f := range sum.Failures {
+		t.Errorf("seed %#x: %v", f.CampaignSeed, f.Outcome.Violations)
+	}
+	c := sum.Counters
+	if c.CPULosses+c.MemPartialLosses == 0 {
+		t.Fatal("forced split-domain batch injected neither kind; the conversion is vacuous")
+	}
+	if c.Checks == 0 {
+		t.Fatal("no invariant checks executed")
+	}
+	t.Logf("%s", c)
+}
+
+func TestScheduleJSONRoundTripSplitKinds(t *testing.T) {
+	// Strict replay must carry the new kinds and the frame range — incl.
+	// the escalating pair: a cpu-loss primary whose node's memory dies
+	// during recovery (the full degradation ladder in one schedule).
+	schedules := []Schedule{
+		{Seed: 11, Nodes: 8, GroupSize: 4, Retain: 2, Instr: 60000, Faults: []Fault{
+			{Kind: CPULoss, Trigger: AtTime, DelayNS: 5000, Nodes: []int{3}},
+			{Kind: NodeLoss, Trigger: InRecovery, Phase: 3, Nodes: []int{3}},
+		}},
+		{Seed: 12, Nodes: 8, GroupSize: 4, Retain: 2, Instr: 60000, Faults: []Fault{
+			{Kind: MemPartialLoss, Trigger: AtTime, DelayNS: 5000, Nodes: []int{1}, FrameLo: 2, Frames: 6},
+		}},
+	}
+	for _, s := range schedules {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("schedule invalid: %v\n%+v", err, s)
+		}
+		blob, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadArtifact(blob, "split.json")
+		if err != nil {
+			t.Fatalf("strict load: %v", err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("schedule did not round-trip:\n%+v\n%+v", got, s)
+		}
+		// A healthy build holds every invariant under both, and replaying
+		// is deterministic.
+		a, _ := json.Marshal(RunSchedule(s))
+		b, _ := json.Marshal(RunSchedule(s))
+		if string(a) != string(b) {
+			t.Fatalf("replay diverged:\n%s\nvs\n%s", a, b)
+		}
+		var out Outcome
+		if err := json.Unmarshal(a, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Failed() {
+			t.Fatalf("healthy build violated an invariant: %v", out.Violations)
+		}
+	}
+}
+
+func TestBrokenBuildCaughtUnderMemPartial(t *testing.T) {
+	// The shrink round-trip over the new kind: a data-before-log build
+	// fails under a forced mem-partial primary; the shrinker may narrow
+	// the frame range (never widen it) and the minimal reproducer must
+	// still validate, replay and fail.
+	sum := Run(Options{Campaigns: 6, Seed: 42, Bug: BugDataBeforeLog,
+		MemPartial: true, ShrinkBudget: 24})
+	if len(sum.Failures) == 0 {
+		t.Fatal("no campaign caught the broken build under mem-partial primaries")
+	}
+	f := sum.Failures[0]
+	orig, shrunk := f.Artifact.Original, f.Artifact.Shrunk
+	if err := shrunk.Validate(); err != nil {
+		t.Fatalf("shrunk schedule invalid: %v", err)
+	}
+	po, ps := primaryIndex(orig), primaryIndex(shrunk)
+	if po >= 0 && ps >= 0 && shrunk.Faults[ps].Kind == MemPartialLoss {
+		if shrunk.Faults[ps].Frames > orig.Faults[po].Frames {
+			t.Fatalf("shrinking widened the frame range: %d -> %d",
+				orig.Faults[po].Frames, shrunk.Faults[ps].Frames)
+		}
+	}
+	blob, _ := json.Marshal(f.Artifact)
+	s, err := LoadArtifact(blob, "artifact.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := RunSchedule(s); !out.Failed() {
+		t.Fatalf("replayed minimal schedule no longer fails: %+v", s)
+	}
+}

@@ -471,7 +471,10 @@ func (c *Controller) ReconcileParity() {
 	slices.SortFunc(targets, comparePhysLines)
 	for _, target := range targets {
 		m := c.dirs[target.Node].Mem()
-		if m.Lost() {
+		if m.LineLost(target.MemAddr()) {
+			// Fully lost node, or the target parity line sits inside a
+			// partially-lost range: either way the parity copy is gone
+			// and will be rebuilt from data, so the delta is moot.
 			c.st.ParityDebtsDropped++
 			c.st.Trace.Instant(trace.ParityDebtDropped, int(c.node), target.MemAddr())
 			continue
@@ -639,7 +642,7 @@ func (c *Controller) pokeWithParity(p arch.PhysLine, newData arch.Data) {
 	m.Poke(p.MemAddr(), newData)
 	par := c.topo.ParityOf(p)
 	pmem := c.dirs[par.Node].Mem()
-	if pmem.Lost() {
+	if pmem.LineLost(par.MemAddr()) {
 		return // the parity copy is gone; phase 4 will rebuild the group
 	}
 	cur := pmem.Peek(par.MemAddr())

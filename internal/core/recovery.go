@@ -112,15 +112,29 @@ type Report struct {
 	EntriesSkipped   int // invalid markers / stale rebuilt slots
 	DataPagesRebuilt int // phase 3, on demand (timing attribution)
 	BackgroundPages  int // phase 4
+
+	// Per-phase reconstruction scope under split fault domains.
+	// FramesReconstructed counts frames actually rebuilt from parity
+	// across all damaged nodes; FramesSkipped counts frames a full
+	// node-loss would have rebuilt but which survived the fault (the
+	// whole high-water set for a cpu-loss, everything outside the damaged
+	// range for a partial loss). A classic node loss rebuilds every used
+	// frame and skips none.
+	FramesReconstructed int
+	FramesSkipped       int
 }
 
 // Unavailable is the machine-down time (Phases 1-3).
 func (r Report) Unavailable() sim.Time { return r.Phase1 + r.Phase2 + r.Phase3 }
 
 func (r Report) String() string {
-	return fmt.Sprintf("recovery(lost=%d epoch=%d p1=%dns p2=%dns p3=%dns p4=%dns entries=%d pages=%d+%d)",
+	s := fmt.Sprintf("recovery(lost=%d epoch=%d p1=%dns p2=%dns p3=%dns p4=%dns entries=%d pages=%d+%d",
 		r.LostNode, r.TargetEpoch, r.Phase1, r.Phase2, r.Phase3, r.Phase4,
 		r.EntriesRestored, r.DataPagesRebuilt, r.BackgroundPages)
+	if r.FramesSkipped > 0 {
+		s += fmt.Sprintf(" rebuilt=%d skipped=%d", r.FramesReconstructed, r.FramesSkipped)
+	}
+	return s + ")"
 }
 
 // Recovery performs rollback recovery over the machine's functional state.
@@ -153,24 +167,66 @@ type Recovery struct {
 	PhaseHook func(phase int)
 }
 
-// checkPhase fires the phase hook and scans for lost memory modules. Any
-// module lost at a phase boundary is new damage: the modules this attempt
-// is recovering were restored before Phase 1, so even a re-loss of one of
-// them (failing again mid-recovery) must interrupt and restart.
-func (r *Recovery) checkPhase(phase int) error {
+// checkPhase fires the phase hook and scans for damaged memory modules.
+// At the Phase 1 boundary the attempt's own damage is still marked (nothing
+// has been restored yet — restoring before this boundary would let a
+// phase-1 interrupt silently forget unreconstructed damage), so marks that
+// do not escalate beyond the attempt set are expected and ignored. From
+// Phase 2 on, every damaged frame of the attempt has been reconstructed and
+// the marks cleared, so any mark is new damage — including a re-loss of a
+// module this attempt just rebuilt — and must interrupt and restart.
+func (r *Recovery) checkPhase(phase int, attempt map[arch.NodeID]Damage) error {
 	if r.PhaseHook != nil {
 		r.PhaseHook(phase)
 	}
 	var fresh []arch.NodeID
 	for n, m := range r.Mems {
-		if m.Lost() {
-			fresh = append(fresh, arch.NodeID(n))
+		node := arch.NodeID(n)
+		var cur Damage
+		switch {
+		case m.Lost():
+			cur = Damage{Node: node, Kind: FullLoss}
+		case m.PartialLost():
+			lo, hi := m.LostRange()
+			frameLo := arch.Frame(lo >> arch.PageShift)
+			cur = Damage{Node: node, Kind: PartialLoss, FrameLo: frameLo,
+				Frames: arch.Frame((hi+arch.PageBytes-1)>>arch.PageShift) - frameLo}
+		default:
+			continue
 		}
+		if a, ok := attempt[node]; ok && !escalates(cur, a) {
+			continue
+		}
+		fresh = append(fresh, node)
 	}
 	if len(fresh) > 0 {
 		return &InterruptedError{Phase: phase, New: fresh}
 	}
 	return nil
+}
+
+// kindRank orders damage kinds by severity (the escalation ladder).
+func kindRank(k DamageKind) int {
+	switch k {
+	case FullLoss:
+		return 2
+	case PartialLoss:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// escalates reports whether cur damages strictly more than a already
+// covers: a severer kind, or a partial range reaching outside a's.
+func escalates(cur, a Damage) bool {
+	if kindRank(cur.Kind) != kindRank(a.Kind) {
+		return kindRank(cur.Kind) > kindRank(a.Kind)
+	}
+	if cur.Kind == PartialLoss {
+		return cur.FrameLo < a.FrameLo || cur.FrameLo+cur.Frames > a.FrameLo+a.Frames
+	}
+	return false
 }
 
 // pageRebuildCost is the time for one processor to rebuild one page from
@@ -225,18 +281,85 @@ func (r *Recovery) rebuildPage(node arch.NodeID, f arch.Frame) {
 	}
 }
 
+// DamageKind classifies how much of one node a fault destroyed. The zero
+// value is FullLoss, the paper's original node-loss model.
+type DamageKind int
+
+const (
+	// FullLoss: processor, caches, directory and memory all died together
+	// (section 3.1.2's fault model).
+	FullLoss DamageKind = iota
+	// CPUOnly: the processor and caches died but the node's memory
+	// module, directory state and distributed log remain readable (the
+	// CXL-era disaggregated failure mode). Dirty-in-cache state is gone,
+	// which rollback discards anyway, so nothing needs reconstruction.
+	CPUOnly
+	// PartialLoss: a contiguous range of the node's memory frames died
+	// while its processor survives (one device of a pooled module).
+	PartialLoss
+)
+
+// String returns the chaos-schedule kind label for the damage.
+func (k DamageKind) String() string {
+	switch k {
+	case FullLoss:
+		return "node-loss"
+	case CPUOnly:
+		return "cpu-loss"
+	case PartialLoss:
+		return "mem-partial-loss"
+	default:
+		return fmt.Sprintf("DamageKind(%d)", int(k))
+	}
+}
+
+// Damage describes one node's damage going into a recovery.
+type Damage struct {
+	Node arch.NodeID
+	Kind DamageKind
+	// FrameLo and Frames delimit the lost frame range
+	// [FrameLo, FrameLo+Frames) for PartialLoss; ignored otherwise.
+	FrameLo arch.Frame
+	Frames  arch.Frame
+}
+
+// MemLost reports whether the damage destroyed any memory content.
+func (d Damage) MemLost() bool { return d.Kind != CPUOnly }
+
+// FullLossDamage wraps a lost-node set as full-loss damage descriptors
+// (the classic fault model's shape).
+func FullLossDamage(lost []arch.NodeID) []Damage {
+	d := make([]Damage, len(lost))
+	for i, n := range lost {
+		d[i] = Damage{Node: n, Kind: FullLoss}
+	}
+	return d
+}
+
 // Recoverable reports whether the given set of lost nodes is within
 // ReVive's fault model: at most one lost node per parity group
 // (section 3.1.2 — "two malfunctioning memory modules on different nodes
 // may damage a parity group beyond ReVive's ability to repair").
 func (r *Recovery) Recoverable(lost []arch.NodeID) error {
+	return r.RecoverableDamage(FullLossDamage(lost))
+}
+
+// RecoverableDamage generalizes Recoverable to split fault domains: at
+// most one node with *memory* damage per parity group. A partial loss
+// punches the same hole in its stripes as a full loss, so it counts; a
+// CPU-only loss destroys no memory, so any number of them coexist with
+// one memory loss per group.
+func (r *Recovery) RecoverableDamage(damage []Damage) error {
 	perGroup := map[int]arch.NodeID{}
-	for _, n := range lost {
-		g := r.Topo.Group(n)
-		if prev, dup := perGroup[g]; dup {
-			return &UnrecoverableError{Group: g, Lost: []arch.NodeID{prev, n}}
+	for _, d := range damage {
+		if !d.MemLost() {
+			continue
 		}
-		perGroup[g] = n
+		g := r.Topo.Group(d.Node)
+		if prev, dup := perGroup[g]; dup {
+			return &UnrecoverableError{Group: g, Lost: []arch.NodeID{prev, d.Node}}
+		}
+		perGroup[g] = d.Node
 	}
 	return nil
 }
@@ -256,60 +379,128 @@ func (r *Recovery) NodeLoss(lost arch.NodeID, targetEpoch uint64) (Report, error
 // beyond it returns an error wrapping ErrUnrecoverable. An InterruptedError
 // means new modules were lost mid-recovery and the caller should restart.
 func (r *Recovery) MultiNodeLoss(lost []arch.NodeID, targetEpoch uint64) (Report, error) {
-	if err := r.Recoverable(lost); err != nil {
+	return r.Recover(FullLossDamage(lost), targetEpoch)
+}
+
+// Recover generalizes MultiNodeLoss across split fault domains: each
+// damaged node contributes only the frames it actually lost. A full loss
+// reconstructs every frame up to the allocation high-water; a partial loss
+// only the damaged range; a CPU-only loss nothing at all — its memory and
+// distributed log survived, so Phase 2 is skipped and Phase 3 rolls back
+// from the surviving log directly. For an all-FullLoss damage set the
+// timing and work accounting are identical to the classic algorithm.
+func (r *Recovery) Recover(damage []Damage, targetEpoch uint64) (Report, error) {
+	if err := r.RecoverableDamage(damage); err != nil {
 		return Report{}, err
 	}
 	rep := Report{LostNode: -1, TargetEpoch: targetEpoch, Phase1: r.Cfg.HWRecovery}
-	if len(lost) == 1 {
-		rep.LostNode = lost[0]
+	if len(damage) == 1 {
+		rep.LostNode = damage[0].Node
 	}
-	lostSet := map[arch.NodeID]bool{}
-	for _, n := range lost {
-		if !r.Mems[n].Lost() {
-			return Report{}, fmt.Errorf("core: node-loss recovery for node %d whose memory is not marked lost", n)
+	for _, d := range damage {
+		m := r.Mems[d.Node]
+		switch d.Kind {
+		case FullLoss:
+			if !m.Lost() {
+				return Report{}, fmt.Errorf("core: node-loss recovery for node %d whose memory is not marked lost", d.Node)
+			}
+		case PartialLoss:
+			if !m.PartialLost() {
+				return Report{}, fmt.Errorf("core: partial-loss recovery for node %d whose memory has no lost range", d.Node)
+			}
+		case CPUOnly:
+			if m.Lost() || m.PartialLost() {
+				return Report{}, fmt.Errorf("core: cpu-loss recovery for node %d whose memory is damaged (escalate to node loss)", d.Node)
+			}
 		}
 	}
-	for _, n := range lost {
-		lostSet[n] = true
-		r.Mems[n].Restore()
+	// The phase-1 boundary runs with the damage still marked: an interrupt
+	// here restarts with the marks intact, so the enlarged damage set still
+	// names every unreconstructed frame.
+	attempt := map[arch.NodeID]Damage{}
+	for _, d := range damage {
+		attempt[d.Node] = d
 	}
-	if err := r.checkPhase(1); err != nil {
+	if err := r.checkPhase(1, attempt); err != nil {
 		return rep, err
 	}
-
-	// Reconstruct every frame of each lost node from parity before any
-	// restoration mutates survivor data (see the ordering discipline in
-	// the type comment). Groups are disjoint, so each stripe has at most
-	// one missing member and reconstructions are independent. Timing is
-	// attributed per the paper's phases: log frames to Phase 2; frames
-	// the rollback touches to Phase 3 (on-demand); the rest to Phase 4
-	// (background).
-	max := r.maxFrames()
-	logFrames := map[arch.NodeID]map[arch.Frame]bool{}
-	for _, n := range lost {
-		lf := map[arch.Frame]bool{}
-		for _, f := range r.Ctrls[n].Log().Frames() {
-			lf[f] = true
+	// Replaced hardware comes back zeroed; content is rebuilt below.
+	for _, d := range damage {
+		switch d.Kind {
+		case FullLoss:
+			r.Mems[d.Node].Restore()
+		case PartialLoss:
+			r.Mems[d.Node].RestoreRange()
 		}
-		logFrames[n] = lf
-		for f := arch.Frame(0); f < max; f++ {
-			r.rebuildPage(n, f)
+	}
+
+	// Reconstruct the lost frames of each memory-damaged node from parity
+	// before any restoration mutates survivor data (see the ordering
+	// discipline in the type comment). Groups are disjoint, so each
+	// stripe has at most one missing member and reconstructions are
+	// independent. Timing is attributed per the paper's phases: rebuilt
+	// log frames to Phase 2; frames the rollback touches to Phase 3
+	// (on-demand); the rest to Phase 4 (background).
+	max := r.maxFrames()
+	rebuilt := map[arch.NodeID][2]arch.Frame{} // per-node rebuild range [lo, hi)
+	logFrames := map[arch.NodeID]map[arch.Frame]bool{}
+	lostSet := map[arch.NodeID]bool{}
+	procDown := map[arch.NodeID]bool{}
+	procsDown := 0
+	for _, d := range damage {
+		if d.Kind != PartialLoss {
+			// Full and CPU-only losses take the processor down; a
+			// partial loss leaves it running.
+			procDown[d.Node] = true
+			procsDown++
+		}
+		if !d.MemLost() {
+			rep.FramesSkipped += int(max)
+			continue
+		}
+		lo, hi := arch.Frame(0), max
+		if d.Kind == PartialLoss {
+			lo = d.FrameLo
+			hi = min(d.FrameLo+d.Frames, max)
+			lo = min(lo, hi)
+		}
+		lostSet[d.Node] = true
+		rebuilt[d.Node] = [2]arch.Frame{lo, hi}
+		lf := map[arch.Frame]bool{}
+		for _, f := range r.Ctrls[d.Node].Log().Frames() {
+			if f >= lo && f < hi {
+				lf[f] = true
+			}
+		}
+		logFrames[d.Node] = lf
+		for f := lo; f < hi; f++ {
+			r.rebuildPage(d.Node, f)
 		}
 		rep.LogPagesRebuilt += len(lf)
+		rep.FramesReconstructed += int(hi - lo)
+		rep.FramesSkipped += int(max - (hi - lo))
 	}
-	survivors := r.Topo.Nodes - len(lost)
+	survivors := r.Topo.Nodes - procsDown
 	rep.Phase2 = r.pageRebuildCost() * sim.Time(ceilDiv(rep.LogPagesRebuilt, survivors))
-	if err := r.checkPhase(2); err != nil {
+	if err := r.checkPhase(2, nil); err != nil {
 		return rep, err
 	}
 
-	// Phase 3: every node's log rolls back its own memory; lost nodes'
-	// (rebuilt) logs are processed by the survivors. A page of a lost
-	// node counts as an on-demand rebuild the first time the rollback
-	// restores into it.
+	// Phase 3: every node's log rolls back its own memory; the logs of
+	// nodes whose processor died — rebuilt for full losses, surviving for
+	// CPU-only ones — are processed by the survivors. A rebuilt page of a
+	// memory-damaged node counts as an on-demand rebuild the first time
+	// the rollback restores into it; frames outside a partial loss's
+	// damaged range survived and are pre-marked so they never charge one.
 	demand := map[arch.NodeID]map[arch.Frame]bool{}
-	for _, n := range lost {
-		demand[n] = map[arch.Frame]bool{}
+	for n, rng := range rebuilt {
+		dm := map[arch.Frame]bool{}
+		for f := arch.Frame(0); f < max; f++ {
+			if f < rng[0] || f >= rng[1] {
+				dm[f] = true
+			}
+		}
+		demand[n] = dm
 	}
 	perNode := make([]sim.Time, r.Topo.Nodes)
 	for n := 0; n < r.Topo.Nodes; n++ {
@@ -321,7 +512,7 @@ func (r *Recovery) MultiNodeLoss(lost []arch.NodeID, targetEpoch uint64) (Report
 	var maxT sim.Time
 	for n := 0; n < r.Topo.Nodes; n++ {
 		t := perNode[n]
-		if lostSet[arch.NodeID(n)] {
+		if procDown[arch.NodeID(n)] {
 			t /= sim.Time(survivors)
 		}
 		if t > maxT {
@@ -329,21 +520,26 @@ func (r *Recovery) MultiNodeLoss(lost []arch.NodeID, targetEpoch uint64) (Report
 		}
 	}
 	rep.Phase3 = maxT
-	if err := r.checkPhase(3); err != nil {
+	if err := r.checkPhase(3, nil); err != nil {
 		return rep, err
 	}
 
-	// Phase 4: the remaining frames (rebuilt above; timing only).
-	for _, n := range lost {
-		for f := arch.Frame(0); f < max; f++ {
-			if !logFrames[n][f] && !demand[n][f] {
+	// Phase 4: the remaining rebuilt frames (reconstructed above; timing
+	// only). Only the affected stripes of a partial loss contribute.
+	for _, d := range damage {
+		rng, ok := rebuilt[d.Node]
+		if !ok {
+			continue
+		}
+		for f := rng[0]; f < rng[1]; f++ {
+			if !logFrames[d.Node][f] && !demand[d.Node][f] {
 				rep.BackgroundPages++
 			}
 		}
 	}
 	rep.Phase4 = sim.Time(float64(r.pageRebuildCost()) *
 		float64(ceilDiv(rep.BackgroundPages, survivors)) / r.Cfg.BackgroundShare)
-	if err := r.checkPhase(4); err != nil {
+	if err := r.checkPhase(4, nil); err != nil {
 		return rep, err
 	}
 	return rep, nil
@@ -355,7 +551,7 @@ func (r *Recovery) MultiNodeLoss(lost []arch.NodeID, targetEpoch uint64) (Report
 // vanish in this case).
 func (r *Recovery) Rollback(targetEpoch uint64) (Report, error) {
 	rep := Report{LostNode: -1, TargetEpoch: targetEpoch, Phase1: r.Cfg.HWRecovery}
-	if err := r.checkPhase(1); err != nil {
+	if err := r.checkPhase(1, nil); err != nil {
 		return rep, err
 	}
 	var maxT sim.Time
@@ -369,7 +565,7 @@ func (r *Recovery) Rollback(targetEpoch uint64) (Report, error) {
 		}
 	}
 	rep.Phase3 = maxT
-	if err := r.checkPhase(3); err != nil {
+	if err := r.checkPhase(3, nil); err != nil {
 		return rep, err
 	}
 	return rep, nil

@@ -56,6 +56,27 @@ func (m *Machine) ScheduleNodeLoss(at, detectLatency sim.Time, node arch.NodeID,
 	m.scheduleError(at, detectLatency, node, done)
 }
 
+// ScheduleCPULoss arms the death of one node's processor and caches at time
+// `at`, detected after detectLatency. The node's memory module, directory
+// and log survive (the split fault domain), so recovery skips Phase 2 and
+// rolls back from the surviving log.
+func (m *Machine) ScheduleCPULoss(at, detectLatency sim.Time, node arch.NodeID,
+	done func(DetectionReport)) {
+	m.scheduleFault(at, detectLatency, node, -1,
+		func() { m.InjectCPULoss(node) }, done)
+}
+
+// ScheduleMemPartialLoss arms the loss of the frame range
+// [loFrame, loFrame+frames) of one node's memory at time `at`, detected
+// after detectLatency. The node's processor survives; recovery reconstructs
+// only the damaged range. The same detection-time approximation as
+// ScheduleNodeLoss applies.
+func (m *Machine) ScheduleMemPartialLoss(at, detectLatency sim.Time, node arch.NodeID,
+	loFrame, frames arch.Frame, done func(DetectionReport)) {
+	m.scheduleFault(at, detectLatency, node, -1,
+		func() { m.InjectMemPartialLoss(node, loFrame, frames) }, done)
+}
+
 // ResolveUnreachable decides which endpoint of a failed transport path is
 // actually at fault. When a sender exhausts its retransmit budget it only
 // knows the *path* src->dst is dead — if src's own router died, src sees
@@ -87,8 +108,22 @@ func (m *Machine) ResolveUnreachable(src, dst arch.NodeID) arch.NodeID {
 
 func (m *Machine) scheduleError(at, detectLatency sim.Time, node arch.NodeID,
 	done func(DetectionReport)) {
+	inject := func() { m.InjectTransient() }
+	if node >= 0 {
+		inject = func() { m.InjectNodeLoss(node) }
+	}
+	m.scheduleFault(at, detectLatency, node, node, inject, done)
+}
+
+// scheduleFault is the shared error-detection-recovery cycle: at time `at`
+// the rollback target pins to the newest committed checkpoint, detectLatency
+// later inject fires, and the machine recovers and resumes. lost labels the
+// report; recoverArg is the cross-check node passed to Recover (-1 for
+// damage that does not fully destroy a memory module).
+func (m *Machine) scheduleFault(at, detectLatency sim.Time, lost, recoverArg arch.NodeID,
+	inject func(), done func(DetectionReport)) {
 	m.Engine.At(at, func() {
-		rep := DetectionReport{ErrorAt: m.Engine.Now(), Lost: node}
+		rep := DetectionReport{ErrorAt: m.Engine.Now(), Lost: lost}
 		// The newest checkpoint committed strictly before the error is
 		// the safe target.
 		rep.Target = m.Ckpt.Epoch()
@@ -97,15 +132,11 @@ func (m *Machine) scheduleError(at, detectLatency sim.Time, node arch.NodeID,
 			if snap, ok := m.SnapshotAt(rep.Target); ok {
 				rep.LostWork = rep.DetectedAt - snap.Time
 			}
-			if node >= 0 {
-				m.InjectNodeLoss(node)
-			} else {
-				m.InjectTransient()
-			}
+			inject()
 			// Recover surfaces an aged-out target as a *RetentionError
 			// before mutating anything.
 			var err error
-			rep.Recovery, err = m.Recover(node, rep.Target)
+			rep.Recovery, err = m.Recover(recoverArg, rep.Target)
 			if err == nil {
 				err = m.Resume(rep.Recovery)
 			}

@@ -52,6 +52,42 @@ func (m *Machine) InjectTransient() {
 	m.freeze()
 }
 
+// InjectCPULoss kills one node's processor and caches at the current
+// instant and freezes the machine. Dirty-in-cache state is gone — which
+// rollback discards anyway — but the node's memory module, directory state
+// and distributed log remain readable (the CXL-era split fault domain):
+// recovery skips Phase 2 reconstruction entirely and rolls back from the
+// surviving log.
+func (m *Machine) InjectCPULoss(node arch.NodeID) {
+	m.MarkCPULost(node)
+	m.freeze()
+}
+
+// MarkCPULost records a CPU-side loss without freezing (fault campaigns
+// freeze separately at the fire instant).
+func (m *Machine) MarkCPULost(node arch.NodeID) {
+	m.Stats.Trace.Instant(trace.CPULost, int(node), 0)
+	m.cpuLost[node] = true
+}
+
+// InjectMemPartialLoss destroys the contiguous frame range
+// [loFrame, loFrame+frames) of one node's memory at the current instant
+// and freezes the machine. The node's processor and the rest of its memory
+// survive (one device of a pooled module died): recovery reconstructs only
+// the damaged range.
+func (m *Machine) InjectMemPartialLoss(node arch.NodeID, loFrame, frames arch.Frame) {
+	m.MarkMemPartialLost(node, loFrame, frames)
+	m.freeze()
+}
+
+// MarkMemPartialLost records the partial memory loss without freezing.
+func (m *Machine) MarkMemPartialLost(node arch.NodeID, loFrame, frames arch.Frame) {
+	m.Stats.Trace.Instant(trace.MemPartialLost, int(node),
+		uint64(loFrame)<<32|uint64(frames))
+	m.Mems[node].MarkLostRange(uint64(loFrame)<<arch.PageShift,
+		uint64(loFrame+frames)<<arch.PageShift)
+}
+
 // Freeze abandons all in-flight work (fail-stop). Controllers halt so that
 // an update sequence interrupted mid-event abandons its remaining steps.
 // Fault injectors call it at the instant of the error; mark any lost
@@ -72,12 +108,53 @@ func (m *Machine) Freeze() {
 // freeze is the internal alias kept for the package's own call sites.
 func (m *Machine) freeze() { m.Freeze() }
 
-// LostNodes returns the nodes whose memory is currently marked lost.
+// LostNodes returns the nodes whose memory is currently marked fully lost,
+// in ascending NodeID order (the iteration follows the Mems slice, so the
+// order is deterministic regardless of which fault kinds accumulated in
+// what sequence — recovery work and reports depend on it).
 func (m *Machine) LostNodes() []arch.NodeID {
 	var out []arch.NodeID
 	for n, mm := range m.Mems {
 		if mm.Lost() {
 			out = append(out, arch.NodeID(n))
+		}
+	}
+	return out
+}
+
+// DamageSet returns the machine's current split-domain damage, sorted by
+// NodeID: full memory losses, partial ranges, and CPU-only losses. A node
+// with both a dead CPU and destroyed memory reports the memory damage —
+// full loss subsumes CPU loss (the escalation ladder's endpoint).
+func (m *Machine) DamageSet() []core.Damage {
+	var out []core.Damage
+	for n := range m.Mems {
+		node := arch.NodeID(n)
+		mm := m.Mems[n]
+		switch {
+		case mm.Lost():
+			out = append(out, core.Damage{Node: node, Kind: core.FullLoss})
+		case mm.PartialLost():
+			lo, hi := mm.LostRange()
+			frameLo := arch.Frame(lo >> arch.PageShift)
+			frameHi := arch.Frame((hi + arch.PageBytes - 1) >> arch.PageShift)
+			out = append(out, core.Damage{Node: node, Kind: core.PartialLoss,
+				FrameLo: frameLo, Frames: frameHi - frameLo})
+		case m.cpuLost[node]:
+			out = append(out, core.Damage{Node: node, Kind: core.CPUOnly})
+		}
+	}
+	return out
+}
+
+// CPULostNodes returns the nodes whose processor is marked dead while
+// their memory survives, in ascending order.
+func (m *Machine) CPULostNodes() []arch.NodeID {
+	var out []arch.NodeID
+	for n := range m.Mems {
+		node := arch.NodeID(n)
+		if m.cpuLost[node] && !m.Mems[n].Lost() {
+			out = append(out, node)
 		}
 	}
 	return out
@@ -105,7 +182,7 @@ func (m *Machine) Recoverable(targetEpoch uint64) error {
 		return ErrNoRevive
 	}
 	rec := &core.Recovery{Topo: m.Topo}
-	if err := rec.Recoverable(m.LostNodes()); err != nil {
+	if err := rec.RecoverableDamage(m.DamageSet()); err != nil {
 		return err
 	}
 	return m.retained(targetEpoch)
@@ -122,14 +199,35 @@ func (m *Machine) retained(targetEpoch uint64) error {
 		return &RetentionError{Target: targetEpoch, Newest: newest, Retain: m.retain()}
 	}
 	for _, ctrl := range m.Ctrls {
-		if m.Mems[ctrl.Node()].Lost() || !m.Topo.HasDataFrames(ctrl.Node()) {
-			continue // a lost node's log is rebuilt from parity during Phase 2
+		if m.Mems[ctrl.Node()].Lost() || !m.Topo.HasDataFrames(ctrl.Node()) ||
+			m.logDamaged(ctrl) {
+			continue // an unreadable log is rebuilt from parity during Phase 2
 		}
+		// A CPU-lost node's log *survives*, so its marker counts toward
+		// retention like any survivor's — cpu loss is not in the lost set.
 		if !ctrl.Log().HasMarker(targetEpoch) {
 			return &RetentionError{Target: targetEpoch, Newest: newest, Retain: m.retain()}
 		}
 	}
 	return nil
+}
+
+// logDamaged reports whether any retained log frame of the controller
+// intersects its memory's partially-lost range: the markers there cannot
+// be read, and Phase 2 rebuilds those frames from parity.
+func (m *Machine) logDamaged(ctrl *core.Controller) bool {
+	mm := m.Mems[ctrl.Node()]
+	if !mm.PartialLost() {
+		return false
+	}
+	lo, hi := mm.LostRange()
+	for _, f := range ctrl.Log().Frames() {
+		flo := uint64(f) << arch.PageShift
+		if flo < hi && flo+arch.PageBytes > lo {
+			return true
+		}
+	}
+	return false
 }
 
 // Recover runs rollback recovery to the given committed checkpoint epoch:
@@ -155,13 +253,18 @@ func (m *Machine) Recover(lost arch.NodeID, targetEpoch uint64) (core.Report, er
 	if lost >= 0 && !m.Mems[lost].Lost() {
 		return core.Report{}, fmt.Errorf("machine: Recover(%d) but that node's memory is not marked lost", lost)
 	}
-	// known accumulates every node seen lost across restart attempts: a
-	// module that failed mid-recovery was restored by the aborted attempt,
-	// but it still counts against its parity group's single-loss budget.
-	known := map[arch.NodeID]bool{}
+	// known accumulates the worst damage each node suffered across restart
+	// attempts: a module that failed mid-recovery was restored by the
+	// aborted attempt, but it still counts against its parity group's
+	// single-loss budget. The degradation ladder lives here too — a
+	// CPU-only loss whose surviving memory then fails upgrades to a full
+	// loss and the restart recovers it as one.
+	known := map[arch.NodeID]core.Damage{}
 	for {
-		for _, n := range m.LostNodes() {
-			known[n] = true
+		for _, d := range m.DamageSet() {
+			if prev, ok := known[d.Node]; !ok || damageRank(d.Kind) >= damageRank(prev.Kind) {
+				known[d.Node] = d
+			}
 		}
 		if err := m.recoverableSet(known, targetEpoch); err != nil {
 			return core.Report{}, err
@@ -181,8 +284,20 @@ func (m *Machine) Recover(lost arch.NodeID, targetEpoch uint64) (core.Report, er
 	}
 }
 
-// sortedNodes flattens a lost-node set into a sorted int slice.
-func sortedNodes(set map[arch.NodeID]bool) []int {
+// damageRank orders damage kinds by severity for the escalation ladder.
+func damageRank(k core.DamageKind) int {
+	switch k {
+	case core.FullLoss:
+		return 2
+	case core.PartialLoss:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// sortedNodes flattens a damage set into a sorted int slice of its nodes.
+func sortedNodes(set map[arch.NodeID]core.Damage) []int {
 	out := make([]int, 0, len(set))
 	for n := range set {
 		out = append(out, int(n))
@@ -191,16 +306,20 @@ func sortedNodes(set map[arch.NodeID]bool) []int {
 	return out
 }
 
-// recoverableSet validates the fault model over the cumulative ever-lost
-// set plus retention of the target.
-func (m *Machine) recoverableSet(known map[arch.NodeID]bool, targetEpoch uint64) error {
+// recoverableSet validates the fault model over the cumulative worst-case
+// damage plus retention of the target.
+func (m *Machine) recoverableSet(known map[arch.NodeID]core.Damage, targetEpoch uint64) error {
 	nodes := make([]arch.NodeID, 0, len(known))
 	for n := range known {
 		nodes = append(nodes, n)
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	damage := make([]core.Damage, 0, len(nodes))
+	for _, n := range nodes {
+		damage = append(damage, known[n])
+	}
 	rec := &core.Recovery{Topo: m.Topo}
-	if err := rec.Recoverable(nodes); err != nil {
+	if err := rec.RecoverableDamage(damage); err != nil {
 		return err
 	}
 	return m.retained(targetEpoch)
@@ -218,9 +337,12 @@ func (m *Machine) recoverOnce(targetEpoch uint64) (core.Report, error) {
 	for _, d := range m.Dirs {
 		d.Reset()
 	}
+	damage := m.DamageSet()
 	lostSet := map[arch.NodeID]bool{}
-	for _, n := range m.LostNodes() {
-		lostSet[n] = true
+	for _, d := range damage {
+		if d.Kind == core.FullLoss {
+			lostSet[d.Node] = true
+		}
 	}
 	for _, ctrl := range m.Ctrls {
 		ctrl.Unhalt()
@@ -228,6 +350,10 @@ func (m *Machine) recoverOnce(targetEpoch uint64) (core.Report, error) {
 			ctrl.DropPending() // a lost controller's buffers died with it
 			continue
 		}
+		// Survivors reconcile — including a CPU-lost node's controller
+		// (the directory and its ledger survive the processor's death)
+		// and a partially-lost node's (deltas targeting the lost range
+		// are dropped; Phase 4 rebuilds that parity from data).
 		ctrl.ReconcileParity()
 	}
 	rec := &core.Recovery{
@@ -235,8 +361,8 @@ func (m *Machine) recoverOnce(targetEpoch uint64) (core.Report, error) {
 		Cfg:       core.DefaultRecoveryConfig(1),
 		PhaseHook: m.OnRecoveryPhase,
 	}
-	if lostNodes := m.LostNodes(); len(lostNodes) > 0 {
-		return rec.MultiNodeLoss(lostNodes, targetEpoch)
+	if len(damage) > 0 {
+		return rec.Recover(damage, targetEpoch)
 	}
 	return rec.Rollback(targetEpoch)
 }
@@ -256,13 +382,20 @@ func (m *Machine) finishRecovery(rep core.Report, targetEpoch uint64, lost []int
 	for _, d := range m.devices {
 		d.Rollback(targetEpoch)
 	}
+	// The dead processors were replaced; Resume restores their contexts.
+	for n := range m.cpuLost {
+		delete(m.cpuLost, n)
+	}
 	m.Stats.RecoveryPhase1 = rep.Phase1
 	m.Stats.RecoveryPhase2 = rep.Phase2
 	m.Stats.RecoveryPhase3 = rep.Phase3
 	m.Stats.RecoveryPhase4 = rep.Phase4
+	m.Stats.FramesReconstructed += uint64(rep.FramesReconstructed)
+	m.Stats.FramesSkipped += uint64(rep.FramesSkipped)
 	m.Stats.RecoveryHistory = append(m.Stats.RecoveryHistory, stats.RecoveryRecord{
 		At: m.Engine.Now(), TargetEpoch: targetEpoch, Lost: lost,
 		Phase1: rep.Phase1, Phase2: rep.Phase2, Phase3: rep.Phase3, Phase4: rep.Phase4,
+		FramesRebuilt: rep.FramesReconstructed, FramesSkipped: rep.FramesSkipped,
 	})
 	// Phase times are analytic (the clock does not advance during
 	// recovery), so the trace gets synthetic complete spans laid out from

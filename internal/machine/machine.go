@@ -119,6 +119,7 @@ type Machine struct {
 	finished  int
 	snapshots map[uint64]*Snapshot
 	devices   []*iodev.Device
+	cpuLost   map[arch.NodeID]bool // nodes whose processor+caches died (memory survives)
 
 	// OnCheckpoint, if set, runs after each checkpoint commits (after
 	// the machine's own snapshot bookkeeping).
@@ -166,6 +167,7 @@ func New(cfg Config) *Machine {
 		Cfg: cfg, Engine: engine, Stats: st, Tracker: tracker,
 		Topo: topo, AMap: amap, Net: net, Xport: xport,
 		snapshots: make(map[uint64]*Snapshot),
+		cpuLost:   make(map[arch.NodeID]bool),
 	}
 	xport.OnUnreachable = func(src, dst arch.NodeID) {
 		if m.OnUnreachable != nil {

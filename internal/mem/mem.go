@@ -53,6 +53,11 @@ type Memory struct {
 	data   map[uint64]arch.Data // keyed by line-aligned local address
 	lost   bool
 
+	// Partial device loss: local byte addresses in [lostLo, lostHi) are
+	// destroyed while the rest of the module survives (a CXL-era failure
+	// mode: one device of a pooled module dies). Active when lostHi > lostLo.
+	lostLo, lostHi uint64
+
 	// opFree is the free list of pooled read/rmw completions and scratch
 	// the RMW working line; both avoid a heap allocation per access on the
 	// hot path (the engine is single-threaded, so a plain slice suffices).
@@ -127,11 +132,21 @@ func (m *Memory) access(addr uint64) sim.Time {
 	return portStart + m.cfg.PortOccupancy
 }
 
+// lineLost reports whether the line holding addr is destroyed — either the
+// whole module is lost or the line falls inside a partially-lost range.
+func (m *Memory) lineLost(addr uint64) bool {
+	if m.lost {
+		return true
+	}
+	line := addr &^ uint64(arch.LineBytes-1)
+	return line >= m.lostLo && line < m.lostHi
+}
+
 // Read performs a timed read of the line at addr, delivering its content to
 // done at completion. Reading lost memory panics: components must check
-// Lost() and take the recovery path instead.
+// Lost()/LineLost() and take the recovery path instead.
 func (m *Memory) Read(addr uint64, done func(arch.Data)) {
-	if m.lost {
+	if m.lineLost(addr) {
 		panic("mem: read of lost memory")
 	}
 	op := m.getOp(m.peek(addr), done)
@@ -140,7 +155,7 @@ func (m *Memory) Read(addr uint64, done func(arch.Data)) {
 
 // Write performs a timed write of the line at addr. done may be nil.
 func (m *Memory) Write(addr uint64, d arch.Data, done func()) {
-	if m.lost {
+	if m.lineLost(addr) {
 		panic("mem: write to lost memory")
 	}
 	m.poke(addr, d)
@@ -154,7 +169,7 @@ func (m *Memory) Write(addr uint64, d arch.Data, done func()) {
 // calls done with the old content. It books two bank accesses (the parity
 // update's read-XOR-write in Figure 4). done may be nil.
 func (m *Memory) ReadModifyWrite(addr uint64, f func(*arch.Data), done func(old arch.Data)) {
-	if m.lost {
+	if m.lineLost(addr) {
 		panic("mem: rmw of lost memory")
 	}
 	old := m.peek(addr)
@@ -185,7 +200,7 @@ func (m *Memory) poke(addr uint64, d arch.Data) {
 // Peek returns the line content with no timing effect (verification and
 // recovery reconstruction use it). Peeking lost memory panics.
 func (m *Memory) Peek(addr uint64) arch.Data {
-	if m.lost {
+	if m.lineLost(addr) {
 		panic("mem: peek of lost memory")
 	}
 	return m.peek(addr)
@@ -193,27 +208,69 @@ func (m *Memory) Peek(addr uint64) arch.Data {
 
 // Poke sets the line content with no timing effect.
 func (m *Memory) Poke(addr uint64, d arch.Data) {
-	if m.lost {
+	if m.lineLost(addr) {
 		panic("mem: poke of lost memory")
 	}
 	m.poke(addr, d)
 }
 
 // MarkLost destroys the memory's contents, modeling permanent node loss.
+// It subsumes any partially-lost range (the escalation ladder: a partial
+// loss whose module then dies entirely is just a full loss).
 func (m *Memory) MarkLost() {
 	m.lost = true
 	m.data = nil
+	m.lostLo, m.lostHi = 0, 0
+}
+
+// MarkLostRange destroys the lines in the local byte-address range [lo, hi),
+// modeling partial device loss: one device of the module dies while the
+// rest stays readable. A second overlapping or disjoint range widens the
+// damage to the convex hull (the range stays contiguous, per the fault
+// model). Marking a range on a fully-lost memory is a no-op.
+func (m *Memory) MarkLostRange(lo, hi uint64) {
+	if m.lost || hi <= lo {
+		return
+	}
+	if m.lostHi > m.lostLo { // widen an existing range
+		lo = min(lo, m.lostLo)
+		hi = max(hi, m.lostHi)
+	}
+	m.lostLo, m.lostHi = lo, hi
+	for line := range m.data {
+		if line >= lo && line < hi {
+			delete(m.data, line)
+		}
+	}
 }
 
 // Restore brings a lost memory back as an empty module (a replacement or
 // re-initialized module whose content must be rebuilt from parity).
 func (m *Memory) Restore() {
 	m.lost = false
+	m.lostLo, m.lostHi = 0, 0
 	m.data = make(map[uint64]arch.Data)
 }
 
-// Lost reports whether the memory's content has been destroyed.
+// RestoreRange replaces the partially-lost device: the range becomes
+// readable again (as zeroes) and its content must be rebuilt from parity.
+func (m *Memory) RestoreRange() {
+	m.lostLo, m.lostHi = 0, 0
+}
+
+// Lost reports whether the memory's content has been destroyed entirely.
 func (m *Memory) Lost() bool { return m.lost }
+
+// PartialLost reports whether a partially-lost range is active.
+func (m *Memory) PartialLost() bool { return m.lostHi > m.lostLo }
+
+// LostRange returns the partially-lost local byte-address range [lo, hi);
+// lo == hi when no partial loss is active.
+func (m *Memory) LostRange() (lo, hi uint64) { return m.lostLo, m.lostHi }
+
+// LineLost reports whether the line holding addr is unreadable (full or
+// partial loss). Recovery and verification use it to scope reconstruction.
+func (m *Memory) LineLost(addr uint64) bool { return m.lineLost(addr) }
 
 // Snapshot returns a copy of the entire functional content. Tests use it to
 // verify that recovery restores the exact checkpoint state.

@@ -264,3 +264,81 @@ func TestAccessZeroAlloc(t *testing.T) {
 		t.Fatalf("steady-state ReadModifyWrite allocates %.1f per op, want 0", allocs)
 	}
 }
+
+func TestMarkLostRangeDestroysOnlyTheRange(t *testing.T) {
+	_, m := newTestMem()
+	m.Poke(0x000, lineData(1)) // below the range: survives
+	m.Poke(0x100, lineData(2)) // inside: destroyed
+	m.Poke(0x300, lineData(3)) // above: survives
+	m.MarkLostRange(0x100, 0x200)
+	if m.Lost() {
+		t.Fatal("partial loss reported the whole module lost")
+	}
+	if !m.PartialLost() {
+		t.Fatal("PartialLost() false after MarkLostRange")
+	}
+	if lo, hi := m.LostRange(); lo != 0x100 || hi != 0x200 {
+		t.Fatalf("LostRange = [%#x, %#x), want [0x100, 0x200)", lo, hi)
+	}
+	if m.LineLost(0x000) || m.LineLost(0x300) {
+		t.Fatal("surviving lines flagged lost")
+	}
+	if !m.LineLost(0x100) || !m.LineLost(0x1c0) {
+		t.Fatal("lines inside the range not flagged lost")
+	}
+	if got := m.Peek(0x000); got != lineData(1) {
+		t.Fatal("surviving line below the range lost its content")
+	}
+	if got := m.Peek(0x300); got != lineData(3) {
+		t.Fatal("surviving line above the range lost its content")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Peek inside the lost range did not panic")
+		}
+	}()
+	m.Peek(0x100)
+}
+
+func TestMarkLostRangeWidensToConvexHull(t *testing.T) {
+	_, m := newTestMem()
+	m.Poke(0x240, lineData(7)) // between the two marked ranges
+	m.MarkLostRange(0x100, 0x200)
+	m.MarkLostRange(0x300, 0x400)
+	lo, hi := m.LostRange()
+	if lo != 0x100 || hi != 0x400 {
+		t.Fatalf("two disjoint ranges gave [%#x, %#x), want the hull [0x100, 0x400)", lo, hi)
+	}
+	// The hull swallowed the line between the ranges: it is lost too.
+	if !m.LineLost(0x240) {
+		t.Fatal("line between the widened ranges not flagged lost")
+	}
+}
+
+func TestRestoreRangeClearsPartialLoss(t *testing.T) {
+	_, m := newTestMem()
+	m.Poke(0x100, lineData(5))
+	m.MarkLostRange(0x100, 0x200)
+	m.RestoreRange()
+	if m.PartialLost() || m.LineLost(0x100) {
+		t.Fatal("still partially lost after RestoreRange")
+	}
+	if got := m.Peek(0x100); !got.IsZero() {
+		t.Fatal("RestoreRange kept destroyed content; it must read as zeroes until rebuilt")
+	}
+}
+
+func TestMarkLostSubsumesPartialRange(t *testing.T) {
+	_, m := newTestMem()
+	m.MarkLostRange(0x100, 0x200)
+	m.MarkLost()
+	if !m.Lost() || m.PartialLost() {
+		t.Fatal("full loss did not subsume the partial range")
+	}
+	// And the other direction: a range marked on a fully-lost module is a
+	// no-op, not a downgrade.
+	m.MarkLostRange(0x300, 0x400)
+	if m.PartialLost() {
+		t.Fatal("partial mark downgraded a full loss")
+	}
+}

@@ -119,6 +119,15 @@ type Stats struct {
 	// them. Omitted from JSON when zero (every healthy run).
 	ParityDebtsDropped uint64 `json:",omitempty"`
 
+	// Split-fault-domain recovery scope, cumulative across the run's
+	// recoveries: frames rebuilt from parity vs frames a classic full
+	// node-loss would have rebuilt but which survived the fault (the whole
+	// set for a cpu-loss with its intact log, everything outside the
+	// damaged range for a partial memory loss). Omitted from JSON when
+	// zero, so default no-fault output is unchanged.
+	FramesReconstructed uint64 `json:",omitempty"`
+	FramesSkipped       uint64 `json:",omitempty"`
+
 	// Recovery phase durations of the most recent recovery (kept for
 	// existing reports; RecoveryHistory records every recovery of the run).
 	RecoveryPhase1 sim.Time
@@ -146,6 +155,9 @@ type RecoveryRecord struct {
 	Phase2      sim.Time `json:"phase2_ns"`
 	Phase3      sim.Time `json:"phase3_ns"`
 	Phase4      sim.Time `json:"phase4_ns"`
+	// Split-domain reconstruction scope (zero for classic node loss).
+	FramesRebuilt int `json:"frames_rebuilt,omitempty"`
+	FramesSkipped int `json:"frames_skipped,omitempty"`
 }
 
 // New returns a zeroed Stats.
@@ -204,10 +216,12 @@ func (s *Stats) TotalMemAccesses() uint64 {
 type Campaign struct {
 	Campaigns int // schedules executed
 
-	NodeLosses  int // node-loss faults injected
-	Transients  int // transient faults injected
-	DuringRecov int // second faults injected during a running recovery
-	NoFault     int // campaigns whose trigger never fired before completion
+	NodeLosses       int // node-loss faults injected
+	CPULosses        int // cpu-loss faults injected (processor dies, memory survives)
+	MemPartialLosses int // partial memory-loss faults injected (frame range lost)
+	Transients       int // transient faults injected
+	DuringRecov      int // second faults injected during a running recovery
+	NoFault          int // campaigns whose trigger never fired before completion
 
 	Recoveries     int // successful recoveries
 	Unrecoverables int // typed refusals (damage beyond the fault model)
@@ -231,6 +245,8 @@ type Campaign struct {
 func (c *Campaign) Add(o Campaign) {
 	c.Campaigns += o.Campaigns
 	c.NodeLosses += o.NodeLosses
+	c.CPULosses += o.CPULosses
+	c.MemPartialLosses += o.MemPartialLosses
 	c.Transients += o.Transients
 	c.DuringRecov += o.DuringRecov
 	c.NoFault += o.NoFault
@@ -251,9 +267,9 @@ func (c *Campaign) Add(o Campaign) {
 }
 
 func (c Campaign) String() string {
-	s := fmt.Sprintf("campaigns=%d faults(node-loss=%d transient=%d mid-recovery=%d none=%d) "+
+	s := fmt.Sprintf("campaigns=%d faults(node-loss=%d cpu-loss=%d mem-partial=%d transient=%d mid-recovery=%d none=%d) "+
 		"recoveries=%d unrecoverable=%d completions=%d checks=%d violations=%d failed=%d shrink-runs=%d",
-		c.Campaigns, c.NodeLosses, c.Transients, c.DuringRecov, c.NoFault,
+		c.Campaigns, c.NodeLosses, c.CPULosses, c.MemPartialLosses, c.Transients, c.DuringRecov, c.NoFault,
 		c.Recoveries, c.Unrecoverables, c.Completions, c.Checks, c.Violations,
 		c.FailedRuns, c.ShrinkRuns)
 	if c.NetFaulted > 0 {

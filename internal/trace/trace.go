@@ -92,6 +92,12 @@ const (
 	NodeLost
 	// Freeze marks a machine-wide fail-stop freeze.
 	Freeze
+	// CPULost marks a node's processor and caches dying while its memory,
+	// directory and log survive (split fault domain injection).
+	CPULost
+	// MemPartialLost marks a contiguous range of a node's memory frames
+	// dying while the processor survives. Arg packs loFrame<<32|frames.
+	MemPartialLost
 
 	numKinds
 )
@@ -122,6 +128,8 @@ var kindNames = [numKinds]string{
 	NetDrop:           "net-drop",
 	NodeLost:          "node-lost",
 	Freeze:            "freeze",
+	CPULost:           "cpu-lost",
+	MemPartialLost:    "mem-partial-lost",
 }
 
 // String returns the kind's kebab-case name.
