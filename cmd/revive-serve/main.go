@@ -1,0 +1,94 @@
+// Command revive-serve is the persistent experiment daemon: an HTTP/JSON
+// service that accepts sim/sweep/chaos/experiment jobs, runs them on the
+// deterministic sweep pool, and survives being killed at any instant.
+//
+// Jobs are journaled (write-ahead log + snapshot bundles under -state-dir)
+// and results live in a content-addressed cache: restarting after a kill
+// re-queues interrupted jobs and completes them exactly once, and an
+// identical request is served the byte-identical cached response without
+// re-simulation.
+//
+//	revive-serve -addr :8329 -state-dir /var/lib/revive
+//
+//	curl -X POST localhost:8329/run -d '{"kind":"sim","apps":["fft"],"quick":true}'
+//	curl -X POST localhost:8329/jobs -d '{"kind":"sweep","quick":true}'
+//	curl localhost:8329/jobs/<id>/result
+//	curl localhost:8329/statusz
+//
+// SIGTERM or SIGINT drains gracefully: admission stops (/readyz turns 503),
+// the in-flight job is cut at its next cell boundary and parked as
+// accepted, a final snapshot is written, and the next start resumes it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"revive/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8329", "listen address")
+		stateDir = flag.String("state-dir", "", "persistence root: journal, snapshots, result cache (required)")
+		maxQueue = flag.Int("max-queue", 64, "admission queue bound; excess submissions get 429 + Retry-After")
+		timeout  = flag.Duration("job-timeout", 10*time.Minute, "per-job deadline")
+		maxEv    = flag.Uint64("max-events", 4e9, "per-simulation event budget (watchdog; 0 = stall guard only)")
+		par      = flag.Int("j", 0, "intra-job parallelism (0 = one worker per CPU); responses are byte-identical at every setting")
+		snapN    = flag.Int("snap-every", 32, "journal records between snapshot compactions")
+		drainT   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "revive-serve: ", log.LstdFlags)
+	if *stateDir == "" {
+		logger.Fatal("-state-dir is required")
+	}
+
+	srv, err := serve.New(serve.Options{
+		StateDir:      *stateDir,
+		MaxQueue:      *maxQueue,
+		JobTimeout:    *timeout,
+		MaxEvents:     *maxEv,
+		Parallelism:   *par,
+		SnapshotEvery: *snapN,
+		Log:           logger.Printf,
+	})
+	if err != nil {
+		logger.Fatalf("open state dir: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	logger.Printf("serving on %s (state: %s)", ln.Addr(), *stateDir)
+	fmt.Printf("READY %s\n", ln.Addr()) // machine-readable startup line for scripts/CI
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		logger.Printf("%v: draining", s)
+	case err := <-done:
+		logger.Fatalf("http server: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("drain: %v", err)
+	}
+	httpSrv.Shutdown(ctx)
+	logger.Printf("drained; interrupted jobs resume on the next start")
+}

@@ -15,6 +15,7 @@
 //	revive-sim -apps FFT,Radix,Ocean -j 4    # multi-app sweep, 4 at a time
 //	revive-sim -apps all                     # sweep every application
 //	revive-sim -app FFT -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	revive-sim -app FFT -max-events 50000000 # watchdog: typed error, never a hang
 //	revive-sim -list                         # the 12 applications
 //
 // The -apps sweep runs each application on its own machine instance, -j
@@ -55,6 +56,7 @@ func main() {
 		util     = flag.Bool("util", false, "print the per-node utilization report")
 		record   = flag.String("record", "", "write the workload's trace to this file and exit")
 		replay   = flag.String("replay", "", "run a recorded trace instead of an application")
+		maxEv    = flag.Uint64("max-events", 0, "watchdog: abort with a typed error after this many events (0 = no budget)")
 
 		faultKind    = flag.String("fault", "", "inject one fault mid-run: node-loss, cpu-loss, mem-partial or transient (detection, rollback and resume are automatic)")
 		faultNode    = flag.Int("fault-node", 5, "victim node for -fault (ignored for transient)")
@@ -191,8 +193,14 @@ func main() {
 		}
 	}
 	start := time.Now()
-	st := m.Run()
+	st, runErr := m.RunBudget(*maxEv)
 	wall := time.Since(start)
+	if runErr != nil {
+		// The watchdog fired: ErrLivelock (budget exhausted) or
+		// ErrStalled (queue drained early). Typed, not a hang.
+		fmt.Fprintln(os.Stderr, "watchdog:", runErr)
+		exit(3)
+	}
 	if *faultKind != "" && faultRep == nil {
 		fmt.Fprintln(os.Stderr, "-fault never fired: the run ended before -fault-at; lower it or raise -scale")
 		exit(2)

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"revive"
+	"revive/internal/stats"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -56,5 +58,14 @@ func TestDefaultStatsJSONGolden(t *testing.T) {
 		if bytes.Contains(blob, []byte(field)) {
 			t.Errorf("no-fault stats JSON leaks split-domain scope field %q", field)
 		}
+	}
+	// The stats schema version must appear exactly once per run result
+	// (the cache key of revive-serve discriminates code versions on it),
+	// stamped with the current build's SchemaVersion.
+	if n := bytes.Count(blob, []byte(`"schema_version"`)); n != 1 {
+		t.Errorf("schema_version appears %d times in the stats envelope, want exactly 1", n)
+	}
+	if !bytes.Contains(blob, []byte(fmt.Sprintf(`"schema_version": %d`, stats.SchemaVersion))) {
+		t.Errorf("stats envelope does not carry the build's SchemaVersion %d", stats.SchemaVersion)
 	}
 }

@@ -622,6 +622,33 @@ func RunMissRates(o Options, apps []App) []AppResult {
 	}, nil)
 }
 
+// Studies names the experiment studies RunStudy accepts, in presentation
+// order — the job kinds a revive-serve "experiment" request can ask for.
+var Studies = []string{"missrates", "table2", "figure6"}
+
+// RunStudy is the serving layer's job adapter over the experiment runners:
+// it maps a study name to its sweep and returns a JSON-marshalable result.
+// Only studies whose results are deterministic pure data (no progress
+// callbacks, no wall-clock fields) are exposed, so a study response can be
+// cached content-addressed and served byte-identical forever. apps is the
+// application subset for per-app studies (nil = all twelve); table2 and
+// figure6 run on synthetic workloads and ignore it.
+func RunStudy(name string, o Options, apps []App) (any, error) {
+	if len(apps) == 0 {
+		apps = Apps(o)
+	}
+	switch name {
+	case "missrates":
+		return RunMissRates(o, apps), nil
+	case "table2":
+		return RunTable2(o), nil
+	case "figure6":
+		return RunFigure6(o), nil
+	default:
+		return nil, fmt.Errorf("unknown study %q (known: %s)", name, strings.Join(Studies, ", "))
+	}
+}
+
 // ProjectFullRebuild estimates the section 3.3.2 full-node background
 // rebuild (the paper: ~20 s for a 2 GB node at half compute, 7+1 parity).
 func ProjectFullRebuild(o Options, nodeMemBytes uint64) sim.Time {

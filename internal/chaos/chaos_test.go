@@ -2,7 +2,9 @@ package chaos
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -436,5 +438,33 @@ func TestFlightRecordingDisabled(t *testing.T) {
 		if len(f.FlightRecorder) != 0 {
 			t.Fatalf("failure %d carries a flight recording despite FlightEvents < 0", i)
 		}
+	}
+}
+
+// TestRunCtxCancelStopsBatch: a deadline landing mid-batch must stop new
+// campaigns, return context.Canceled, and leave a Summary covering a
+// contiguous prefix of the serial batch (campaign order is deterministic,
+// so the prefix's counters are a prefix of the full batch's log).
+func TestRunCtxCancelStopsBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := Options{Campaigns: 30, Seed: 99, Parallelism: 1, FlightEvents: -1}
+	n := 0
+	opts.Log = func(format string, a ...any) {
+		if n++; n == 3 {
+			cancel()
+		}
+	}
+	sum, err := RunCtx(ctx, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := sum.Counters.Campaigns; got != 3 {
+		t.Fatalf("absorbed %d campaigns after cancel at log line 3, want exactly 3", got)
+	}
+	// The uncancelled batch must still absorb everything.
+	full, err := RunCtx(context.Background(), Options{Campaigns: 30, Seed: 99, Parallelism: 1, FlightEvents: -1})
+	if err != nil || full.Counters.Campaigns != 30 {
+		t.Fatalf("full batch: %d campaigns, err %v", full.Counters.Campaigns, err)
 	}
 }

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -191,6 +192,17 @@ func runCampaign(opts Options, seed uint64) campaignResult {
 // emitted — in campaign order from a single goroutine, so the Summary and
 // the log are byte-identical at every parallelism.
 func Run(opts Options) *Summary {
+	sum, _ := RunCtx(context.Background(), opts)
+	return sum
+}
+
+// RunCtx is Run with cooperative cancellation between campaigns: once ctx
+// is done no further campaign starts (campaigns already in flight finish —
+// a campaign is bounded by its own event budget), the Summary covers the
+// contiguous prefix of campaigns that were absorbed, and ctx.Err() is
+// returned. revive-serve routes per-job deadlines through it so a chaos
+// job is cut off at the campaign boundary instead of overstaying.
+func RunCtx(ctx context.Context, opts Options) (*Summary, error) {
 	if opts.Campaigns <= 0 {
 		opts.Campaigns = 50
 	}
@@ -209,7 +221,7 @@ func Run(opts Options) *Summary {
 		seeds[i] = master.Uint64()
 	}
 	sum := &Summary{}
-	sweep.Run(opts.Parallelism, opts.Campaigns,
+	_, err := sweep.RunCtx(ctx, opts.Parallelism, opts.Campaigns,
 		func(i int) campaignResult {
 			return runCampaign(opts, seeds[i])
 		},
@@ -224,7 +236,7 @@ func Run(opts Options) *Summary {
 				sum.Failures = append(sum.Failures, *res.failure)
 			}
 		})
-	return sum
+	return sum, err
 }
 
 // absorb folds one outcome into the batch counters.

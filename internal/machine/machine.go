@@ -329,6 +329,38 @@ func (m *Machine) Run() *stats.Stats {
 	return m.Stats
 }
 
+// RunBudget is Run under sim's watchdog: it executes the loaded workload
+// to completion unless more than maxEvents events fire first. Where Run
+// panics on a machine that cannot finish, RunBudget returns the typed
+// watchdog errors — sim.ErrLivelock (wrapped) when the budget runs out
+// with processors still unfinished, sim.ErrStalled (wrapped) when the
+// event queue drains before the workload completes — so a pathological
+// configuration is a reportable error, not a hang or a crash. A
+// maxEvents of 0 means no budget (stalls are still typed). The stats
+// accumulated up to the stop are always returned.
+func (m *Machine) RunBudget(maxEvents uint64) (*stats.Stats, error) {
+	m.Start()
+	var n uint64
+	for m.Engine.Step() {
+		n++
+		// Once every processor has finished, the residual drain is
+		// bounded by what is already queued; only pre-completion events
+		// count against the budget.
+		if maxEvents > 0 && n >= maxEvents && !m.Done() {
+			return m.Stats, fmt.Errorf("machine: %d events without completing the workload: %w",
+				n, sim.ErrLivelock)
+		}
+	}
+	if m.finished != len(m.Procs) {
+		return m.Stats, fmt.Errorf("machine: %d/%d processors finished, %d ops outstanding: %w",
+			m.finished, len(m.Procs), m.Tracker.Outstanding(), sim.ErrStalled)
+	}
+	if !m.Tracker.Quiescent() {
+		return m.Stats, fmt.Errorf("machine: drained with outstanding operations: %w", sim.ErrStalled)
+	}
+	return m.Stats, nil
+}
+
 // RunUntil executes until time t (for fault-injection experiments that
 // interrupt a run midway).
 func (m *Machine) RunUntil(t sim.Time) {

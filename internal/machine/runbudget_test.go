@@ -1,0 +1,60 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"revive/internal/sim"
+)
+
+// TestRunBudgetCompletesUnderGenerousBudget: with a budget far above what
+// the workload needs, RunBudget is Run — same completion, same stats.
+func TestRunBudgetCompletesUnderGenerousBudget(t *testing.T) {
+	m := New(smallConfig(true))
+	m.Load(testProfile(20000))
+	st, err := m.RunBudget(1 << 40)
+	if err != nil {
+		t.Fatalf("RunBudget: %v", err)
+	}
+	if !m.Done() {
+		t.Fatal("workload not finished")
+	}
+	ref := New(smallConfig(true))
+	ref.Load(testProfile(20000))
+	want := ref.Run()
+	if st.Instructions != want.Instructions || st.ExecTime != want.ExecTime {
+		t.Fatalf("budgeted run diverged: instr %d vs %d, exec %d vs %d",
+			st.Instructions, want.Instructions, st.ExecTime, want.ExecTime)
+	}
+}
+
+// TestRunBudgetLivelockIsTyped: a budget too small for the workload must
+// surface sim.ErrLivelock (wrapped) instead of hanging or panicking, with
+// the partial stats still returned.
+func TestRunBudgetLivelockIsTyped(t *testing.T) {
+	m := New(smallConfig(true))
+	m.Load(testProfile(200000))
+	st, err := m.RunBudget(500)
+	if !errors.Is(err, sim.ErrLivelock) {
+		t.Fatalf("err = %v, want sim.ErrLivelock", err)
+	}
+	if st == nil {
+		t.Fatal("partial stats not returned with the watchdog error")
+	}
+	if m.Done() {
+		t.Fatal("workload claims completion under a 500-event budget")
+	}
+}
+
+// TestRunBudgetZeroMeansUnbounded: budget 0 disables the livelock guard
+// but still returns (rather than panics) on a healthy run.
+func TestRunBudgetZeroMeansUnbounded(t *testing.T) {
+	m := New(smallConfig(false))
+	m.Load(testProfile(5000))
+	if _, err := m.RunBudget(0); err != nil {
+		t.Fatalf("RunBudget(0): %v", err)
+	}
+	if !m.Done() {
+		t.Fatal("workload not finished")
+	}
+}

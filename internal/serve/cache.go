@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// Cache is the content-addressed result store: one file per job, named by
+// the job's content hash (see Hash), holding the byte-exact response the
+// job produced. Because every job is a deterministic simulation and the
+// hash binds the canonical request to the stats schema version, a cache
+// file can be served forever: an identical request gets the byte-identical
+// response without re-simulation. Writes are atomic (temp + fsync +
+// rename), so a file either exists complete or not at all — a crash can
+// never leave a partial result servable.
+type Cache struct {
+	dir   string
+	crash *crash // shared with the journal; nil in production
+
+	// Counters for /statusz (atomic: handlers read them concurrently).
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// OpenCache opens (creating 0700 if needed) the cache directory.
+func OpenCache(dir string, cr *crash) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, err
+	}
+	if err := os.Chmod(dir, 0o700); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir, crash: cr}, nil
+}
+
+// path maps a content hash to its file. Hashes are hex (lowercase), so
+// the name needs no escaping; reject anything else outright.
+func (c *Cache) path(id string) string {
+	if id == "" || strings.ContainsAny(id, "/\\.") {
+		return filepath.Join(c.dir, "invalid")
+	}
+	return filepath.Join(c.dir, id+".json")
+}
+
+// Get returns the cached response bytes for a job hash, counting the
+// lookup as a hit or miss.
+func (c *Cache) Get(id string) ([]byte, bool) {
+	data, err := os.ReadFile(c.path(id))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return data, true
+}
+
+// Has reports whether a complete result exists without counting a lookup.
+func (c *Cache) Has(id string) bool {
+	_, err := os.Stat(c.path(id))
+	return err == nil
+}
+
+// Put durably stores a job's response bytes under its hash. Re-putting
+// the same hash is idempotent by construction: determinism means the
+// bytes are identical, and the atomic rename swaps complete files.
+func (c *Cache) Put(id string, data []byte) error {
+	if c.crash.dead() {
+		return ErrKilled
+	}
+	if c.crash.at("cache.write") {
+		return ErrKilled
+	}
+	return atomicWrite(c.path(id), data, c.crash, "cache")
+}
+
+// Hits and Misses report the lookup counters.
+func (c *Cache) Hits() uint64   { return c.hits.Load() }
+func (c *Cache) Misses() uint64 { return c.misses.Load() }

@@ -1,0 +1,524 @@
+// Package serve is the crash-recoverable experiment daemon behind
+// cmd/revive-serve: an HTTP/JSON front end that accepts sweep, chaos and
+// experiment jobs, schedules them on the internal/sweep pool, and survives
+// being killed at any instant.
+//
+// The persistence discipline is the paper's own, applied to the serving
+// layer: a write-ahead job journal (the log) plus periodic snapshot
+// bundles (the checkpoints). Every job transitions through
+// accepted → running → done/failed via append-only journal records; a
+// restarted daemon loads the newest valid snapshot, replays the journal
+// tail, re-queues interrupted jobs, and completes them exactly once as
+// observed by clients. Results live in a content-addressed cache keyed by
+// (canonical request hash, seed, stats schema version) — simulation
+// determinism makes the cache sound: an identical request is served the
+// byte-identical response from disk.
+//
+// On-disk layout under the state directory (0700; files 0600):
+//
+//	state-<seq>.json   snapshot bundles (versioned JSON, atomic write+rename)
+//	latest.json        pointer {version, path, sha256} to the newest bundle
+//	wal-<seq>.jsonl    append-only records since the snapshot at <seq>
+//	cache/<hash>.json  content-addressed job results
+//
+// The format is goagent ADR-0012's -state-dir pattern (versioned bundles,
+// atomic write+fsync+rename, latest.json, restrictive permissions) with a
+// CRC-framed WAL in front of it.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ErrKilled is returned by every journal and cache operation after an
+// armed kill point has fired: the component behaves as if the process
+// died at that instant (fail-stop), which is exactly what the
+// crash-injection harness needs to simulate kill -9 deterministically
+// in-process. A live daemon never sees it.
+var ErrKilled = errors.New("serve: killed at an armed crash-injection point")
+
+// snapshotVersion is the bundle format version; latestVersion the pointer
+// file's. Bump on incompatible layout changes.
+const (
+	snapshotVersion = 1
+	latestVersion   = "1"
+	keepSnapshots   = 3 // older bundles and their WALs are pruned
+)
+
+// Record is one append-only journal entry: a job state transition.
+type Record struct {
+	Seq     uint64          `json:"seq"`
+	Op      string          `json:"op"` // accepted | running | done | failed | retry
+	Job     string          `json:"job"`
+	Attempt int             `json:"attempt,omitempty"`
+	Err     string          `json:"err,omitempty"`
+	Req     json.RawMessage `json:"req,omitempty"` // canonical request (accepted records)
+}
+
+// walLine frames a Record for the WAL: the CRC32 (IEEE) of the exact
+// marshaled record bytes rides alongside them, so a torn or bit-flipped
+// tail is detected on replay instead of corrupting recovered state.
+type walLine struct {
+	CRC string          `json:"c"`
+	Rec json.RawMessage `json:"r"`
+}
+
+// JobState is the journal's durable view of one job.
+type JobState struct {
+	ID       string          `json:"id"`
+	State    string          `json:"state"` // accepted | running | done | failed
+	Attempts int             `json:"attempts,omitempty"`
+	Err      string          `json:"err,omitempty"`
+	Seq      uint64          `json:"seq"` // seq of the job's accepted record (admission order)
+	Req      json.RawMessage `json:"req"`
+}
+
+// snapshotFile is one state-<seq>.json bundle: the full job table as of
+// journal sequence Seq. Jobs are sorted by admission seq so bundles are
+// byte-deterministic for a given state.
+type snapshotFile struct {
+	Version int        `json:"version"`
+	Seq     uint64     `json:"seq"`
+	Jobs    []JobState `json:"jobs"`
+}
+
+// latestFile is the latest.json pointer (ADR-0012 shape).
+type latestFile struct {
+	Version string `json:"version"`
+	Path    string `json:"path"`
+	SHA256  string `json:"sha256"`
+}
+
+// Journal is the write-ahead log plus snapshot bundles. It is not
+// goroutine-safe; the Server serializes access under its own lock.
+type Journal struct {
+	dir     string
+	logf    func(format string, a ...any)
+	crash   *crash // nil in production
+	wal     *os.File
+	walPath string
+	seq     uint64 // last record sequence assigned
+	snapSeq uint64 // sequence covered by the newest snapshot
+	pending int    // records appended since the last snapshot
+
+	// Replay accounting (surfaced on /statusz).
+	Replayed    int // records applied from WALs at open
+	TailSkipped int // corrupt/torn records skipped at open
+	FellBack    bool
+}
+
+// OpenJournal opens (creating if needed) the journal under dir, recovers
+// the job table — newest valid snapshot plus WAL replay — and arms the
+// WAL for appending. Corrupt or torn WAL tails are skipped with a logged
+// warning; a latest.json pointing at a missing or corrupt bundle falls
+// back to the newest valid bundle on disk. The directory is created 0700
+// and files are written 0600.
+func OpenJournal(dir string, logf func(format string, a ...any), cr *crash) (*Journal, map[string]*JobState, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, nil, err
+	}
+	// The directory may pre-exist with looser permissions; tighten them
+	// (the bundles hold nothing secret today, but the ADR-0012 contract
+	// is restrictive-by-default and tests pin it).
+	if err := os.Chmod(dir, 0o700); err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{dir: dir, logf: logf, crash: cr}
+
+	jobs := make(map[string]*JobState)
+	snap, ok := j.loadSnapshot()
+	if ok {
+		j.snapSeq = snap.Seq
+		j.seq = snap.Seq
+		for i := range snap.Jobs {
+			job := snap.Jobs[i]
+			jobs[job.ID] = &job
+		}
+	}
+	// Replay every WAL at or past the chosen snapshot, in sequence order:
+	// if the newest bundle was unusable and we fell back to an older one,
+	// the intervening WALs rebuild the lost transitions (wal-S holds all
+	// records between snapshot S and the next snapshot cut).
+	for _, walSeq := range j.walSeqs() {
+		if walSeq < j.snapSeq {
+			continue
+		}
+		j.replayWAL(walSeq, jobs)
+	}
+
+	// Arm the WAL for appending: continue the newest chain.
+	j.walPath = filepath.Join(dir, walName(j.snapSeq))
+	f, err := os.OpenFile(j.walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, nil, err
+	}
+	j.wal = f
+	return j, jobs, nil
+}
+
+func snapName(seq uint64) string { return fmt.Sprintf("state-%016d.json", seq) }
+func walName(seq uint64) string  { return fmt.Sprintf("wal-%016d.jsonl", seq) }
+
+// loadSnapshot returns the newest usable bundle: the one latest.json
+// names when it verifies, else — with a warning — the newest valid
+// state-*.json on disk.
+func (j *Journal) loadSnapshot() (snapshotFile, bool) {
+	if snap, ok := j.loadPointed(); ok {
+		return snap, true
+	}
+	// Fallback scan, newest first.
+	names, _ := filepath.Glob(filepath.Join(j.dir, "state-*.json"))
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, name := range names {
+		if snap, ok := j.parseSnapshot(name); ok {
+			j.logf("journal: falling back to bundle %s", filepath.Base(name))
+			j.FellBack = true
+			return snap, true
+		}
+	}
+	return snapshotFile{}, false
+}
+
+// loadPointed resolves latest.json. Any failure — missing pointer, bad
+// hash, missing or corrupt target — reports false (the caller falls back).
+func (j *Journal) loadPointed() (snapshotFile, bool) {
+	blob, err := os.ReadFile(filepath.Join(j.dir, "latest.json"))
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			j.logf("journal: reading latest.json: %v", err)
+		}
+		return snapshotFile{}, false
+	}
+	var ptr latestFile
+	if err := json.Unmarshal(blob, &ptr); err != nil {
+		j.logf("journal: latest.json corrupt: %v", err)
+		return snapshotFile{}, false
+	}
+	// The pointer names a basename inside the state dir; reject traversal.
+	if ptr.Path != filepath.Base(ptr.Path) {
+		j.logf("journal: latest.json path %q escapes the state dir", ptr.Path)
+		return snapshotFile{}, false
+	}
+	target := filepath.Join(j.dir, ptr.Path)
+	data, err := os.ReadFile(target)
+	if err != nil {
+		j.logf("journal: latest.json points at %s: %v", ptr.Path, err)
+		j.FellBack = true
+		return snapshotFile{}, false
+	}
+	if sum := sha256.Sum256(data); hex.EncodeToString(sum[:]) != ptr.SHA256 {
+		j.logf("journal: bundle %s does not match latest.json sha256", ptr.Path)
+		j.FellBack = true
+		return snapshotFile{}, false
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil || snap.Version != snapshotVersion {
+		j.logf("journal: bundle %s unusable (version %d): %v", ptr.Path, snap.Version, err)
+		j.FellBack = true
+		return snapshotFile{}, false
+	}
+	return snap, true
+}
+
+func (j *Journal) parseSnapshot(path string) (snapshotFile, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snapshotFile{}, false
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil || snap.Version != snapshotVersion {
+		return snapshotFile{}, false
+	}
+	return snap, true
+}
+
+// walSeqs lists the sequence numbers of the WAL files on disk, ascending.
+func (j *Journal) walSeqs() []uint64 {
+	names, _ := filepath.Glob(filepath.Join(j.dir, "wal-*.jsonl"))
+	var seqs []uint64
+	for _, name := range names {
+		base := filepath.Base(name)
+		var s uint64
+		if _, err := fmt.Sscanf(base, "wal-%d.jsonl", &s); err == nil {
+			seqs = append(seqs, s)
+		}
+	}
+	sort.Slice(seqs, func(a, b int) bool { return seqs[a] < seqs[b] })
+	return seqs
+}
+
+// replayWAL applies one WAL's records (those past the already-applied
+// sequence) to the job table. A record that fails to parse or fails its
+// CRC ends the scan of that file with a warning: everything after a torn
+// write is an unreliable tail, exactly the write-ahead-log convention.
+func (j *Journal) replayWAL(walSeq uint64, jobs map[string]*JobState) {
+	data, err := os.ReadFile(filepath.Join(j.dir, walName(walSeq)))
+	if err != nil {
+		return
+	}
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		rec, ok := decodeRecord([]byte(line))
+		if !ok {
+			j.logf("journal: %s line %d: corrupt or torn record — skipping the tail",
+				walName(walSeq), lineNo+1)
+			j.TailSkipped++
+			break
+		}
+		if rec.Seq <= j.seq {
+			continue // already covered by the snapshot or an earlier WAL
+		}
+		j.seq = rec.Seq
+		j.Replayed++
+		applyRecord(rec, jobs, j.logf)
+	}
+}
+
+// decodeRecord parses and CRC-verifies one WAL line.
+func decodeRecord(line []byte) (Record, bool) {
+	var env walLine
+	if err := json.Unmarshal(line, &env); err != nil {
+		return Record{}, false
+	}
+	if fmt.Sprintf("%08x", crc32.ChecksumIEEE(env.Rec)) != env.CRC {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(env.Rec, &rec); err != nil {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// applyRecord folds one journal record into the job table.
+func applyRecord(rec Record, jobs map[string]*JobState, logf func(string, ...any)) {
+	job := jobs[rec.Job]
+	if job == nil {
+		if rec.Op != "accepted" {
+			logf("journal: %s record for unknown job %.12s — skipping", rec.Op, rec.Job)
+			return
+		}
+		job = &JobState{ID: rec.Job}
+		jobs[rec.Job] = job
+	}
+	switch rec.Op {
+	case "accepted":
+		job.State = "accepted"
+		if job.Seq == 0 {
+			job.Seq = rec.Seq
+		}
+		if len(rec.Req) > 0 {
+			job.Req = rec.Req
+		}
+	case "running":
+		job.State = "running"
+		job.Attempts = rec.Attempt
+	case "retry":
+		job.State = "accepted"
+		job.Attempts = rec.Attempt
+		job.Err = rec.Err
+	case "done":
+		job.State = "done"
+		job.Err = ""
+	case "failed":
+		job.State = "failed"
+		job.Err = rec.Err
+	default:
+		logf("journal: unknown op %q for job %.12s — skipping", rec.Op, rec.Job)
+	}
+}
+
+// Append durably writes one record: marshal, CRC-frame, append, fsync.
+// The assigned sequence number is stored into rec. Under an armed crash
+// schedule the write can die at any of its kill points, including mid-line
+// (a torn write), after which the journal is dead and returns ErrKilled.
+func (j *Journal) Append(rec *Record) error {
+	if j.crash.dead() {
+		return ErrKilled
+	}
+	j.seq++
+	rec.Seq = j.seq
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(walLine{CRC: fmt.Sprintf("%08x", crc32.ChecksumIEEE(body)), Rec: body})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if j.crash.at("wal.append.before") {
+		return ErrKilled
+	}
+	if j.crash != nil {
+		// Two half-writes with a kill point between them: the only way a
+		// torn tail can happen on a real system is the process dying
+		// mid-write, and the harness must be able to schedule exactly that.
+		half := len(line) / 2
+		if _, err := j.wal.Write(line[:half]); err != nil {
+			return err
+		}
+		if j.crash.at("wal.append.torn") {
+			return ErrKilled
+		}
+		if _, err := j.wal.Write(line[half:]); err != nil {
+			return err
+		}
+	} else {
+		if _, err := j.wal.Write(line); err != nil {
+			return err
+		}
+	}
+	if j.crash.at("wal.append.unsynced") {
+		return ErrKilled
+	}
+	if err := j.wal.Sync(); err != nil {
+		return err
+	}
+	j.pending++
+	if j.crash.at("wal.append.synced") {
+		return ErrKilled
+	}
+	return nil
+}
+
+// Pending reports records appended since the last snapshot.
+func (j *Journal) Pending() int { return j.pending }
+
+// Seq reports the last assigned record sequence.
+func (j *Journal) Seq() uint64 { return j.seq }
+
+// Snapshot writes a new bundle of the full job table, repoints
+// latest.json at it, rotates the WAL and prunes old generations. Each
+// step is atomic (temp file + fsync + rename), so a crash at any instant
+// leaves either the old chain or the new chain fully usable.
+func (j *Journal) Snapshot(jobs map[string]*JobState) error {
+	if j.crash.dead() {
+		return ErrKilled
+	}
+	snap := snapshotFile{Version: snapshotVersion, Seq: j.seq}
+	for _, job := range jobs {
+		snap.Jobs = append(snap.Jobs, *job)
+	}
+	sort.Slice(snap.Jobs, func(a, b int) bool { return snap.Jobs[a].Seq < snap.Jobs[b].Seq })
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+
+	name := snapName(snap.Seq)
+	if j.crash.at("snap.write") {
+		return ErrKilled
+	}
+	if err := atomicWrite(filepath.Join(j.dir, name), data, j.crash, "snap"); err != nil {
+		return err
+	}
+	if j.crash.at("snap.renamed") {
+		return ErrKilled
+	}
+
+	sum := sha256.Sum256(data)
+	ptr, err := json.Marshal(latestFile{Version: latestVersion, Path: name, SHA256: hex.EncodeToString(sum[:])})
+	if err != nil {
+		return err
+	}
+	if err := atomicWrite(filepath.Join(j.dir, "latest.json"), append(ptr, '\n'), j.crash, "latest"); err != nil {
+		return err
+	}
+	if j.crash.at("snap.pointed") {
+		return ErrKilled
+	}
+
+	// Rotate: records after this bundle go to its own WAL.
+	old := j.wal
+	newPath := filepath.Join(j.dir, walName(snap.Seq))
+	f, err := os.OpenFile(newPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return err
+	}
+	old.Close()
+	j.wal, j.walPath = f, newPath
+	j.snapSeq = snap.Seq
+	j.pending = 0
+	j.prune()
+	return nil
+}
+
+// prune removes bundles and WALs older than the keepSnapshots newest
+// generations. Best-effort: a failed remove is retried on the next cycle.
+func (j *Journal) prune() {
+	names, _ := filepath.Glob(filepath.Join(j.dir, "state-*.json"))
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	if len(names) <= keepSnapshots {
+		return
+	}
+	var floor uint64
+	fmt.Sscanf(filepath.Base(names[keepSnapshots-1]), "state-%d.json", &floor)
+	for _, name := range names[keepSnapshots:] {
+		os.Remove(name)
+	}
+	for _, s := range j.walSeqs() {
+		if s < floor {
+			os.Remove(filepath.Join(j.dir, walName(s)))
+		}
+	}
+}
+
+// Close releases the WAL handle (the journal stays replayable).
+func (j *Journal) Close() error {
+	if j.wal != nil {
+		return j.wal.Close()
+	}
+	return nil
+}
+
+// atomicWrite lands data at path via temp file + fsync + rename, 0600.
+// kind names the crash-injection points ("<kind>.tmp-written" before the
+// rename makes the file visible).
+func atomicWrite(path string, data []byte, cr *crash, kind string) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if cr.at(kind + ".tmp-written") {
+		return ErrKilled
+	}
+	return os.Rename(tmp, path)
+}
+
+// Hash returns the content address of a canonical request: the SHA-256 of
+// the canonical JSON bound to the stats schema version, so results
+// produced by a different output shape of the code can never be served.
+func Hash(canonical []byte, schemaVersion int) string {
+	h := sha256.New()
+	h.Write(canonical)
+	fmt.Fprintf(h, "\nschema=%d\n", schemaVersion)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// collectLog returns a logf that records lines for assertions.
+func collectLog(t *testing.T) (func(string, ...any), *[]string) {
+	t.Helper()
+	var lines []string
+	return func(format string, a ...any) {
+		line := fmt.Sprintf(format, a...)
+		t.Logf("journal: %s", line)
+		lines = append(lines, line)
+	}, &lines
+}
+
+func logged(lines *[]string, substr string) bool {
+	for _, l := range *lines {
+		if strings.Contains(l, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// appendJob journals a full accepted→running→done lifecycle for one job id.
+func appendJob(t *testing.T, j *Journal, id string) {
+	t.Helper()
+	req, _ := json.Marshal(map[string]string{"kind": "sim", "id": id})
+	for _, rec := range []*Record{
+		{Op: "accepted", Job: id, Req: req},
+		{Op: "running", Job: id, Attempt: 1},
+		{Op: "done", Job: id},
+	} {
+		if err := j.Append(rec); err != nil {
+			t.Fatalf("append %s/%s: %v", id, rec.Op, err)
+		}
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	j, jobs, err := OpenJournal(dir, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("fresh journal has %d jobs", len(jobs))
+	}
+	appendJob(t, j, "job-a")
+	if err := j.Append(&Record{Op: "accepted", Job: "job-b", Req: json.RawMessage(`{"kind":"sweep"}`)}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, jobs2, err := OpenJournal(dir, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := jobs2["job-a"]; got == nil || got.State != "done" {
+		t.Fatalf("job-a after replay = %+v, want done", got)
+	}
+	if got := jobs2["job-b"]; got == nil || got.State != "accepted" || string(got.Req) != `{"kind":"sweep"}` {
+		t.Fatalf("job-b after replay = %+v, want accepted with request", got)
+	}
+	if j2.Replayed != 4 {
+		t.Fatalf("Replayed = %d, want 4", j2.Replayed)
+	}
+	if j2.Seq() != 4 {
+		t.Fatalf("seq after replay = %d, want 4", j2.Seq())
+	}
+}
+
+func TestJournalPermissions(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	j, _, err := OpenJournal(dir, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendJob(t, j, "job-a")
+	if err := j.Snapshot(map[string]*JobState{
+		"job-a": {ID: "job-a", State: "done", Seq: 1, Req: json.RawMessage(`{}`)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	st, err := os.Stat(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := st.Mode().Perm(); perm != 0o700 {
+		t.Errorf("state dir perm = %o, want 700", perm)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("state dir is empty after snapshot")
+	}
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if perm := info.Mode().Perm(); perm != 0o600 {
+			t.Errorf("%s perm = %o, want 600", e.Name(), perm)
+		}
+	}
+}
+
+func TestJournalTornTailSkippedWithWarning(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	j, _, err := OpenJournal(dir, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendJob(t, j, "job-a")
+	walPath := j.walPath
+	j.Close()
+
+	// Tear the last line: chop the file mid-record, the way a crash
+	// mid-write would.
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-9], 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	logf, lines := collectLog(t)
+	j2, jobs, err := OpenJournal(dir, logf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.TailSkipped != 1 {
+		t.Fatalf("TailSkipped = %d, want 1", j2.TailSkipped)
+	}
+	if !logged(lines, "corrupt or torn") {
+		t.Fatalf("no torn-tail warning logged; got %q", *lines)
+	}
+	// The first two records (accepted, running) survive; the torn done
+	// record is gone, so the job reads as interrupted — exactly what the
+	// recovery path wants.
+	if got := jobs["job-a"]; got == nil || got.State != "running" {
+		t.Fatalf("job-a after torn tail = %+v, want running", got)
+	}
+}
+
+func TestJournalCRCCatchesBitFlip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	j, _, err := OpenJournal(dir, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendJob(t, j, "job-a")
+	walPath := j.walPath
+	j.Close()
+
+	// Flip one byte inside the last line's record payload: the line still
+	// parses as JSON, only the CRC can catch it.
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := strings.LastIndex(string(data[:len(data)-1]), `"done"`)
+	if idx < 0 {
+		t.Fatal("no done record in WAL")
+	}
+	data[idx+1] = 'g'
+	if err := os.WriteFile(walPath, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	logf, lines := collectLog(t)
+	j2, jobs, err := OpenJournal(dir, logf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.TailSkipped != 1 || !logged(lines, "corrupt or torn") {
+		t.Fatalf("bit flip not caught: TailSkipped=%d logs=%q", j2.TailSkipped, *lines)
+	}
+	if got := jobs["job-a"]; got == nil || got.State != "running" {
+		t.Fatalf("job-a after bit flip = %+v, want running (done record rejected)", got)
+	}
+}
+
+func TestJournalLatestPointsAtMissingBundle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	j, _, err := OpenJournal(dir, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two generations: snapshot A (job-a done), then job-b, snapshot B.
+	appendJob(t, j, "job-a")
+	stateA := map[string]*JobState{"job-a": {ID: "job-a", State: "done", Seq: 1, Req: json.RawMessage(`{}`)}}
+	if err := j.Snapshot(stateA); err != nil {
+		t.Fatal(err)
+	}
+	appendJob(t, j, "job-b")
+	stateB := map[string]*JobState{
+		"job-a": stateA["job-a"],
+		"job-b": {ID: "job-b", State: "done", Seq: 4, Req: json.RawMessage(`{}`)},
+	}
+	if err := j.Snapshot(stateB); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Delete the bundle latest.json points at.
+	var ptr latestFile
+	blob, err := os.ReadFile(filepath.Join(dir, "latest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(blob, &ptr); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, ptr.Path)); err != nil {
+		t.Fatal(err)
+	}
+
+	logf, lines := collectLog(t)
+	j2, jobs, err := OpenJournal(dir, logf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !j2.FellBack {
+		t.Fatal("journal did not report falling back")
+	}
+	if !logged(lines, "falling back") {
+		t.Fatalf("no fallback warning logged; got %q", *lines)
+	}
+	// The older bundle plus the WAL chain must rebuild the full state:
+	// nothing journaled after snapshot A may be lost.
+	if got := jobs["job-a"]; got == nil || got.State != "done" {
+		t.Fatalf("job-a after fallback = %+v, want done", got)
+	}
+	if got := jobs["job-b"]; got == nil || got.State != "done" {
+		t.Fatalf("job-b after fallback = %+v, want done (WAL chain replay)", got)
+	}
+}
+
+func TestJournalLatestCorruptFallsBack(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	j, _, err := OpenJournal(dir, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendJob(t, j, "job-a")
+	if err := j.Snapshot(map[string]*JobState{
+		"job-a": {ID: "job-a", State: "done", Seq: 1, Req: json.RawMessage(`{}`)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := os.WriteFile(filepath.Join(dir, "latest.json"), []byte("{not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	logf, lines := collectLog(t)
+	j2, jobs, err := OpenJournal(dir, logf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !logged(lines, "latest.json corrupt") {
+		t.Fatalf("no corrupt-pointer warning; got %q", *lines)
+	}
+	if got := jobs["job-a"]; got == nil || got.State != "done" {
+		t.Fatalf("job-a after corrupt pointer = %+v, want done", got)
+	}
+}
+
+func TestJournalSnapshotPrunes(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	j, _, err := OpenJournal(dir, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	state := map[string]*JobState{}
+	for i := 0; i < keepSnapshots+3; i++ {
+		id := fmt.Sprintf("job-%d", i)
+		appendJob(t, j, id)
+		state[id] = &JobState{ID: id, State: "done", Seq: uint64(3*i + 1), Req: json.RawMessage(`{}`)}
+		if err := j.Snapshot(state); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bundles, _ := filepath.Glob(filepath.Join(dir, "state-*.json"))
+	if len(bundles) > keepSnapshots {
+		t.Fatalf("%d bundles on disk, want <= %d", len(bundles), keepSnapshots)
+	}
+	// Reopening still recovers everything (the newest bundle is intact).
+	j2, jobs, err := OpenJournal(dir, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(jobs) != keepSnapshots+3 {
+		t.Fatalf("recovered %d jobs, want %d", len(jobs), keepSnapshots+3)
+	}
+}
+
+func TestHashBindsSchemaVersion(t *testing.T) {
+	canon := []byte(`{"kind":"sim"}`)
+	if Hash(canon, 1) == Hash(canon, 2) {
+		t.Fatal("hash ignores the schema version")
+	}
+	if Hash([]byte(`{"kind":"sim"}`), 2) != Hash(canon, 2) {
+		t.Fatal("hash is not deterministic")
+	}
+	if Hash([]byte(`{"kind":"sweep"}`), 2) == Hash(canon, 2) {
+		t.Fatal("hash ignores the canonical request")
+	}
+}
+
+// BenchmarkJournalReplay measures restart recovery cost as a function of
+// WAL length: open a state dir whose journal holds N records and rebuild
+// the job table (E20 quotes these numbers).
+func BenchmarkJournalReplay(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("records-%d", n), func(b *testing.B) {
+			dir := filepath.Join(b.TempDir(), "state")
+			j, _, err := OpenJournal(dir, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			req, _ := json.Marshal(map[string]string{"kind": "sim"})
+			for i := 0; i < n; i += 2 {
+				id := fmt.Sprintf("job-%06d", i)
+				if err := j.Append(&Record{Op: "accepted", Job: id, Req: req}); err != nil {
+					b.Fatal(err)
+				}
+				if err := j.Append(&Record{Op: "done", Job: id}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			j.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j2, jobs, err := OpenJournal(dir, nil, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(jobs) != n/2 {
+					b.Fatalf("recovered %d jobs, want %d", len(jobs), n/2)
+				}
+				j2.Close()
+			}
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package serve
+
+import "sync"
+
+// crash is the deterministic crash-injection switch: a countdown over the
+// named kill points the journal and cache pass through. Point N of a run's
+// deterministic sequence of I/O steps fires the switch; from then on the
+// component is dead — every durable operation returns ErrKilled without
+// touching disk — which models fail-stop at exactly that instant. The
+// harness (crash_test.go) sweeps N over a schedule, restarts a fresh
+// Server on the same state dir after each kill, and verifies exactly-once
+// completion with byte-identical results.
+//
+// A nil *crash (production) is inert: every method is nil-receiver safe
+// and free.
+type crash struct {
+	mu     sync.Mutex
+	target int  // fire on the target-th point crossing (0-based)
+	count  int  // points crossed so far
+	isDead bool // fired: the process "died" here
+	where  string
+}
+
+// newCrash arms a switch that kills at the target-th kill point.
+func newCrash(target int) *crash { return &crash{target: target} }
+
+// at crosses one named kill point and reports whether the component is
+// (now) dead. The first crossing at the armed target fires the switch.
+func (c *crash) at(point string) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.isDead {
+		return true
+	}
+	if c.count == c.target {
+		c.isDead = true
+		c.where = point
+	}
+	c.count++
+	return c.isDead
+}
+
+// dead reports whether the switch has fired.
+func (c *crash) dead() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.isDead
+}
+
+// points reports how many kill points have been crossed (the length of
+// the schedule a full uninterrupted run exposes).
+func (c *crash) points() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// firedAt names the point the switch fired at ("" if it never fired).
+func (c *crash) firedAt() string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.where
+}

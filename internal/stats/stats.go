@@ -70,6 +70,13 @@ type Stats struct {
 	// check per emit site and allocates nothing.
 	Trace *trace.Tracer `json:"-"`
 
+	// Schema is the version of this JSON envelope (SchemaVersion at
+	// build time; New stamps it). Consumers that persist or cache stats
+	// payloads — the revive-serve content-addressed result cache keys on
+	// it — use the version to discriminate payloads produced by
+	// different code versions. It appears exactly once per run result.
+	Schema int `json:"schema_version"`
+
 	// Per-processor progress.
 	Instructions uint64
 	MemRefs      uint64
@@ -160,8 +167,17 @@ type RecoveryRecord struct {
 	FramesSkipped int `json:"frames_skipped,omitempty"`
 }
 
-// New returns a zeroed Stats.
-func New() *Stats { return &Stats{} }
+// SchemaVersion identifies the shape of the Stats JSON envelope. Bump it
+// whenever the marshaled output shape changes (a field added, renamed,
+// re-typed or given new units), so that anything keyed on the version —
+// most importantly revive-serve's content-addressed result cache — never
+// serves a payload produced by a different shape of the code. Version 1
+// is retroactively the envelope before the version field existed;
+// version 2 added the field itself.
+const SchemaVersion = 2
+
+// New returns a fresh Stats stamped with the current SchemaVersion.
+func New() *Stats { return &Stats{Schema: SchemaVersion} }
 
 // Net records one inter-node network message of the given class and total
 // size in bytes (header plus payload).

@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"encoding/json"
+	"fmt"
 	"reflect"
 	"strconv"
 	"strings"
@@ -152,5 +154,27 @@ func TestCampaignAddFieldCompleteness(t *testing.T) {
 		if !strings.Contains(line, dec) {
 			t.Errorf("Campaign.String() does not mention %s=%s:\n%s", ty.Field(i).Name, dec, line)
 		}
+	}
+}
+
+// TestSchemaVersionStamped: New must stamp the build's SchemaVersion and
+// the JSON envelope must carry it under the documented key — the
+// revive-serve cache keys on the pair (config hash, seed, SchemaVersion),
+// so a silent rename here would poison cached results across versions.
+func TestSchemaVersionStamped(t *testing.T) {
+	s := New()
+	if s.Schema != SchemaVersion {
+		t.Fatalf("New().Schema = %d, want SchemaVersion %d", s.Schema, SchemaVersion)
+	}
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf(`"schema_version":%d`, SchemaVersion)
+	if !strings.Contains(string(blob), want) {
+		t.Fatalf("stats JSON missing %s:\n%s", want, blob)
+	}
+	if n := strings.Count(string(blob), `"schema_version"`); n != 1 {
+		t.Fatalf("schema_version appears %d times, want 1", n)
 	}
 }

@@ -20,6 +20,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -48,8 +49,26 @@ type taskPanic struct {
 // delivery order reaches its index, mirroring where a serial loop would
 // have stopped.
 func Run[T any](parallelism, n int, task func(i int) T, collect func(i int, r T)) []T {
+	out, _ := RunCtx(context.Background(), parallelism, n, task, collect)
+	return out
+}
+
+// RunCtx is Run with cooperative cancellation: once ctx is done, no further
+// index is *started* — on either the serial path or the worker pool — and
+// RunCtx returns ctx.Err(). Tasks already in flight when the cancellation
+// lands run to completion (a task is never preempted; callers that need a
+// bound on task runtime enforce one inside the task, e.g. an event budget).
+//
+// Delivery keeps Run's determinism contract for the portion of the sweep
+// that happened: collect runs on the calling goroutine, in strictly
+// increasing index order, for the contiguous prefix of indices below the
+// first never-started index. Results of stragglers past that point (tasks
+// claimed before the cancellation was observed) are still stored in the
+// returned slice but are not collected — a serial loop would never have
+// reached them. Never-started indices hold T's zero value.
+func RunCtx[T any](ctx context.Context, parallelism, n int, task func(i int) T, collect func(i int, r T)) ([]T, error) {
 	if n <= 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	if parallelism <= 0 {
 		parallelism = DefaultParallelism()
@@ -60,16 +79,20 @@ func Run[T any](parallelism, n int, task func(i int) T, collect func(i int, r T)
 	out := make([]T, n)
 	if parallelism == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			out[i] = task(i)
 			if collect != nil {
 				collect(i, out[i])
 			}
 		}
-		return out
+		return out, nil
 	}
 
 	panics := make([]*taskPanic, n)
-	finished := make(chan int, n) // buffered: workers never block, even if Run unwinds early
+	skipped := make([]atomic.Bool, n) // claimed after cancellation: never started
+	finished := make(chan int, n)     // buffered: workers never block, even if Run unwinds early
 	var cursor atomic.Int64
 	for w := 0; w < parallelism; w++ {
 		go func() {
@@ -77,6 +100,11 @@ func Run[T any](parallelism, n int, task func(i int) T, collect func(i int, r T)
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
 					return
+				}
+				if ctx.Err() != nil {
+					skipped[i].Store(true)
+					finished <- i
+					continue
 				}
 				func() {
 					defer func() {
@@ -93,19 +121,29 @@ func Run[T any](parallelism, n int, task func(i int) T, collect func(i int, r T)
 
 	// Deliver results in index order: a completed index is held back until
 	// every predecessor has completed, so collect sees the serial sequence.
+	// The first skipped index ends delivery (a serial loop would have
+	// stopped there), but the drain continues so every worker retires.
 	ready := make([]bool, n)
 	next := 0
+	delivering := true
+	var err error
 	for done := 0; done < n; done++ {
 		ready[<-finished] = true
 		for next < n && ready[next] {
 			if p := panics[next]; p != nil {
+				// A panic is re-raised even past the delivery cutoff:
+				// cancellation must not swallow a crashed task.
 				panic(fmt.Sprintf("sweep: task %d panicked: %v\n%s", next, p.val, p.stack))
 			}
-			if collect != nil {
+			if skipped[next].Load() {
+				delivering = false
+				err = ctx.Err()
+			}
+			if delivering && collect != nil {
 				collect(next, out[next])
 			}
 			next++
 		}
 	}
-	return out
+	return out, err
 }

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -124,6 +126,115 @@ func TestLoadBalancing(t *testing.T) {
 	for i := range ran {
 		if c := ran[i].Load(); c != 1 {
 			t.Fatalf("task %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestRunCtxSerialCancelMidCollect: on the serial path, a cancellation
+// raised inside collect must stop the loop before the next index starts —
+// the count of started tasks is exact, not probabilistic.
+func TestRunCtxSerialCancelMidCollect(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := 0
+	out, err := RunCtx(ctx, 1, 100, func(i int) int {
+		started++
+		return i + 1
+	}, func(i, r int) {
+		if i == 9 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if started != 10 {
+		t.Fatalf("started %d tasks after cancel at collect(9), want exactly 10", started)
+	}
+	if out[9] != 10 || out[10] != 0 {
+		t.Fatalf("out[9]=%d out[10]=%d, want 10 and zero value", out[9], out[10])
+	}
+}
+
+// TestRunCtxPoolCancelMidCollect: on the worker pool, cancelling from
+// inside collect must (a) return ctx.Err, (b) stop delivery at the first
+// never-started index, and (c) leave the tail of the sweep unstarted —
+// with n far larger than the worker count, the pool cannot have claimed
+// everything before the cancellation was observed. Run under -race this is
+// the cancel-mid-collect race exercise.
+func TestRunCtxPoolCancelMidCollect(t *testing.T) {
+	const n, workers = 5000, 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Indices past 16 block on the gate until the cancellation lands, so
+	// the pool cannot burn through the whole sweep before observing it;
+	// the handful of blocked stragglers are released by close(gate) and
+	// every later claim sees the dead context and is skipped.
+	gate := make(chan struct{})
+	var started atomic.Int64
+	collected := 0 // single-goroutine by contract
+	_, err := RunCtx(ctx, workers, n, func(i int) int {
+		started.Add(1)
+		if i >= 16 {
+			<-gate
+		}
+		return i
+	}, func(i, r int) {
+		collected++
+		if collected == 10 {
+			cancel()
+			close(gate)
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s := started.Load(); s == n {
+		t.Fatalf("all %d tasks started despite cancellation at collect #10", n)
+	}
+	if collected == 0 || collected > n {
+		t.Fatalf("collected %d deliveries, want a non-empty prefix", collected)
+	}
+}
+
+// TestRunCtxPreCancelled: a context that is already done starts nothing on
+// either path.
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, p := range []int{1, 8} {
+		var started atomic.Int64
+		out, err := RunCtx(ctx, p, 64, func(i int) int {
+			started.Add(1)
+			return i
+		}, func(i, r int) { t.Errorf("parallelism %d: collect(%d) ran under a dead context", p, i) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism %d: err = %v, want context.Canceled", p, err)
+		}
+		if s := started.Load(); s != 0 {
+			t.Fatalf("parallelism %d: %d tasks started under a dead context", p, s)
+		}
+		if p == 8 && len(out) != 64 {
+			t.Fatalf("out length %d, want 64 (zero-valued)", len(out))
+		}
+	}
+}
+
+// TestRunCtxNoCancelMatchesRun: without a cancellation RunCtx is Run —
+// byte-identical collect stream at every parallelism.
+func TestRunCtxNoCancelMatchesRun(t *testing.T) {
+	const n = 63
+	task := func(i int) int { return i * 3 }
+	var want strings.Builder
+	Run(1, n, task, func(i, r int) { fmt.Fprintf(&want, "%d=%d;", i, r) })
+	for _, p := range []int{1, 5} {
+		var got strings.Builder
+		_, err := RunCtx(context.Background(), p, n, task, func(i, r int) { fmt.Fprintf(&got, "%d=%d;", i, r) })
+		if err != nil {
+			t.Fatalf("parallelism %d: err = %v", p, err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("parallelism %d: collect stream diverged:\n got %q\nwant %q", p, got.String(), want.String())
 		}
 	}
 }

@@ -85,6 +85,16 @@ type (
 // group, section 3.1.2). Match with errors.Is.
 var ErrUnrecoverable = core.ErrUnrecoverable
 
+// Watchdog sentinels returned (wrapped) by Machine.RunBudget when a run
+// cannot finish: ErrStalled for a drained event queue with processors
+// unfinished, ErrLivelock for an exhausted event budget. Match with
+// errors.Is. revive-sim -max-events and every revive-serve job use the
+// budgeted run so a pathological configuration reports instead of hanging.
+var (
+	ErrStalled  = sim.ErrStalled
+	ErrLivelock = sim.ErrLivelock
+)
+
 // Convenient duration units.
 const (
 	Nanosecond  = sim.Nanosecond
