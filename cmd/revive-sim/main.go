@@ -11,6 +11,7 @@
 //	revive-sim -app FFT -fault cpu-loss      # kill node 5's processor mid-run
 //	revive-sim -app FFT -fault mem-partial -fault-frames 16   # partial memory loss
 //	revive-sim -app FFT -trace out.json -series out.csv   # observability sinks
+//	revive-sim -app FFT -progress            # live per-checkpoint progress on stderr
 //	revive-sim -app FFT -json                # machine-readable stats
 //	revive-sim -apps FFT,Radix,Ocean -j 4    # multi-app sweep, 4 at a time
 //	revive-sim -apps all                     # sweep every application
@@ -65,6 +66,7 @@ func main() {
 		faultFrameLo = flag.Int("fault-frame-lo", 0, "first lost frame for -fault mem-partial")
 		faultFrames  = flag.Int("fault-frames", 8, "lost frame count for -fault mem-partial")
 
+		progress    = flag.Bool("progress", false, "print per-checkpoint progress (epoch, events, sim-time) to stderr")
 		traceOut    = flag.String("trace", "", "write a Chrome trace-event JSON of the run (load in Perfetto)")
 		traceEvents = flag.Int("trace-events", 1<<20, "event ring capacity for -trace (the last N events are kept)")
 		seriesOut   = flag.String("series", "", "write the per-epoch metric time-series (CSV, or JSON with a .json suffix)")
@@ -114,8 +116,8 @@ func main() {
 		return
 	}
 	if *appsFlag != "" {
-		if *replay != "" || *record != "" || *traceOut != "" || *seriesOut != "" || *faultKind != "" {
-			fmt.Fprintln(os.Stderr, "-apps sweeps are incompatible with -replay, -record, -trace, -series and -fault")
+		if *replay != "" || *record != "" || *traceOut != "" || *seriesOut != "" || *faultKind != "" || *progress {
+			fmt.Fprintln(os.Stderr, "-apps sweeps are incompatible with -replay, -record, -trace, -series, -fault and -progress")
 			exit(2)
 		}
 		exit(runAppsSweep(o, *appsFlag, *jobs, *baseline, *mirror, *noCkpt, *interval, *jsonOut))
@@ -168,6 +170,15 @@ func main() {
 
 	m := revive.New(cfg)
 	m.Load(wl)
+	if *progress {
+		// One updating line on stderr per committed checkpoint: the same
+		// per-epoch hook the daemon streams over SSE. stdout is untouched,
+		// so piped output stays byte-identical with and without -progress.
+		m.Cfg.OnSample = func(smp trace.Sample) {
+			fmt.Fprintf(os.Stderr, "\rprogress: epoch %-6d events %-12d sim %8.2fus",
+				smp.Epoch, m.Engine.Steps(), float64(smp.TimeNS)/1e3)
+		}
+	}
 	var faultRep *revive.DetectionReport
 	if *faultKind != "" {
 		at := revive.Time(faultAt.Nanoseconds())
@@ -195,6 +206,9 @@ func main() {
 	start := time.Now()
 	st, runErr := m.RunBudget(*maxEv)
 	wall := time.Since(start)
+	if *progress {
+		fmt.Fprintln(os.Stderr) // terminate the updating progress line
+	}
 	if runErr != nil {
 		// The watchdog fired: ErrLivelock (budget exhausted) or
 		// ErrStalled (queue drained early). Typed, not a hang.

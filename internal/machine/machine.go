@@ -62,6 +62,12 @@ type Config struct {
 	// checkpoint: per-node log occupancy, traffic by class, miss rates
 	// (the Figure 11 time-series).
 	Series *trace.Series
+	// OnSample, if non-nil, receives the same per-commit metric sample
+	// as Series, as a callback on the event-loop goroutine — the live
+	// progress hook behind revive-serve's SSE streams and revive-sim
+	// -progress. It may be set (or swapped) any time before the next
+	// commit. Must not block; nil costs one pointer check per commit.
+	OnSample trace.SampleFunc
 }
 
 // Default returns the paper's Table 3 machine: 16 nodes, 7+1 parity,
@@ -256,9 +262,7 @@ func (m *Machine) onCommit(epoch uint64) {
 		snap.Contexts = append(snap.Contexts, p.ContextSnapshot())
 	}
 	m.snapshots[epoch] = snap
-	if m.Cfg.Series != nil {
-		m.sampleSeries(epoch)
-	}
+	m.maybeSample(epoch)
 	retain := uint64(m.Cfg.Checkpoint.Retain)
 	if retain < 2 {
 		retain = 2
@@ -272,28 +276,28 @@ func (m *Machine) onCommit(epoch uint64) {
 	}
 }
 
-// sampleSeries appends the committed epoch's metric snapshot to the
-// configured time-series sink.
-func (m *Machine) sampleSeries(epoch uint64) {
-	s, st := m.Cfg.Series, m.Stats
-	if s.Classes == nil {
-		for c := stats.Class(0); c < stats.NumClasses; c++ {
-			s.Classes = append(s.Classes, c.String())
-		}
+// maybeSample builds the committed epoch's metric snapshot once and
+// fans it out to the configured sinks: the Series accumulator and the
+// OnSample live hook. With neither configured it is a pointer check —
+// nothing allocates (pinned by TestMaybeSampleNilHookZeroAlloc).
+func (m *Machine) maybeSample(epoch uint64) {
+	s, hook := m.Cfg.Series, m.Cfg.OnSample
+	if s == nil && hook == nil {
+		return
 	}
-	smp := trace.Sample{
-		Epoch: epoch, TimeNS: int64(m.Engine.Now()),
-		Instructions: st.Instructions, MemRefs: st.MemRefs,
-		L1Hits: st.L1Hits, L1Misses: st.L1Misses,
-		L2Hits: st.L2Hits, L2Misses: st.L2Misses,
-		Checkpoints: st.Checkpoints,
-		NetBytes:    append([]uint64(nil), st.NetBytes[:]...),
-		MemAccesses: append([]uint64(nil), st.MemAccesses[:]...),
-	}
+	smp := m.Stats.Sample(epoch, int64(m.Engine.Now()))
 	for _, ctrl := range m.Ctrls {
 		smp.NodeLogBytes = append(smp.NodeLogBytes, ctrl.Log().RetainedBytes())
 	}
-	s.Add(smp)
+	if s != nil {
+		if s.Classes == nil {
+			s.Classes = stats.ClassNames()
+		}
+		s.Add(smp)
+	}
+	if hook != nil {
+		hook(smp)
+	}
 }
 
 // AttachDevice adds an external I/O device governed by the machine's

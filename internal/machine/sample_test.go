@@ -1,0 +1,85 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"revive/internal/stats"
+	"revive/internal/trace"
+)
+
+// TestOnSampleMatchesSeries runs the same workload twice — once into a
+// Series sink, once into the OnSample hook — and checks the hook saw
+// exactly the samples the Series accumulated. The live progress stream
+// is the Series, frame for frame.
+func TestOnSampleMatchesSeries(t *testing.T) {
+	cfgA := smallConfig(true)
+	series := &trace.Series{}
+	cfgA.Series = series
+	ma := New(cfgA)
+	ma.Load(testProfile(60000))
+	ma.Run()
+
+	cfgB := smallConfig(true)
+	var hooked []trace.Sample
+	cfgB.OnSample = func(smp trace.Sample) { hooked = append(hooked, smp) }
+	mb := New(cfgB)
+	mb.Load(testProfile(60000))
+	mb.Run()
+
+	if len(series.Samples) == 0 {
+		t.Fatal("series collected no samples")
+	}
+	if !reflect.DeepEqual(series.Samples, hooked) {
+		t.Fatalf("hook samples diverge from series:\nseries: %+v\nhook:   %+v",
+			series.Samples, hooked)
+	}
+}
+
+// TestOnSampleAndSeriesShareOneSnapshot checks both sinks can be active
+// at once and receive identical frames built from a single snapshot.
+func TestOnSampleAndSeriesShareOneSnapshot(t *testing.T) {
+	cfg := smallConfig(true)
+	series := &trace.Series{}
+	cfg.Series = series
+	var hooked []trace.Sample
+	cfg.OnSample = func(smp trace.Sample) { hooked = append(hooked, smp) }
+	m := New(cfg)
+	m.Load(testProfile(60000))
+	m.Run()
+
+	if len(series.Samples) == 0 || !reflect.DeepEqual(series.Samples, hooked) {
+		t.Fatalf("dual-sink frames diverge: series=%d hook=%d",
+			len(series.Samples), len(hooked))
+	}
+	if got := stats.ClassNames(); !reflect.DeepEqual(series.Classes, got) {
+		t.Fatalf("series classes = %v, want %v", series.Classes, got)
+	}
+}
+
+// TestMaybeSampleNilHookZeroAlloc pins the PR 5 discipline: with neither
+// Series nor OnSample configured, the per-commit sampling path must not
+// allocate — it is one pointer check on the event loop.
+func TestMaybeSampleNilHookZeroAlloc(t *testing.T) {
+	m := New(smallConfig(true))
+	if avg := testing.AllocsPerRun(1000, func() { m.maybeSample(1) }); avg != 0 {
+		t.Fatalf("maybeSample with nil sinks allocates %v/op, want 0", avg)
+	}
+}
+
+// TestOnSampleSettableAfterNew checks the serve layer's usage: the hook
+// is installed on a constructed machine (m.Cfg.OnSample = ...) after New
+// but before Run, and fires.
+func TestOnSampleSettableAfterNew(t *testing.T) {
+	m := New(smallConfig(true))
+	var n int
+	m.Cfg.OnSample = func(trace.Sample) { n++ }
+	m.Load(testProfile(60000))
+	st := m.Run()
+	if st.Checkpoints == 0 {
+		t.Fatal("no checkpoints committed")
+	}
+	if n != st.Checkpoints {
+		t.Fatalf("hook fired %d times, want one per checkpoint (%d)", n, st.Checkpoints)
+	}
+}

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+)
+
+// NewLogger returns a structured JSON logger writing to w, the
+// production logging surface for revive-serve: every operational
+// record carries typed attributes (most importantly the correlating
+// "job" ID) instead of a formatted line.
+func NewLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: slog.LevelInfo}))
+}
+
+// Discard returns a logger that drops everything, for tests and for
+// embedders that did not configure logging. (go.mod targets go 1.22,
+// predating slog.DiscardHandler, so this routes to io.Discard with a
+// level no record reaches.)
+func Discard() *slog.Logger {
+	return slog.New(slog.NewJSONHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(math.MaxInt)}))
+}
+
+// Printf adapts a structured logger to the func(format, ...any)
+// signature legacy call sites expect (the journal's warning hook);
+// the formatted line becomes the record message.
+func Printf(l *slog.Logger) func(string, ...any) {
+	return func(format string, args ...any) {
+		l.Info(fmt.Sprintf(format, args...))
+	}
+}

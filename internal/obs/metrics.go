@@ -1,0 +1,344 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant name/value pair attached to an instrument at
+// registration time (e.g. the job kind on a latency histogram).
+type Label struct {
+	Name, Value string
+}
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current total.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. All methods are safe for
+// concurrent use.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (negative to subtract).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into a fixed cumulative bucket layout
+// chosen at registration. Safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []uint64  // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// snapshot returns cumulative bucket counts, sum and count.
+func (h *Histogram) snapshot() (cum []uint64, sum float64, count uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(h.counts))
+	var run uint64
+	for i, c := range h.counts {
+		run += c
+		cum[i] = run
+	}
+	return cum, h.sum, h.count
+}
+
+// DefBuckets is the default latency layout in seconds: 1 ms to 10 min,
+// wide enough for both cached (~1 ms) and cold (~minutes) jobs.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60, 120, 300, 600,
+}
+
+// ExpBuckets returns n bucket bounds growing geometrically from start by
+// factor (start, start*factor, ...). start must be > 0 and factor > 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// child is one instrument of a family (one label combination).
+type child struct {
+	labels  string // rendered {a="b",c="d"} suffix, "" when unlabeled
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// family groups the children sharing one metric name.
+type family struct {
+	name, help, typ string
+	children        []*child
+}
+
+// Registry is a set of registered instruments rendered together by
+// WritePrometheus. Registration is idempotent: asking for an already
+// registered (name, labels) pair returns the existing instrument (for a
+// GaugeFunc the first registered callback wins). Registering one name
+// with two different metric types panics — that is always a bug.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, typ string) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+func (f *family) find(labels string) *child {
+	for _, c := range f.children {
+		if c.labels == labels {
+			return c
+		}
+	}
+	return nil
+}
+
+// renderLabels serializes a label set as the {a="b"} exposition suffix,
+// names sorted, values escaped per the exposition format.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(v)
+}
+
+// Counter registers (or returns) the counter name{labels...}.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "counter")
+	ls := renderLabels(labels)
+	if c := f.find(ls); c != nil {
+		return c.counter
+	}
+	c := &child{labels: ls, counter: &Counter{}}
+	f.children = append(f.children, c)
+	return c.counter
+}
+
+// Gauge registers (or returns) the gauge name{labels...}.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "gauge")
+	ls := renderLabels(labels)
+	if c := f.find(ls); c != nil {
+		return c.gauge
+	}
+	c := &child{labels: ls, gauge: &Gauge{}}
+	f.children = append(f.children, c)
+	return c.gauge
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition
+// time (live state: queue depth, cache footprint). fn must be safe to
+// call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "gauge")
+	ls := renderLabels(labels)
+	if f.find(ls) != nil {
+		return // first registration wins
+	}
+	f.children = append(f.children, &child{labels: ls, gaugeFn: fn})
+}
+
+// Histogram registers (or returns) the histogram name{labels...} with the
+// given fixed bucket upper bounds (ascending; +Inf is implicit). Passing
+// nil selects DefBuckets. Re-registration ignores the bucket argument and
+// returns the existing instrument.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("obs: histogram buckets must be ascending")
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "histogram")
+	ls := renderLabels(labels)
+	if c := f.find(ls); c != nil {
+		return c.hist
+	}
+	h := &Histogram{bounds: append([]float64(nil), buckets...), counts: make([]uint64, len(buckets)+1)}
+	f.children = append(f.children, &child{labels: ls, hist: h})
+	return h
+}
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (families sorted by name, children by label set).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		children := append([]*child(nil), f.children...)
+		sort.Slice(children, func(i, j int) bool { return children[i].labels < children[j].labels })
+		for _, c := range children {
+			if err := writeChild(w, f, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeChild(w io.Writer, f *family, c *child) error {
+	switch {
+	case c.counter != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, c.labels, strconv.FormatUint(c.counter.Value(), 10))
+		return err
+	case c.gauge != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, c.labels, formatFloat(c.gauge.Value()))
+		return err
+	case c.gaugeFn != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, c.labels, formatFloat(c.gaugeFn()))
+		return err
+	case c.hist != nil:
+		cum, sum, count := c.hist.snapshot()
+		for i, bound := range c.hist.bounds {
+			le := Label{Name: "le", Value: formatFloat(bound)}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, mergeLabels(c.labels, le), cum[i]); err != nil {
+				return err
+			}
+		}
+		inf := Label{Name: "le", Value: "+Inf"}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, mergeLabels(c.labels, inf), cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, c.labels, formatFloat(sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, c.labels, count)
+		return err
+	}
+	return nil
+}
+
+// mergeLabels appends one label to an already rendered label set (the
+// histogram le label rides after the registered ones).
+func mergeLabels(rendered string, extra Label) string {
+	suffix := extra.Name + `="` + escapeLabel(extra.Value) + `"`
+	if rendered == "" {
+		return "{" + suffix + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + suffix + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

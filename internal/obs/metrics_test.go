@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("revive_widgets_total", "widgets")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("revive_depth", "depth")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", Label{"kind", "sim"})
+	b := r.Counter("x_total", "x", Label{"kind", "sim"})
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	other := r.Counter("x_total", "x", Label{"kind", "sweep"})
+	if a == other {
+		t.Fatal("different labels must return distinct counters")
+	}
+	h1 := r.Histogram("y_seconds", "y", nil)
+	h2 := r.Histogram("y_seconds", "y", []float64{1, 2, 3})
+	if h1 != h2 {
+		t.Fatal("histogram re-registration must return the existing instrument")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z", "z")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as two types must panic")
+		}
+	}()
+	r.Gauge("z", "z")
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_sum 56.05",
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryValueLandsInBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b_seconds", "b", []float64{1, 2})
+	h.Observe(1) // le="1" bucket is inclusive
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `b_seconds_bucket{le="1"} 1`) {
+		t.Fatalf("observation equal to a bound must land in that bucket:\n%s", b.String())
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("revive_jobs_total", "Jobs accepted.", Label{"kind", "sim"}).Add(2)
+	r.Counter("revive_jobs_total", "Jobs accepted.", Label{"kind", "sweep"}).Add(7)
+	r.Gauge("revive_queue_depth", "Queue depth.").Set(3)
+	r.GaugeFunc("revive_cache_entries", "Cache entries.", func() float64 { return 42 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP revive_jobs_total Jobs accepted.\n# TYPE revive_jobs_total counter\n",
+		`revive_jobs_total{kind="sim"} 2`,
+		`revive_jobs_total{kind="sweep"} 7`,
+		"# TYPE revive_queue_depth gauge\nrevive_queue_depth 3\n",
+		"revive_cache_entries 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Families must be sorted by name; every non-comment line is "name value".
+	var lastFamily string
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			if fields[1] == "TYPE" {
+				if fields[2] < lastFamily {
+					t.Fatalf("families not sorted: %q after %q", fields[2], lastFamily)
+				}
+				lastFamily = fields[2]
+			}
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Fatalf("sample line %q is not `name value`", line)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", Label{"app", "a\"b\\c\nd"}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{app="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", b.String())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.00005, 4, 4)
+	want := []float64{0.00005, 0.0002, 0.0008, 0.0032}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if diff := got[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("bucket[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConcurrentInstrumentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("conc_total", "")
+			h := r.Histogram("conc_seconds", "", nil)
+			g := r.Gauge("conc_gauge", "")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.01)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("conc_seconds", "", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	if got := r.Gauge("conc_gauge", "").Value(); got != 8000 {
+		t.Fatalf("gauge = %v, want 8000", got)
+	}
+}

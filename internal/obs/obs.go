@@ -1,0 +1,17 @@
+// Package obs is the serving layer's zero-dependency observability plane:
+//
+//   - a metrics registry (metrics.go) holding counters, gauges and
+//     fixed-bucket histograms, exposed in the Prometheus text exposition
+//     format (GET /metrics on revive-serve);
+//   - bounded per-stream event rings (ring.go) with monotonic event IDs,
+//     the backing store for Server-Sent-Events job progress streaming
+//     with Last-Event-ID replay (GET /jobs/{id}/events);
+//   - structured JSON logging helpers (log.go) wiring log/slog so every
+//     operational record — admission, execution, journal, recovery — can
+//     carry a correlating job ID.
+//
+// The package deliberately has no dependencies beyond the standard
+// library and no knowledge of the simulator: internal/serve composes it
+// with the daemon, and the sinks it feeds (trace.Sample frames) are
+// defined where they are produced.
+package obs

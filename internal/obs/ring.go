@@ -1,0 +1,125 @@
+package obs
+
+import "sync"
+
+// Event is one entry in a Ring: a monotonically increasing ID (first
+// event is 1), an event name (the SSE `event:` field) and an opaque
+// payload (the SSE `data:` field, typically one line of JSON).
+type Event struct {
+	ID   uint64
+	Name string
+	Data []byte
+}
+
+// Ring is a bounded, append-only event buffer with monotonic IDs,
+// built for Server-Sent-Events fan-out with Last-Event-ID replay:
+// producers Append, consumers poll Since(lastID) and park on Ready()
+// until something new arrives or the ring closes. When the buffer is
+// full the oldest event is evicted and Dropped() counts it; consumers
+// that fell behind simply resume from the oldest retained event.
+//
+// Safe for one or many producers and many consumers.
+type Ring struct {
+	mu      sync.Mutex
+	cap     int
+	buf     []Event // at most cap entries, oldest first
+	lastID  uint64  // ID of the most recently appended event
+	dropped uint64
+	closed  bool
+	notify  chan struct{} // closed+replaced on every append; closed for good on Close
+}
+
+// NewRing returns a ring retaining at most capacity events
+// (capacity <= 0 selects 1024).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Ring{cap: capacity, notify: make(chan struct{})}
+}
+
+// Append adds an event and returns its ID. It wakes every goroutine
+// parked on Ready(). Appending to a closed ring panics — the producer
+// owns the lifecycle and must not emit after Close.
+func (r *Ring) Append(name string, data []byte) uint64 {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		panic("obs: Append on closed Ring")
+	}
+	r.lastID++
+	ev := Event{ID: r.lastID, Name: name, Data: data}
+	if len(r.buf) == r.cap {
+		copy(r.buf, r.buf[1:])
+		r.buf[len(r.buf)-1] = ev
+		r.dropped++
+	} else {
+		r.buf = append(r.buf, ev)
+	}
+	close(r.notify)
+	r.notify = make(chan struct{})
+	r.mu.Unlock()
+	return ev.ID
+}
+
+// Close marks the stream complete: Ready() channels are woken and stay
+// closed so late subscribers don't block, Since keeps serving the
+// retained tail, and further Appends panic. Idempotent.
+func (r *Ring) Close() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		close(r.notify)
+	}
+	r.mu.Unlock()
+}
+
+// Ready returns a channel that is closed when an event is appended
+// after this call, or when the ring closes. Grab it BEFORE calling
+// Since — that ordering makes the append-between-poll-and-park race
+// benign (the park returns immediately).
+func (r *Ring) Ready() <-chan struct{} {
+	r.mu.Lock()
+	ch := r.notify
+	r.mu.Unlock()
+	return ch
+}
+
+// Since returns the retained events with ID > after (oldest first) and
+// whether the ring is closed. If after predates the retained window the
+// caller silently resumes from the oldest event still held.
+func (r *Ring) Since(after uint64) ([]Event, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := len(r.buf)
+	for i > 0 && r.buf[i-1].ID > after {
+		i--
+	}
+	if i == len(r.buf) {
+		return nil, r.closed
+	}
+	out := make([]Event, len(r.buf)-i)
+	copy(out, r.buf[i:])
+	return out, r.closed
+}
+
+// LastID returns the ID of the most recently appended event (0 if none).
+func (r *Ring) LastID() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastID
+}
+
+// Dropped returns how many events have been evicted to keep the bound.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Closed reports whether Close has been called.
+func (r *Ring) Closed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingIDsMonotonicFromOne(t *testing.T) {
+	r := NewRing(8)
+	for i := 1; i <= 5; i++ {
+		if id := r.Append("e", nil); id != uint64(i) {
+			t.Fatalf("append %d returned id %d", i, id)
+		}
+	}
+	evs, closed := r.Since(0)
+	if closed {
+		t.Fatal("ring should not be closed")
+	}
+	if len(evs) != 5 {
+		t.Fatalf("Since(0) returned %d events, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.ID != uint64(i+1) {
+			t.Fatalf("event %d has ID %d", i, ev.ID)
+		}
+	}
+}
+
+func TestRingSinceReplaysGapExactlyOnce(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 10; i++ {
+		r.Append("e", []byte(fmt.Sprintf("%d", i)))
+	}
+	// Consumer saw through ID 4; the gap is 5..10, served exactly once.
+	evs, _ := r.Since(4)
+	if len(evs) != 6 || evs[0].ID != 5 || evs[5].ID != 10 {
+		t.Fatalf("Since(4) = %v", evs)
+	}
+	// Nothing new past the tail.
+	if evs, _ := r.Since(10); len(evs) != 0 {
+		t.Fatalf("Since(10) = %v, want empty", evs)
+	}
+}
+
+func TestRingEvictionAndDropped(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Append("e", nil)
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	// A consumer that fell behind the window resumes from the oldest
+	// retained event (IDs 7..10).
+	evs, _ := r.Since(2)
+	if len(evs) != 4 || evs[0].ID != 7 || evs[3].ID != 10 {
+		t.Fatalf("Since(2) after eviction = %v", evs)
+	}
+}
+
+func TestRingReadyWakesOnAppend(t *testing.T) {
+	r := NewRing(4)
+	ready := r.Ready()
+	done := make(chan struct{})
+	go func() {
+		<-ready
+		close(done)
+	}()
+	r.Append("e", nil)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Ready() not woken by Append")
+	}
+}
+
+func TestRingCloseWakesAndStaysClosed(t *testing.T) {
+	r := NewRing(4)
+	r.Append("e", nil)
+	ready := r.Ready()
+	r.Close()
+	select {
+	case <-ready:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Ready() not woken by Close")
+	}
+	// Late subscribers must not block either.
+	select {
+	case <-r.Ready():
+	case <-time.After(2 * time.Second):
+		t.Fatal("Ready() after Close must be closed")
+	}
+	if evs, closed := r.Since(0); !closed || len(evs) != 1 {
+		t.Fatalf("Since after Close = (%v, %v), want tail + closed", evs, closed)
+	}
+	r.Close() // idempotent
+}
+
+func TestRingAppendAfterClosePanics(t *testing.T) {
+	r := NewRing(4)
+	r.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append after Close must panic")
+		}
+	}()
+	r.Append("e", nil)
+}
+
+// TestRingConcurrentProducerConsumer drives the subscribe loop the SSE
+// handler uses (Ready before Since) and checks the consumer sees every
+// event exactly once, in order. Meaningful under -race.
+func TestRingConcurrentProducerConsumer(t *testing.T) {
+	const n = 500
+	r := NewRing(n) // big enough that nothing evicts
+	var got []uint64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last uint64
+		for {
+			ready := r.Ready()
+			evs, closed := r.Since(last)
+			for _, ev := range evs {
+				got = append(got, ev.ID)
+				last = ev.ID
+			}
+			if closed {
+				return
+			}
+			<-ready
+		}
+	}()
+	for i := 0; i < n; i++ {
+		r.Append("e", nil)
+	}
+	r.Close()
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("consumer saw %d events, want %d", len(got), n)
+	}
+	for i, id := range got {
+		if id != uint64(i+1) {
+			t.Fatalf("event %d has ID %d — not exactly-once in order", i, id)
+		}
+	}
+}

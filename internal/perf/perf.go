@@ -6,6 +6,11 @@
 //
 // cmd/revive-bench's -bench mode is the front door: it runs the suite,
 // writes BENCH_<date>.json, and diffs against BENCH_baseline.json.
+//
+// For profiling, the CLIs take -cpuprofile/-memprofile (offline pprof
+// files via StartProfiles), and revive-serve started with -pprof
+// additionally mounts net/http/pprof under /debug/pprof/ — live
+// CPU/heap/goroutine/block profiles scraped from the running daemon.
 package perf
 
 import (

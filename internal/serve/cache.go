@@ -22,6 +22,10 @@ type Cache struct {
 	// Counters for /statusz (atomic: handlers read them concurrently).
 	hits   atomic.Uint64
 	misses atomic.Uint64
+
+	// metrics mirrors the lookup counters onto /metrics (with byte
+	// totals) when the Server attaches it; nil on hand-built caches.
+	metrics *serveMetrics
 }
 
 // OpenCache opens (creating 0700 if needed) the cache directory.
@@ -50,9 +54,16 @@ func (c *Cache) Get(id string) ([]byte, bool) {
 	data, err := os.ReadFile(c.path(id))
 	if err != nil {
 		c.misses.Add(1)
+		if c.metrics != nil {
+			c.metrics.cacheMisses.Inc()
+		}
 		return nil, false
 	}
 	c.hits.Add(1)
+	if c.metrics != nil {
+		c.metrics.cacheHits.Inc()
+		c.metrics.cacheRead.Add(uint64(len(data)))
+	}
 	return data, true
 }
 
@@ -72,9 +83,38 @@ func (c *Cache) Put(id string, data []byte) error {
 	if c.crash.at("cache.write") {
 		return ErrKilled
 	}
-	return atomicWrite(c.path(id), data, c.crash, "cache")
+	if err := atomicWrite(c.path(id), data, c.crash, "cache"); err != nil {
+		return err
+	}
+	if c.metrics != nil {
+		c.metrics.cacheWritten.Add(uint64(len(data)))
+	}
+	return nil
 }
 
 // Hits and Misses report the lookup counters.
 func (c *Cache) Hits() uint64   { return c.hits.Load() }
 func (c *Cache) Misses() uint64 { return c.misses.Load() }
+
+// Usage scans the store and reports the current footprint: complete
+// result files and their total bytes. In-flight temp files (.json.tmp)
+// and the "invalid" placeholder are excluded. The scan touches only
+// directory metadata — cheap enough for /statusz and scrape-time gauges.
+func (c *Cache) Usage() (entries int, bytes int64) {
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, de := range des {
+		if !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		entries++
+		bytes += info.Size()
+	}
+	return entries, bytes
+}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"revive/internal/obs"
+	"revive/internal/stats"
+	"revive/internal/trace"
+)
+
+// Job progress streaming: every admitted job owns a bounded obs.Ring of
+// lifecycle and per-epoch sample events with monotonic IDs, and
+// GET /jobs/{id}/events serves it as Server-Sent Events. The ring is the
+// replay buffer — a client that reconnects with Last-Event-ID receives
+// exactly the events it missed (or, having fallen out of the bounded
+// window, the oldest retained tail). The ring closes on the job's
+// terminal transition, which ends every stream after the final
+// done/failed event; a drain instead cuts live streams via runCtx while
+// leaving the ring open for the daemon's next life.
+
+// Event payload shapes (the SSE data: field, one line of JSON each).
+type lifecycleFrame struct {
+	Job     string   `json:"job"`
+	Kind    string   `json:"kind,omitempty"`
+	State   string   `json:"state"`
+	Attempt int      `json:"attempt,omitempty"`
+	Err     string   `json:"error,omitempty"`
+	Result  string   `json:"result,omitempty"`
+	Classes []string `json:"classes,omitempty"` // legend for sample frames ("running" events)
+}
+
+type sampleFrame struct {
+	App    string       `json:"app"`
+	Sample trace.Sample `json:"sample"`
+}
+
+type cellFrame struct {
+	App   string `json:"app"`
+	Index int    `json:"index"`
+	Of    int    `json:"of"`
+	Phase string `json:"phase"` // start | finish
+}
+
+// jobEvent appends one event to the job's ring (if any). It takes no
+// server lock — sample/cell events arrive from sweep worker goroutines
+// mid-execution; the ring synchronizes itself.
+func (s *Server) jobEvent(job *Job, name string, payload any) {
+	if job.events == nil {
+		return
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	job.events.Append(name, data)
+	if s.metrics != nil {
+		s.metrics.jobEvents.Inc()
+	}
+}
+
+// progressSink builds the per-job ProgressSink handed to the executor:
+// per-epoch samples and sweep cell boundaries become ring events. The
+// first "running" lifecycle event carries the class legend, so sample
+// frames stay compact.
+func (s *Server) progressSink(job *Job) *ProgressSink {
+	if job.events == nil {
+		return nil
+	}
+	return &ProgressSink{
+		Sample: func(app string, smp trace.Sample) {
+			s.jobEvent(job, "sample", sampleFrame{App: app, Sample: smp})
+		},
+		Cell: func(app string, index, of int, phase string) {
+			s.jobEvent(job, "cell", cellFrame{App: app, Index: index, Of: of, Phase: phase})
+		},
+	}
+}
+
+// handleEvents serves GET /jobs/{id}/events: the job's ring as SSE.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	}
+	ring := job.events
+	if ring == nil {
+		http.Error(w, "job has no event stream", http.StatusNotFound)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	var after uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		id, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad Last-Event-ID", http.StatusBadRequest)
+			return
+		}
+		after = id
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	if s.metrics != nil {
+		s.metrics.sseStreams.Add(1)
+		defer s.metrics.sseStreams.Add(-1)
+	}
+	var drained <-chan struct{} // nil (blocks forever) on hand-built servers
+	if s.runCtx != nil {
+		drained = s.runCtx.Done()
+	}
+
+	for {
+		// Ready before Since: an append landing between the two closes the
+		// ready channel, so the park below returns immediately.
+		ready := ring.Ready()
+		evs, closed := ring.Since(after)
+		for _, ev := range evs {
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Name, ev.Data)
+			after = ev.ID
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-ready:
+		case <-r.Context().Done():
+			return
+		case <-drained:
+			return
+		}
+	}
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.opts.Metrics
+	if reg == nil {
+		http.Error(w, "no metrics registry", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WritePrometheus(w)
+}
+
+// newJobRing allocates a job's event ring per the configured bound.
+func (s *Server) newJobRing() *obs.Ring {
+	return obs.NewRing(s.opts.EventBuffer)
+}
+
+// classLegend is the legend attached to "running" events (indices of
+// the sample frames' NetBytes/MemAccesses arrays).
+func classLegend() []string { return stats.ClassNames() }

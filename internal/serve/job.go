@@ -12,7 +12,21 @@ import (
 	"revive/internal/chaos"
 	"revive/internal/stats"
 	"revive/internal/sweep"
+	"revive/internal/trace"
 )
+
+// ProgressSink receives live progress from an executing job. Sample
+// delivers one per-epoch trace.Sample per committed checkpoint of a
+// sim/sweep cell (labeled with the cell's application); Cell delivers
+// sweep cell lifecycle boundaries ("start"/"finish"). Either field may
+// be nil. Callbacks arrive on sweep worker goroutines, possibly
+// concurrently, and must not block — they feed the SSE event rings.
+// Chaos and experiment jobs report no per-epoch progress (their inner
+// loops predate the hook); they still get lifecycle events.
+type ProgressSink struct {
+	Sample func(app string, smp trace.Sample)
+	Cell   func(app string, index, of int, phase string)
+}
 
 // Request is one job submission. Kind selects the adapter:
 //
@@ -175,6 +189,14 @@ type sweepRow struct {
 // pathological cell cannot hang the daemon. parallelism is the intra-job
 // worker count.
 func Execute(ctx context.Context, req Request, parallelism int, maxEvents uint64) ([]byte, error) {
+	return ExecuteObserved(ctx, req, parallelism, maxEvents, nil)
+}
+
+// ExecuteObserved is Execute with an optional live ProgressSink wired
+// into the fan-out. The sink observes execution, never alters it: the
+// returned bytes are byte-identical with or without one (the cache and
+// the crash harness depend on that).
+func ExecuteObserved(ctx context.Context, req Request, parallelism int, maxEvents uint64, sink *ProgressSink) ([]byte, error) {
 	o := revive.Options{Nodes: req.Nodes, Scale: req.Scale, Quick: req.Quick, Parallelism: parallelism}
 	if req.Mirror {
 		o.GroupSize = 2
@@ -182,7 +204,7 @@ func Execute(ctx context.Context, req Request, parallelism int, maxEvents uint64
 	var result any
 	switch req.Kind {
 	case "sim", "sweep":
-		rows, err := runSweep(ctx, req, o, parallelism, maxEvents)
+		rows, err := runSweep(ctx, req, o, parallelism, maxEvents, sink)
 		if err != nil {
 			return nil, err
 		}
@@ -227,7 +249,10 @@ func Execute(ctx context.Context, req Request, parallelism int, maxEvents uint64
 
 // runSweep executes one machine per requested application on the sweep
 // pool, honoring ctx between cells and the event budget within each.
-func runSweep(ctx context.Context, req Request, o revive.Options, parallelism int, maxEvents uint64) ([]sweepRow, error) {
+// When sink is live, each cell's machine gets an OnSample hook labeled
+// with its application and the pool reports cell boundaries; the
+// nil-sink path builds the exact machines it always did.
+func runSweep(ctx context.Context, req Request, o revive.Options, parallelism int, maxEvents uint64, sink *ProgressSink) ([]sweepRow, error) {
 	cfg := buildConfig(req, o)
 	mode := "ReVive 7+1 parity"
 	switch {
@@ -241,17 +266,29 @@ func runSweep(ctx context.Context, req Request, o revive.Options, parallelism in
 		runErr    error
 		parityErr error
 	}
-	cells, err := sweep.RunCtx(ctx, parallelism, len(req.Apps), func(i int) cell {
+	var observer *sweep.Observer
+	if sink != nil && sink.Cell != nil {
+		observer = &sweep.Observer{
+			Start:  func(i int) { sink.Cell(req.Apps[i], i, len(req.Apps), "start") },
+			Finish: func(i int) { sink.Cell(req.Apps[i], i, len(req.Apps), "finish") },
+		}
+	}
+	cells, err := sweep.RunCtxObs(ctx, parallelism, len(req.Apps), func(i int) cell {
 		app, _ := revive.AppByName(req.Apps[i], o)
-		m := revive.New(cfg)
+		c := cfg
+		if sink != nil && sink.Sample != nil {
+			label := req.Apps[i]
+			c.OnSample = func(smp trace.Sample) { sink.Sample(label, smp) }
+		}
+		m := revive.New(c)
 		m.Load(app)
 		st, runErr := m.RunBudget(maxEvents)
-		c := cell{st: st, runErr: runErr}
+		out := cell{st: st, runErr: runErr}
 		if runErr == nil && !req.Baseline {
-			c.parityErr = m.VerifyParity()
+			out.parityErr = m.VerifyParity()
 		}
-		return c
-	}, nil)
+		return out
+	}, nil, observer)
 	if err != nil {
 		return nil, err
 	}

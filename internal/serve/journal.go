@@ -37,6 +37,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // ErrKilled is returned by every journal and cache operation after an
@@ -114,6 +115,10 @@ type Journal struct {
 	Replayed    int // records applied from WALs at open
 	TailSkipped int // corrupt/torn records skipped at open
 	FellBack    bool
+
+	// metrics instruments appends, fsyncs and snapshots when the Server
+	// attaches it after open; nil (uninstrumented) on hand-built journals.
+	metrics *serveMetrics
 }
 
 // OpenJournal opens (creating if needed) the journal under dir, recovers
@@ -386,8 +391,13 @@ func (j *Journal) Append(rec *Record) error {
 	if j.crash.at("wal.append.unsynced") {
 		return ErrKilled
 	}
+	syncStart := time.Now()
 	if err := j.wal.Sync(); err != nil {
 		return err
+	}
+	if j.metrics != nil {
+		j.metrics.walFsync.Observe(time.Since(syncStart).Seconds())
+		j.metrics.walAppends.Inc()
 	}
 	j.pending++
 	if j.crash.at("wal.append.synced") {
@@ -401,6 +411,10 @@ func (j *Journal) Pending() int { return j.pending }
 
 // Seq reports the last assigned record sequence.
 func (j *Journal) Seq() uint64 { return j.seq }
+
+// Generation reports the sequence covered by the newest snapshot bundle
+// (the chain generation: wal-<Generation>.jsonl is the live WAL).
+func (j *Journal) Generation() uint64 { return j.snapSeq }
 
 // Snapshot writes a new bundle of the full job table, repoints
 // latest.json at it, rotates the WAL and prunes old generations. Each
@@ -455,6 +469,9 @@ func (j *Journal) Snapshot(jobs map[string]*JobState) error {
 	j.wal, j.walPath = f, newPath
 	j.snapSeq = snap.Seq
 	j.pending = 0
+	if j.metrics != nil {
+		j.metrics.walSnapshots.Inc()
+	}
 	j.prune()
 	return nil
 }

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"time"
+
+	"revive/internal/obs"
+)
+
+// serveMetrics holds the daemon's registered instruments. A nil
+// *serveMetrics is valid everywhere it is consulted — tests that build a
+// Server (or Journal/Cache) by hand without New get the uninstrumented
+// behavior — so every use is guarded. Live state (queue depth, journal
+// sequence, cache footprint) is exported through GaugeFuncs registered
+// in New rather than fields here: those read the authoritative
+// structures at scrape time instead of shadowing them.
+type serveMetrics struct {
+	jobsAccepted  *obs.Counter
+	jobsDeduped   *obs.Counter
+	jobsRejected  *obs.Counter
+	jobsCompleted *obs.Counter
+	jobsFailed    *obs.Counter
+	jobRetries    *obs.Counter
+	jobPanics     *obs.Counter
+	simulations   *obs.Counter
+	jobEvents     *obs.Counter
+	sseStreams    *obs.Gauge
+
+	jobDuration map[string]*obs.Histogram // by job kind
+
+	walAppends   *obs.Counter
+	walSnapshots *obs.Counter
+	walFsync     *obs.Histogram
+
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	cacheRead    *obs.Counter
+	cacheWritten *obs.Counter
+}
+
+// newServeMetrics registers the daemon's instruments on reg. Use one
+// registry per Server: the GaugeFuncs New adds close over the server.
+func newServeMetrics(reg *obs.Registry) *serveMetrics {
+	m := &serveMetrics{
+		jobsAccepted:  reg.Counter("revive_jobs_accepted_total", "Jobs admitted (new content hashes)."),
+		jobsDeduped:   reg.Counter("revive_jobs_deduped_total", "Submissions folded into an existing job."),
+		jobsRejected:  reg.Counter("revive_jobs_rejected_total", "429 backpressure responses (queue full)."),
+		jobsCompleted: reg.Counter("revive_jobs_completed_total", "Jobs that reached done."),
+		jobsFailed:    reg.Counter("revive_jobs_failed_total", "Jobs that reached failed."),
+		jobRetries:    reg.Counter("revive_job_retries_total", "Transient-failure retries."),
+		jobPanics:     reg.Counter("revive_job_panics_total", "Job panics contained by the executor."),
+		simulations:   reg.Counter("revive_simulations_total", "Actual simulation executions (cache probe)."),
+		jobEvents:     reg.Counter("revive_job_events_total", "Progress events appended to job rings."),
+		sseStreams:    reg.Gauge("revive_sse_streams", "Live SSE event streams."),
+		jobDuration:   make(map[string]*obs.Histogram),
+		walAppends:    reg.Counter("revive_wal_appends_total", "Journal records durably appended."),
+		walSnapshots:  reg.Counter("revive_wal_snapshots_total", "Journal snapshot compactions."),
+		walFsync:      reg.Histogram("revive_wal_fsync_seconds", "WAL fsync latency.", obs.ExpBuckets(0.00005, 4, 10)),
+		cacheHits:     reg.Counter("revive_cache_hits_total", "Result-cache lookup hits."),
+		cacheMisses:   reg.Counter("revive_cache_misses_total", "Result-cache lookup misses."),
+		cacheRead:     reg.Counter("revive_cache_read_bytes_total", "Result bytes served from the cache."),
+		cacheWritten:  reg.Counter("revive_cache_written_bytes_total", "Result bytes written to the cache."),
+	}
+	for _, kind := range []string{"sim", "sweep", "chaos", "experiment"} {
+		m.jobDuration[kind] = reg.Histogram("revive_job_duration_seconds",
+			"Wall-clock from first execution attempt to a terminal state.",
+			nil, obs.Label{Name: "kind", Value: kind})
+	}
+	return m
+}
+
+// observeJobDuration records a terminal job's wall-clock by kind.
+func (m *serveMetrics) observeJobDuration(kind string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	if h, ok := m.jobDuration[kind]; ok {
+		h.Observe(d.Seconds())
+	}
+}

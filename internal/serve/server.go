@@ -5,10 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"path/filepath"
 	"sync"
 	"time"
+
+	"revive/internal/obs"
 )
 
 // Options configures a Server. The zero value of every field selects a
@@ -40,6 +43,17 @@ type Options struct {
 	SnapshotEvery int
 	// Log receives operational lines (default: discard).
 	Log func(format string, a ...any)
+	// Logger receives structured operational records with job-ID
+	// correlation — the production logging surface; Log remains for
+	// plain-line consumers (default: discard).
+	Logger *slog.Logger
+	// Metrics is the registry the daemon instruments itself on, exposed
+	// at GET /metrics. Use one registry per Server — New registers
+	// GaugeFuncs closing over this server (default: a fresh registry).
+	Metrics *obs.Registry
+	// EventBuffer bounds each job's progress-event ring: a reconnecting
+	// SSE client can replay at most this many events (default 1024).
+	EventBuffer int
 
 	// crash arms the deterministic kill switch (tests only).
 	crash *crash
@@ -70,6 +84,15 @@ func (o Options) withDefaults() Options {
 	if o.Log == nil {
 		o.Log = func(string, ...any) {}
 	}
+	if o.Logger == nil {
+		o.Logger = obs.Discard()
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
+	if o.EventBuffer == 0 {
+		o.EventBuffer = 1024
+	}
 	return o
 }
 
@@ -77,8 +100,9 @@ func (o Options) withDefaults() Options {
 // JobState; the two are reconciled through the journal.
 type Job struct {
 	JobState
-	req  Request
-	done chan struct{} // closed on a terminal transition (done/failed)
+	req    Request
+	done   chan struct{} // closed on a terminal transition (done/failed)
+	events *obs.Ring     // progress events for SSE; set once at creation, nil on hand-built jobs
 }
 
 func (j *Job) terminal() bool { return j.State == "done" || j.State == "failed" }
@@ -103,6 +127,7 @@ type Server struct {
 	opts    Options
 	journal *Journal
 	cache   *Cache
+	metrics *serveMetrics // nil on hand-built servers; every use is guarded
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -138,12 +163,20 @@ func New(opts Options) (*Server, error) {
 		opts:      opts,
 		journal:   journal,
 		cache:     cache,
+		metrics:   newServeMetrics(opts.Metrics),
 		jobs:      make(map[string]*Job, len(state)),
 		queue:     make(chan *Job, opts.MaxQueue),
 		runCtx:    runCtx,
 		cancelRun: cancelRun,
 		schedDone: make(chan struct{}),
 	}
+	journal.metrics = s.metrics
+	cache.metrics = s.metrics
+	s.registerGauges()
+	s.slogger().Info("journal recovered",
+		"jobs", len(state), "seq", journal.Seq(),
+		"replayed", journal.Replayed, "tail_skipped", journal.TailSkipped,
+		"fell_back", journal.FellBack)
 
 	// Recovery: rebuild the in-memory table and re-queue interrupted
 	// work in admission order. A job the journal saw running (or
@@ -159,7 +192,7 @@ func New(opts Options) (*Server, error) {
 			opts.Log("serve: dropping job %.12s with unparseable request: %v", js.ID, err)
 			continue
 		}
-		job := &Job{JobState: *js, req: req, done: make(chan struct{})}
+		job := &Job{JobState: *js, req: req, done: make(chan struct{}), events: s.newJobRing()}
 		if job.terminal() {
 			close(job.done)
 		}
@@ -175,12 +208,14 @@ func New(opts Options) (*Server, error) {
 					job.Err = ""
 					close(job.done)
 					s.counters.Completed++
+					s.slogger().Info("job completed from durable result at recovery", "job", job.ID)
 					continue
 				}
 			}
 			requeue = append(requeue, job)
 		case job.State == "done" && !cache.Has(job.ID):
 			opts.Log("serve: job %.12s done but result missing from cache — re-queuing", job.ID)
+			s.slogger().Warn("job done but result missing from cache — re-queuing", "job", job.ID)
 			requeue = append(requeue, job)
 		}
 	}
@@ -194,12 +229,26 @@ func New(opts Options) (*Server, error) {
 			job.State = "accepted"
 			job.done = make(chan struct{})
 		}
+		s.jobEvent(job, "recovered", lifecycleFrame{Job: job.ID, Kind: job.req.Kind, State: "accepted"})
+		s.slogger().Info("job re-queued after restart", "job", job.ID, "seq", job.Seq)
 		select {
 		case s.queue <- job:
 		default:
 			// More interrupted jobs than queue slots: keep them accepted;
 			// they will be re-queued by the next restart or resubmission.
 			opts.Log("serve: queue full during recovery; job %.12s parked", job.ID)
+		}
+	}
+	// Terminal recovered jobs stream their state and close; a live job's
+	// ring stays open for the scheduler.
+	for _, job := range s.jobs {
+		if job.terminal() {
+			frame := lifecycleFrame{Job: job.ID, Kind: job.req.Kind, State: job.State, Err: job.Err}
+			if job.State == "done" {
+				frame.Result = "/jobs/" + job.ID + "/result"
+			}
+			s.jobEvent(job, "recovered", frame)
+			job.events.Close()
 		}
 	}
 	if len(state) > 0 || journal.FellBack || journal.TailSkipped > 0 {
@@ -213,6 +262,43 @@ func New(opts Options) (*Server, error) {
 	s.ready = true
 	go s.schedule()
 	return s, nil
+}
+
+// registerGauges exports the daemon's live state — queue, job table,
+// journal position, cache footprint — as GaugeFuncs read at scrape
+// time. The closures take s.mu where the underlying structure demands
+// it; /metrics never races the scheduler.
+func (s *Server) registerGauges() {
+	reg := s.opts.Metrics
+	reg.GaugeFunc("revive_queue_depth", "Jobs waiting in the admission queue.",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("revive_queue_capacity", "Admission queue bound.",
+		func() float64 { return float64(cap(s.queue)) })
+	reg.GaugeFunc("revive_jobs_tracked", "Jobs in the in-memory table.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.jobs)) })
+	reg.GaugeFunc("revive_journal_seq", "Last assigned journal record sequence.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.journal.Seq()) })
+	reg.GaugeFunc("revive_journal_generation", "Sequence covered by the newest snapshot bundle.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.journal.Generation()) })
+	reg.GaugeFunc("revive_journal_pending_records", "WAL records since the last snapshot.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.journal.Pending()) })
+	reg.GaugeFunc("revive_journal_replayed_records", "Records replayed from the WAL at the last open.",
+		func() float64 { return float64(s.journal.Replayed) })
+	reg.GaugeFunc("revive_journal_tail_skipped", "Corrupt/torn records skipped at the last open.",
+		func() float64 { return float64(s.journal.TailSkipped) })
+	reg.GaugeFunc("revive_cache_entries", "Result files in the content-addressed cache.",
+		func() float64 { n, _ := s.cache.Usage(); return float64(n) })
+	reg.GaugeFunc("revive_cache_size_bytes", "Total bytes of cached results.",
+		func() float64 { _, b := s.cache.Usage(); return float64(b) })
+}
+
+// slogger returns the structured logger (never nil, even on hand-built
+// servers that skipped withDefaults).
+func (s *Server) slogger() *slog.Logger {
+	if s.opts.Logger != nil {
+		return s.opts.Logger
+	}
+	return obs.Discard()
 }
 
 // sortJobs orders jobs by admission sequence (deterministic requeue).
@@ -251,12 +337,17 @@ func (s *Server) Submit(req Request) (*Job, bool, error) {
 	}
 	if job, ok := s.jobs[id]; ok {
 		s.counters.Deduped++
+		if s.metrics != nil {
+			s.metrics.jobsDeduped.Inc()
+		}
+		s.slogger().Info("job deduped", "job", id, "kind", req.Kind)
 		return job, false, nil
 	}
 	job := &Job{
 		JobState: JobState{ID: id, State: "accepted", Req: canon},
 		req:      req,
 		done:     make(chan struct{}),
+		events:   s.newJobRing(),
 	}
 	if _, ok := s.cache.Get(id); ok {
 		// A previous life of the daemon (or an identical request under
@@ -273,12 +364,24 @@ func (s *Server) Submit(req Request) (*Job, bool, error) {
 		s.jobs[id] = job
 		s.counters.Accepted++
 		s.counters.Completed++
+		if s.metrics != nil {
+			s.metrics.jobsAccepted.Inc()
+			s.metrics.jobsCompleted.Inc()
+		}
+		s.jobEvent(job, "accepted", lifecycleFrame{Job: id, Kind: req.Kind, State: "accepted"})
+		s.jobEvent(job, "done", lifecycleFrame{Job: id, Kind: req.Kind, State: "done", Result: "/jobs/" + id + "/result"})
+		job.events.Close()
+		s.slogger().Info("job served from cache", "job", id, "kind", req.Kind, "seq", job.Seq)
 		return job, true, nil
 	}
 	select {
 	case s.queue <- job:
 	default:
 		s.counters.Rejected++
+		if s.metrics != nil {
+			s.metrics.jobsRejected.Inc()
+		}
+		s.slogger().Warn("job rejected: queue full", "job", id, "kind", req.Kind, "queue_depth", len(s.queue))
 		return nil, false, errQueueFull
 	}
 	if err := s.journalAppend(&Record{Op: "accepted", Job: id, Req: canon}, job); err != nil {
@@ -286,6 +389,11 @@ func (s *Server) Submit(req Request) (*Job, bool, error) {
 	}
 	s.jobs[id] = job
 	s.counters.Accepted++
+	if s.metrics != nil {
+		s.metrics.jobsAccepted.Inc()
+	}
+	s.jobEvent(job, "accepted", lifecycleFrame{Job: id, Kind: req.Kind, State: "accepted"})
+	s.slogger().Info("job accepted", "job", id, "kind", req.Kind, "seq", job.Seq)
 	return job, true, nil
 }
 
@@ -339,6 +447,7 @@ func (s *Server) schedule() {
 // terminal transition. Transient failures retry with capped backoff.
 // Returns false when the journal has died (simulated kill).
 func (s *Server) process(job *Job) bool {
+	start := time.Now()
 	for {
 		s.mu.Lock()
 		if s.draining {
@@ -350,10 +459,16 @@ func (s *Server) process(job *Job) bool {
 		job.State = "running"
 		job.Attempts++
 		err := s.journalAppend(&Record{Op: "running", Job: job.ID, Attempt: job.Attempts}, job)
+		attempt := job.Attempts
 		s.mu.Unlock()
 		if errors.Is(err, ErrKilled) {
 			return false
 		}
+		s.jobEvent(job, "running", lifecycleFrame{
+			Job: job.ID, Kind: job.req.Kind, State: "running",
+			Attempt: attempt, Classes: classLegend(),
+		})
+		s.slogger().Info("job running", "job", job.ID, "kind", job.req.Kind, "attempt", attempt)
 
 		ctx, cancel := context.WithTimeout(s.runCtx, s.opts.JobTimeout)
 		data, runErr := s.execute(ctx, job)
@@ -381,13 +496,29 @@ func (s *Server) process(job *Job) bool {
 			s.counters.Completed++
 			close(job.done)
 			s.mu.Unlock()
+			if s.metrics != nil {
+				s.metrics.jobsCompleted.Inc()
+			}
+			s.metrics.observeJobDuration(job.req.Kind, time.Since(start))
+			s.jobEvent(job, "done", lifecycleFrame{
+				Job: job.ID, Kind: job.req.Kind, State: "done",
+				Result: "/jobs/" + job.ID + "/result",
+			})
+			if job.events != nil {
+				job.events.Close()
+			}
+			s.slogger().Info("job done", "job", job.ID, "kind", job.req.Kind,
+				"attempts", attempt, "duration", time.Since(start), "bytes", len(data))
 			return true
 		case errors.Is(runErr, context.Canceled):
 			// Drain cancellation: not a failure. Put the job back to
 			// accepted; the shutdown snapshot (or restart replay) re-queues.
+			// The ring stays open — streams are cut by runCtx, and the next
+			// life's ring resumes the story with a "recovered" event.
 			job.State = "accepted"
 			err := s.journalAppend(&Record{Op: "retry", Job: job.ID, Attempt: job.Attempts, Err: "interrupted by shutdown"}, job)
 			s.mu.Unlock()
+			s.slogger().Info("job parked by drain", "job", job.ID, "attempt", attempt)
 			return !errors.Is(err, ErrKilled)
 		}
 
@@ -400,6 +531,15 @@ func (s *Server) process(job *Job) bool {
 			if errors.Is(err, ErrKilled) {
 				return false
 			}
+			if s.metrics != nil {
+				s.metrics.jobRetries.Inc()
+			}
+			s.jobEvent(job, "retry", lifecycleFrame{
+				Job: job.ID, Kind: job.req.Kind, State: "accepted",
+				Attempt: attempt, Err: runErr.Error(),
+			})
+			s.slogger().Warn("job retrying after transient failure", "job", job.ID,
+				"attempt", attempt, "error", runErr.Error())
 			select {
 			case <-time.After(backoff(job.Attempts, s.opts.RetryBase, s.opts.RetryCap)):
 				continue
@@ -419,6 +559,18 @@ func (s *Server) process(job *Job) bool {
 		err = s.journalAppend(&Record{Op: "failed", Job: job.ID, Err: job.Err}, job)
 		close(job.done)
 		s.mu.Unlock()
+		if s.metrics != nil {
+			s.metrics.jobsFailed.Inc()
+		}
+		s.metrics.observeJobDuration(job.req.Kind, time.Since(start))
+		s.jobEvent(job, "failed", lifecycleFrame{
+			Job: job.ID, Kind: job.req.Kind, State: "failed", Err: runErr.Error(),
+		})
+		if job.events != nil {
+			job.events.Close()
+		}
+		s.slogger().Error("job failed", "job", job.ID, "kind", job.req.Kind,
+			"attempts", attempt, "duration", time.Since(start), "error", runErr.Error())
 		return !errors.Is(err, ErrKilled)
 	}
 }
@@ -432,13 +584,20 @@ func (s *Server) execute(ctx context.Context, job *Job) (data []byte, err error)
 	s.mu.Lock()
 	s.counters.Simulations++
 	s.mu.Unlock()
+	if s.metrics != nil {
+		s.metrics.simulations.Inc()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			s.opts.Log("serve: job %.12s panicked: %v", job.ID, r)
+			s.slogger().Error("job panicked", "job", job.ID, "panic", fmt.Sprint(r))
+			if s.metrics != nil {
+				s.metrics.jobPanics.Inc()
+			}
 			data, err = nil, fmt.Errorf("job panicked: %v", r)
 		}
 	}()
-	data, err = Execute(ctx, job.req, s.opts.Parallelism, s.opts.MaxEvents)
+	data, err = ExecuteObserved(ctx, job.req, s.opts.Parallelism, s.opts.MaxEvents, s.progressSink(job))
 	if err == nil && ctx.Err() == context.DeadlineExceeded {
 		err = fmt.Errorf("job deadline %v exceeded", s.opts.JobTimeout)
 	}
@@ -492,6 +651,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining = true
 	s.mu.Unlock()
 
+	s.slogger().Info("draining: admission stopped, cutting in-flight work at the next cell boundary")
 	s.cancelRun()
 	select {
 	case <-s.schedDone:
@@ -525,15 +685,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 //	POST /jobs            submit (202 accepted / 200 done / 429 backpressure)
 //	GET  /jobs/{id}       job status JSON
 //	GET  /jobs/{id}/result  completed response bytes (byte-identical forever)
+//	GET  /jobs/{id}/events  live progress as SSE (Last-Event-ID replay)
 //	POST /run             submit and wait: the response is the result bytes
 //	GET  /healthz         process liveness
 //	GET  /readyz          admission readiness (503 while draining)
-//	GET  /statusz         counters + journal state JSON
+//	GET  /statusz         counters + queue/journal/cache state JSON
+//	GET  /metrics         Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		s.handleSubmit(w, r, false)
 	})
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
 		s.handleSubmit(w, r, true)
 	})
@@ -591,11 +755,16 @@ func (s *Server) Handler() http.Handler {
 			QueueCap int      `json:"queue_cap"`
 			Journal  struct {
 				Seq         uint64 `json:"seq"`
+				Generation  uint64 `json:"generation"`
 				Pending     int    `json:"pending_records"`
 				Replayed    int    `json:"replayed_records"`
 				TailSkipped int    `json:"tail_skipped"`
 				FellBack    bool   `json:"fell_back,omitempty"`
 			} `json:"journal"`
+			Cache struct {
+				Entries int   `json:"entries"`
+				Bytes   int64 `json:"bytes"`
+			} `json:"cache"`
 		}
 		var st statusz
 		st.Counters = s.counters
@@ -603,6 +772,7 @@ func (s *Server) Handler() http.Handler {
 		st.Queue = len(s.queue)
 		st.QueueCap = cap(s.queue)
 		st.Journal.Seq = s.journal.Seq()
+		st.Journal.Generation = s.journal.Generation()
 		st.Journal.Pending = s.journal.Pending()
 		st.Journal.Replayed = s.journal.Replayed
 		st.Journal.TailSkipped = s.journal.TailSkipped
@@ -610,6 +780,7 @@ func (s *Server) Handler() http.Handler {
 		s.mu.Unlock()
 		st.Counters.CacheHits = s.cache.Hits()
 		st.Counters.CacheMisses = s.cache.Misses()
+		st.Cache.Entries, st.Cache.Bytes = s.cache.Usage()
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

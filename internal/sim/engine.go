@@ -118,8 +118,9 @@ func (h *overflowHeap) pop() event {
 // in the machine model is owned by the engine's event loop; no locking is
 // needed anywhere in the simulator.
 type Engine struct {
-	now Time
-	seq uint64
+	now   Time
+	seq   uint64
+	steps uint64 // events executed over the engine's lifetime
 
 	// Timing wheel over [wheelStart, wheelStart+wheelSize). Invariants:
 	// wheelStart <= now whenever user code can observe the engine (slide
@@ -232,9 +233,16 @@ func (e *Engine) Step() bool {
 	}
 	e.count--
 	e.now = e.wheelStart + Time(idx)
+	e.steps++
 	fn()
 	return true
 }
+
+// Steps returns the number of events executed since the engine was
+// created. It survives Reset (unlike the clock, it is a measure of work
+// done, not of model state) — progress reporting uses it as the
+// "events so far" figure.
+func (e *Engine) Steps() uint64 { return e.steps }
 
 // Run executes events until the queue is empty.
 func (e *Engine) Run() {

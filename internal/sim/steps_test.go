@@ -1,0 +1,36 @@
+package sim
+
+import "testing"
+
+func TestStepsCountsExecutedEvents(t *testing.T) {
+	e := NewEngine()
+	if e.Steps() != 0 {
+		t.Fatalf("fresh engine Steps = %d, want 0", e.Steps())
+	}
+	for i := 0; i < 5; i++ {
+		e.At(Time(i*10), func() {})
+	}
+	// One event lands beyond the wheel so the overflow path counts too.
+	e.At(Time(wheelSize+100), func() {})
+	e.Run()
+	if got := e.Steps(); got != 6 {
+		t.Fatalf("Steps = %d, want 6", got)
+	}
+}
+
+func TestStepsSurvivesReset(t *testing.T) {
+	e := NewEngine()
+	e.At(0, func() {})
+	e.Run()
+	before := e.Steps()
+	e.At(e.Now()+1, func() {}) // left pending, discarded by Reset
+	e.Reset()
+	if got := e.Steps(); got != before {
+		t.Fatalf("Steps after Reset = %d, want %d (work done is not model state)", got, before)
+	}
+	e.At(e.Now()+1, func() {})
+	e.Run()
+	if got := e.Steps(); got != before+1 {
+		t.Fatalf("Steps after post-Reset run = %d, want %d", got, before+1)
+	}
+}

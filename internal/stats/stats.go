@@ -39,6 +39,16 @@ const (
 	NumClasses
 )
 
+// ClassNames returns every traffic class label in Class order, the
+// legend for Sample.NetBytes / Sample.MemAccesses indices.
+func ClassNames() []string {
+	names := make([]string, NumClasses)
+	for c := Class(0); c < NumClasses; c++ {
+		names[c] = c.String()
+	}
+	return names
+}
+
 // String returns the label used in the paper's figures.
 func (c Class) String() string {
 	switch c {
@@ -216,6 +226,24 @@ func (s *Stats) TotalNetBytes() uint64 {
 		t += b
 	}
 	return t
+}
+
+// Sample snapshots the per-epoch time-series counters into a
+// trace.Sample (the Figure 11 frame): cumulative progress, cache and
+// traffic counters at the given committed epoch. NodeLogBytes is left
+// for the caller — log occupancy lives in the per-node controllers,
+// which stats cannot see. The slices are freshly allocated, so the
+// sample can outlive the event loop that produced it.
+func (s *Stats) Sample(epoch uint64, timeNS int64) trace.Sample {
+	return trace.Sample{
+		Epoch: epoch, TimeNS: timeNS,
+		Instructions: s.Instructions, MemRefs: s.MemRefs,
+		L1Hits: s.L1Hits, L1Misses: s.L1Misses,
+		L2Hits: s.L2Hits, L2Misses: s.L2Misses,
+		Checkpoints: s.Checkpoints,
+		NetBytes:    append([]uint64(nil), s.NetBytes[:]...),
+		MemAccesses: append([]uint64(nil), s.MemAccesses[:]...),
+	}
 }
 
 // TotalMemAccesses sums memory accesses over all classes.

@@ -1,0 +1,119 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestObserverSeesEveryCellOnce runs at several parallelisms and checks
+// Start/Finish fire exactly once per cell, Start strictly before Finish,
+// without disturbing results or collect order.
+func TestObserverSeesEveryCellOnce(t *testing.T) {
+	const n = 50
+	for _, j := range []int{1, 4} {
+		var mu sync.Mutex
+		started := make(map[int]int)
+		finished := make(map[int]int)
+		obs := &Observer{
+			Start: func(i int) {
+				mu.Lock()
+				started[i]++
+				mu.Unlock()
+			},
+			Finish: func(i int) {
+				mu.Lock()
+				if started[i] != 1 {
+					t.Errorf("j=%d: Finish(%d) before single Start (starts=%d)", j, i, started[i])
+				}
+				finished[i]++
+				mu.Unlock()
+			},
+		}
+		var collected []int
+		out, err := RunCtxObs(context.Background(), j, n,
+			func(i int) int { return i * i },
+			func(i, r int) { collected = append(collected, i) },
+			obs)
+		if err != nil {
+			t.Fatalf("j=%d: err = %v", j, err)
+		}
+		for i := 0; i < n; i++ {
+			if out[i] != i*i {
+				t.Fatalf("j=%d: out[%d] = %d", j, i, out[i])
+			}
+			if started[i] != 1 || finished[i] != 1 {
+				t.Fatalf("j=%d: cell %d started %d / finished %d times, want 1/1",
+					j, i, started[i], finished[i])
+			}
+			if collected[i] != i {
+				t.Fatalf("j=%d: collect order broken at %d", j, i)
+			}
+		}
+	}
+}
+
+// TestObserverNoFinishOnPanic checks a panicking cell reports Start but
+// not Finish, and the panic still surfaces at its delivery position.
+func TestObserverNoFinishOnPanic(t *testing.T) {
+	var mu sync.Mutex
+	started, finished := 0, 0
+	obs := &Observer{
+		Start:  func(int) { mu.Lock(); started++; mu.Unlock() },
+		Finish: func(int) { mu.Lock(); finished++; mu.Unlock() },
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("task panic not re-raised")
+			}
+		}()
+		RunCtxObs(context.Background(), 2, 4,
+			func(i int) int {
+				if i == 1 {
+					panic("boom")
+				}
+				return i
+			}, nil, obs)
+	}()
+	mu.Lock()
+	defer mu.Unlock()
+	if started < 2 {
+		t.Fatalf("started = %d, want >= 2 (cells 0 and the panicking 1)", started)
+	}
+	if finished >= started {
+		t.Fatalf("finished = %d, started = %d: the panicking cell must not Finish", finished, started)
+	}
+}
+
+// TestObserverSkippedCellsSilent checks cancelled/never-started cells get
+// neither Start nor Finish.
+func TestObserverSkippedCellsSilent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	obs := &Observer{Start: func(i int) {
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+	}}
+	_, err := RunCtxObs(ctx, 1, 100, func(i int) int {
+		if i == 2 {
+			cancel()
+		}
+		return i
+	}, nil, obs)
+	if err == nil {
+		t.Fatal("want ctx error after cancel")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range seen {
+		if i > 2 {
+			t.Fatalf("cell %d observed after cancellation on the serial path", i)
+		}
+	}
+	if !seen[0] || !seen[2] {
+		t.Fatal("pre-cancel cells must be observed")
+	}
+}

@@ -31,6 +31,21 @@ import (
 // parallelism at zero: one worker per available CPU.
 func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
 
+// Observer receives cell lifecycle callbacks from a sweep: Start fires
+// immediately before task(i) runs, Finish immediately after it returns.
+// Either field may be nil. The callbacks run on whatever goroutine runs
+// the task — the caller's at parallelism 1, a worker's otherwise — so
+// they must be safe for concurrent use and must not assume index order.
+// Neither fires for a cell skipped by cancellation; Finish does not fire
+// for a cell that panicked. Observers exist for live progress (the
+// revive-serve SSE "cell" events); they are outside the determinism
+// contract — observable *outputs* stay byte-identical, observation
+// timing does not.
+type Observer struct {
+	Start  func(i int)
+	Finish func(i int)
+}
+
 // taskPanic preserves a worker panic (with its stack) until the delivery
 // loop reaches the task's index and can re-raise it in program order.
 type taskPanic struct {
@@ -67,6 +82,25 @@ func Run[T any](parallelism, n int, task func(i int) T, collect func(i int, r T)
 // returned slice but are not collected — a serial loop would never have
 // reached them. Never-started indices hold T's zero value.
 func RunCtx[T any](ctx context.Context, parallelism, n int, task func(i int) T, collect func(i int, r T)) ([]T, error) {
+	return RunCtxObs(ctx, parallelism, n, task, collect, nil)
+}
+
+// RunCtxObs is RunCtx with an optional Observer wrapped around every
+// executed cell. A nil (or empty) observer is exactly RunCtx.
+func RunCtxObs[T any](ctx context.Context, parallelism, n int, task func(i int) T, collect func(i int, r T), obs *Observer) ([]T, error) {
+	if obs != nil && (obs.Start != nil || obs.Finish != nil) {
+		inner := task
+		task = func(i int) T {
+			if obs.Start != nil {
+				obs.Start(i)
+			}
+			r := inner(i)
+			if obs.Finish != nil {
+				obs.Finish(i)
+			}
+			return r
+		}
+	}
 	if n <= 0 {
 		return nil, ctx.Err()
 	}

@@ -31,6 +31,14 @@ type Sample struct {
 	NodeLogBytes []uint64 `json:"node_log_bytes"`
 }
 
+// SampleFunc receives one Sample per committed checkpoint, on the
+// simulation's event-loop goroutine. Hooks that hand the sample to
+// another goroutine may retain it — the slices inside are freshly
+// allocated per sample — but must not block: the event loop is stalled
+// until the hook returns. A nil hook costs one pointer check per commit
+// and allocates nothing (the trace.Tracer discipline).
+type SampleFunc func(Sample)
+
 // Series accumulates per-epoch samples. The zero value is ready to use;
 // the machine fills Classes (stats.Class labels, in order) on the first
 // sample. trace must not import stats, so the labels ride along as strings.
