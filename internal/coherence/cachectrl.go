@@ -44,7 +44,7 @@ type sbEntry struct {
 // (inclusive, write-back), the store buffer, outstanding-miss bookkeeping,
 // and the cache half of the coherence protocol.
 type CacheCtrl struct {
-	engine  *sim.Engine
+	ctx     *sim.Ctx
 	node    arch.NodeID
 	l1, l2  *cache.Cache
 	bus     *sim.Resource
@@ -89,12 +89,15 @@ type CacheCtrl struct {
 	Fills uint64
 }
 
-// NewCacheCtrl builds one node's cache controller.
-func NewCacheCtrl(engine *sim.Engine, node arch.NodeID, l1Cfg, l2Cfg cache.Config,
+// NewCacheCtrl builds one node's cache controller. ctx is the node's
+// scheduling context: every event the controller schedules belongs to the
+// node's shard.
+func NewCacheCtrl(ctx *sim.Ctx, node arch.NodeID, l1Cfg, l2Cfg cache.Config,
 	busCfg BusConfig, net network.Fabric, amap *arch.AddressMap,
 	st *stats.Stats, tracker *Tracker) *CacheCtrl {
+	engine := ctx.Engine()
 	c := &CacheCtrl{
-		engine: engine, node: node,
+		ctx: ctx, node: node,
 		l1: cache.New(engine, l1Cfg), l2: cache.New(engine, l2Cfg),
 		bus: sim.NewResource(engine), busCfg: busCfg,
 		net: net, amap: amap, st: st, tracker: tracker,
@@ -176,7 +179,7 @@ func (c *CacheCtrl) sendToDir(dst arch.NodeID, bytes int, class stats.Class,
 	start := c.bus.ReserveAt(earliest, c.busCfg.Occupancy(bytes))
 	op := c.getSendOp()
 	op.msg = network.Message{Src: c.node, Dst: dst, Bytes: bytes, Class: class, Deliver: fn}
-	c.engine.At(start+c.busCfg.Occupancy(bytes), op.fireFn)
+	c.ctx.At(start+c.busCfg.Occupancy(bytes), op.fireFn)
 }
 
 // --- processor interface ---
@@ -194,7 +197,7 @@ func (c *CacheCtrl) loadAttempt(line arch.LineAddr, done func()) {
 	t1 := c.l1.Access()
 	if c.l1.Lookup(line) != nil {
 		c.st.L1Hits++
-		c.engine.At(t1, done)
+		c.ctx.At(t1, done)
 		return
 	}
 	c.st.L1Misses++
@@ -202,7 +205,7 @@ func (c *CacheCtrl) loadAttempt(line arch.LineAddr, done func()) {
 	if l2l := c.l2.Lookup(line); l2l != nil {
 		c.st.L2Hits++
 		c.fillL1From(l2l)
-		c.engine.At(t2, done)
+		c.ctx.At(t2, done)
 		return
 	}
 	c.st.L2Misses++
@@ -230,7 +233,7 @@ func (c *CacheCtrl) Store(addr arch.Addr, val uint64, done func()) {
 	// plain scheduled events with no MSHR of its own, so without this the
 	// tracker can read zero — and a checkpoint begin its flush — while
 	// retirements are still pending (stale data reaches memory).
-	c.tracker.Inc()
+	c.tracker.IncFrom(c.ctx)
 	c.drain()
 	done()
 }
@@ -283,12 +286,12 @@ func (c *CacheCtrl) drainHead() {
 	// Writable: retire the store.
 	c.applyStore(l1l, e)
 	c.sbPop()
-	c.tracker.Dec()
+	c.tracker.DecFrom(c.ctx)
 	if c.sbStalled {
 		c.sbStalled = false
 		c.retryStalled()
 	}
-	c.engine.At(t1, c.drainHeadFn)
+	c.ctx.At(t1, c.drainHeadFn)
 	c.draining = true
 }
 
@@ -324,7 +327,7 @@ func (c *CacheCtrl) request(line arch.LineAddr, kind reqKind, earliest sim.Time,
 		return
 	}
 	m.add(loadDone, retry)
-	c.tracker.Inc()
+	c.tracker.IncFrom(c.ctx)
 	c.st.Trace.AsyncBegin(trace.MissService, int(c.node), uint64(line))
 	homeNode := c.home(line)
 	dir := c.dirs[homeNode]
@@ -386,12 +389,12 @@ func (c *CacheCtrl) completeRequest(line arch.LineAddr, at sim.Time) {
 	}
 	delete(c.pending, line)
 	c.st.Trace.AsyncEnd(trace.MissService, int(c.node), uint64(line))
-	c.tracker.Dec()
+	c.tracker.DecFrom(c.ctx)
 	for _, w := range m.loadDone {
-		c.engine.At(at, w)
+		c.ctx.At(at, w)
 	}
 	for _, r := range m.retries {
-		c.engine.At(at, r)
+		c.ctx.At(at, r)
 	}
 	c.putMSHR(m)
 }
@@ -417,7 +420,7 @@ func (c *CacheCtrl) retireHeadStoreIfReady(line arch.LineAddr) {
 	}
 	c.applyStore(l1l, c.sb[c.sbHead])
 	c.sbPop()
-	c.tracker.Dec()
+	c.tracker.DecFrom(c.ctx)
 	if c.sbStalled {
 		c.sbStalled = false
 		c.retryStalled()
@@ -490,14 +493,14 @@ func (c *CacheCtrl) insertL2(line arch.LineAddr, st cache.State, data arch.Data)
 	case cache.Exclusive:
 		// Clean-exclusive replacement hint, so the home never forwards
 		// an intervention to a copy that is gone.
-		c.tracker.Inc()
+		c.tracker.IncFrom(c.ctx)
 		homeNode := c.home(victim.Addr)
 		dir := c.dirs[homeNode]
 		self := c.node
 		addr := victim.Addr
-		c.sendToDir(homeNode, network.ControlBytes, stats.ClassRead, c.engine.Now(), func() {
+		c.sendToDir(homeNode, network.ControlBytes, stats.ClassRead, c.ctx.Now(), func() {
 			dir.Repl(self, addr)
-			dir.tracker.Dec() // hint consumed; no acknowledgment
+			dir.tracker.DecFrom(dir.ctx) // hint consumed; no acknowledgment
 		})
 	case cache.Shared:
 		// Silent: the directory tolerates stale sharers.
@@ -507,11 +510,11 @@ func (c *CacheCtrl) insertL2(line arch.LineAddr, st cache.State, data arch.Data)
 // writeBack sends a dirty line to its home. keep=true retains a clean
 // exclusive copy (checkpoint flush).
 func (c *CacheCtrl) writeBack(line arch.LineAddr, data arch.Data, ckp, keep bool) {
-	c.tracker.Inc()
+	c.tracker.IncFrom(c.ctx)
 	homeNode := c.home(line)
 	dir := c.dirs[homeNode]
 	self := c.node
-	c.sendToDir(homeNode, network.DataBytes, wbClass(ckp), c.engine.Now(), func() {
+	c.sendToDir(homeNode, network.DataBytes, wbClass(ckp), c.ctx.Now(), func() {
 		dir.WB(self, line, data, ckp, keep)
 	})
 }
@@ -545,11 +548,11 @@ func (c *CacheCtrl) wbAck(line arch.LineAddr) {
 			l1l.State = cache.Exclusive
 		}
 		c.flushInflight--
-		c.tracker.Dec()
+		c.tracker.DecFrom(c.ctx)
 		c.flushIssue()
 		return
 	}
-	c.tracker.Dec()
+	c.tracker.DecFrom(c.ctx)
 }
 
 // probe answers an intervention from the home: inv=false downgrades to
@@ -627,7 +630,7 @@ func (c *CacheCtrl) FlushDirty(done func()) {
 		panic("coherence: flush with buffered stores")
 	}
 	// Fold dirty L1 lines into L2 first, paying one L1+L2 access each.
-	t := c.engine.Now()
+	t := c.ctx.Now()
 	for _, l1l := range c.l1.DirtyLines() {
 		c.mergeDirtyL1(l1l)
 		if p := c.l1.Probe(l1l.Addr); p != nil {
@@ -640,7 +643,7 @@ func (c *CacheCtrl) FlushDirty(done func()) {
 		c.flushQueue = append(c.flushQueue, l2l.Addr)
 	}
 	c.flushDone = done
-	c.engine.At(t, c.flushIssue)
+	c.ctx.At(t, c.flushIssue)
 }
 
 // flushWindow bounds the write-backs a node keeps in flight during a flush
@@ -669,14 +672,16 @@ func (c *CacheCtrl) flushIssue() {
 		}
 		c.flushing[line] = true
 		c.flushInflight++
-		c.tracker.Inc()
+		c.tracker.IncFrom(c.ctx)
 		c.l2.Access() // enumeration/tag access
 		c.writeBackFlush(line, data)
 	}
 	if c.flushInflight == 0 && len(c.flushQueue) == 0 {
 		done := c.flushDone
 		c.flushDone = nil
-		done()
+		// done is the checkpoint manager's flush acknowledgment — global
+		// state, so it must not run inside a parallel round.
+		c.ctx.Defer(done)
 	}
 }
 
@@ -684,7 +689,7 @@ func (c *CacheCtrl) writeBackFlush(line arch.LineAddr, data arch.Data) {
 	homeNode := c.home(line)
 	dir := c.dirs[homeNode]
 	self := c.node
-	c.sendToDir(homeNode, network.DataBytes, stats.ClassCkpWB, c.engine.Now(), func() {
+	c.sendToDir(homeNode, network.DataBytes, stats.ClassCkpWB, c.ctx.Now(), func() {
 		dir.WB(self, line, data, true, true)
 	})
 }

@@ -65,7 +65,7 @@ type ownerData struct {
 // dirEntry is the per-line directory state plus transaction serialization.
 type dirEntry struct {
 	state   dirState
-	sharers uint32
+	sharers SharerSet
 	owner   arch.NodeID
 
 	busy    bool
@@ -96,7 +96,7 @@ type dirEntry struct {
 // completions. This keeps state transitions atomic in arrival order, which
 // is what the real controller's serialization guarantees.
 type DirCtrl struct {
-	engine  *sim.Engine
+	ctx     *sim.Ctx
 	node    arch.NodeID
 	cfg     DirConfig
 	mem     *mem.Memory
@@ -117,12 +117,12 @@ type DirCtrl struct {
 
 // NewDirCtrl builds the home controller for one node. Wire the cache
 // controllers afterwards with SetCaches.
-func NewDirCtrl(engine *sim.Engine, node arch.NodeID, cfg DirConfig, m *mem.Memory,
+func NewDirCtrl(ctx *sim.Ctx, node arch.NodeID, cfg DirConfig, m *mem.Memory,
 	net network.Fabric, amap *arch.AddressMap, st *stats.Stats, tracker *Tracker) *DirCtrl {
 	return &DirCtrl{
-		engine: engine, node: node, cfg: cfg, mem: m, net: net, amap: amap,
+		ctx: ctx, node: node, cfg: cfg, mem: m, net: net, amap: amap,
 		st: st, tracker: tracker,
-		pipe:    sim.NewResource(engine),
+		pipe:    sim.NewResource(ctx.Engine()),
 		entries: make(map[arch.LineAddr]*dirEntry),
 	}
 }
@@ -168,7 +168,7 @@ func (d *DirCtrl) dispatch(line arch.LineAddr, pr pendingReq) {
 		return
 	}
 	e.busy = true
-	d.tracker.Inc()
+	d.tracker.IncFrom(d.ctx)
 	d.run(line, pr)
 }
 
@@ -198,12 +198,12 @@ func (d *DirCtrl) release(line arch.LineAddr) {
 		panic("coherence: release with pending continuations")
 	}
 	e.busy = false
-	d.tracker.Dec()
+	d.tracker.DecFrom(d.ctx)
 	if len(e.waiting) > 0 {
 		next := e.waiting[0]
 		e.waiting = e.waiting[1:]
 		e.busy = true
-		d.tracker.Inc()
+		d.tracker.IncFrom(d.ctx)
 		d.run(line, next)
 	}
 }
@@ -239,21 +239,21 @@ func (d *DirCtrl) feedOwnerWait(line arch.LineAddr, od ownerData) {
 
 // GETS handles a read miss request from node req.
 func (d *DirCtrl) GETS(req arch.NodeID, line arch.LineAddr) {
-	d.engine.At(d.Occupy(), func() {
+	d.ctx.At(d.Occupy(), func() {
 		d.dispatch(line, pendingReq{kind: reqGETS, req: req})
 	})
 }
 
 // GETX handles a read-exclusive (write miss) request from node req.
 func (d *DirCtrl) GETX(req arch.NodeID, line arch.LineAddr) {
-	d.engine.At(d.Occupy(), func() {
+	d.ctx.At(d.Occupy(), func() {
 		d.dispatch(line, pendingReq{kind: reqGETX, req: req})
 	})
 }
 
 // UPG handles an upgrade (write hit on a shared line) request.
 func (d *DirCtrl) UPG(req arch.NodeID, line arch.LineAddr) {
-	d.engine.At(d.Occupy(), func() {
+	d.ctx.At(d.Occupy(), func() {
 		d.dispatch(line, pendingReq{kind: reqUPG, req: req})
 	})
 }
@@ -262,7 +262,7 @@ func (d *DirCtrl) UPG(req arch.NodeID, line arch.LineAddr) {
 // line up); keep=true is a checkpoint-flush write-back where the owner
 // retains a clean exclusive copy. ckp marks checkpoint traffic.
 func (d *DirCtrl) WB(req arch.NodeID, line arch.LineAddr, data arch.Data, ckp, keep bool) {
-	d.engine.At(d.Occupy(), func() { d.wbArrived(req, line, data, ckp, keep) })
+	d.ctx.At(d.Occupy(), func() { d.wbArrived(req, line, data, ckp, keep) })
 }
 
 func (d *DirCtrl) wbArrived(req arch.NodeID, line arch.LineAddr, data arch.Data, ckp, keep bool) {
@@ -280,7 +280,7 @@ func (d *DirCtrl) wbArrived(req arch.NodeID, line arch.LineAddr, data arch.Data,
 
 // Repl handles a clean-exclusive replacement hint.
 func (d *DirCtrl) Repl(req arch.NodeID, line arch.LineAddr) {
-	d.engine.At(d.Occupy(), func() { d.replArrived(req, line) })
+	d.ctx.At(d.Occupy(), func() { d.replArrived(req, line) })
 }
 
 func (d *DirCtrl) replArrived(req arch.NodeID, line arch.LineAddr) {
@@ -294,7 +294,7 @@ func (d *DirCtrl) replArrived(req arch.NodeID, line arch.LineAddr) {
 
 // fetchResp delivers an intervention answer to the waiting transaction.
 func (d *DirCtrl) fetchResp(from arch.NodeID, line arch.LineAddr, found, dirty bool, data arch.Data) {
-	d.engine.At(d.Occupy(), func() { d.fetchRespArrived(from, line, found, dirty, data) })
+	d.ctx.At(d.Occupy(), func() { d.fetchRespArrived(from, line, found, dirty, data) })
 }
 
 func (d *DirCtrl) fetchRespArrived(from arch.NodeID, line arch.LineAddr, found, dirty bool, data arch.Data) {
@@ -339,7 +339,7 @@ func (d *DirCtrl) fetchRespArrived(from arch.NodeID, line arch.LineAddr, found, 
 // invAck delivers one invalidation acknowledgment to the waiting
 // transaction.
 func (d *DirCtrl) invAck(line arch.LineAddr) {
-	d.engine.At(d.Occupy(), func() { d.invAckArrived(line) })
+	d.ctx.At(d.Occupy(), func() { d.invAckArrived(line) })
 }
 
 func (d *DirCtrl) invAckArrived(line arch.LineAddr) {
@@ -367,7 +367,7 @@ func (d *DirCtrl) doGETS(req arch.NodeID, line arch.LineAddr) {
 		})
 	case dirShared:
 		d.replyFromMemory(req, line, cacheFillShared, func() {
-			e.sharers |= 1 << uint(req)
+			e.sharers.Add(req)
 			d.release(line)
 		})
 	case dirExcl:
@@ -380,7 +380,9 @@ func (d *DirCtrl) doGETS(req arch.NodeID, line arch.LineAddr) {
 			case evFetchResp:
 				d.reply(req, line, cacheFillShared, od.data)
 				e.state = dirShared
-				e.sharers = 1<<uint(owner) | 1<<uint(req)
+				e.sharers.Clear()
+				e.sharers.Add(owner)
+				e.sharers.Add(req)
 				if od.dirty {
 					// Sharing write-back: the owner's dirty data is
 					// written to memory — a memory write, so ReVive
@@ -417,9 +419,10 @@ func (d *DirCtrl) doGETX(req arch.NodeID, line arch.LineAddr) {
 			d.writeIntent(line)
 		})
 	case dirShared:
-		d.invalidateSharers(line, e.sharers&^(1<<uint(req)), func() {
+		d.invalidateSharers(line, e.sharers.CopyWithout(req), func() {
 			d.replyFromMemory(req, line, cacheFillModified, func() {
-				e.state, e.owner, e.sharers = dirExcl, req, 0
+				e.state, e.owner = dirExcl, req
+				e.sharers.Clear()
 				d.writeIntent(line)
 			})
 		})
@@ -455,16 +458,17 @@ func (d *DirCtrl) doGETX(req arch.NodeID, line arch.LineAddr) {
 
 func (d *DirCtrl) doUPG(req arch.NodeID, line arch.LineAddr) {
 	e := d.entry(line)
-	if e.state != dirShared || e.sharers&(1<<uint(req)) == 0 {
+	if e.state != dirShared || !e.sharers.Has(req) {
 		// The requester's shared copy is gone (invalidated by an
 		// earlier-serialized write): fall back to a full read-exclusive.
 		d.doGETX(req, line)
 		return
 	}
-	d.invalidateSharers(line, e.sharers&^(1<<uint(req)), func() {
+	d.invalidateSharers(line, e.sharers.CopyWithout(req), func() {
 		// Upgrade permission is granted immediately (Figure 5(a)); no
 		// data reply is needed.
-		e.state, e.owner, e.sharers = dirExcl, req, 0
+		e.state, e.owner = dirExcl, req
+		e.sharers.Clear()
 		d.sendToCache(req, network.ControlBytes, stats.ClassRead, func() {
 			d.caches[req].upgAck(line)
 		})
@@ -504,8 +508,8 @@ func (d *DirCtrl) doRepl(req arch.NodeID, line arch.LineAddr) {
 	case e.state == dirExcl && e.owner == req:
 		e.state, e.owner = dirUncached, 0
 	case e.state == dirShared:
-		e.sharers &^= 1 << uint(req)
-		if e.sharers == 0 {
+		e.sharers.Remove(req)
+		if e.sharers.Empty() {
 			e.state = dirUncached
 		}
 	}
@@ -558,29 +562,23 @@ func (d *DirCtrl) probeOwner(owner arch.NodeID, line arch.LineAddr, inv bool, co
 
 // invalidateSharers sends invalidations to every node in mask and runs done
 // once all acknowledgments are in. An empty mask completes immediately.
-func (d *DirCtrl) invalidateSharers(line arch.LineAddr, mask uint32, done func()) {
+// The mask must be an independent copy (SharerSet.CopyWithout): the
+// continuation typically clears the entry's own set while these
+// invalidations are still in flight.
+func (d *DirCtrl) invalidateSharers(line arch.LineAddr, mask SharerSet, done func()) {
 	e := d.entry(line)
-	count := 0
-	for n := arch.NodeID(0); int(n) < d.net.Nodes(); n++ {
-		if mask&(1<<uint(n)) != 0 {
-			count++
-		}
-	}
+	count := mask.Count()
 	if count == 0 {
 		done()
 		return
 	}
 	e.invWait = count
 	e.invDone = done
-	for n := arch.NodeID(0); int(n) < d.net.Nodes(); n++ {
-		if mask&(1<<uint(n)) == 0 {
-			continue
-		}
-		dst := n
+	mask.ForEach(func(dst arch.NodeID) {
 		d.sendToCache(dst, network.ControlBytes, stats.ClassRead, func() {
 			d.caches[dst].inval(line, d.node)
 		})
-	}
+	})
 }
 
 // writeMemory performs the (possibly ReVive-extended) memory write: in the
@@ -611,10 +609,10 @@ func (d *DirCtrl) writeIntent(line arch.LineAddr) {
 
 // StateOf reports the directory's view of a line (for tests and invariant
 // checks).
-func (d *DirCtrl) StateOf(line arch.LineAddr) (state string, owner arch.NodeID, sharers uint32, busy bool) {
+func (d *DirCtrl) StateOf(line arch.LineAddr) (state string, owner arch.NodeID, sharers SharerSet, busy bool) {
 	e := d.entries[line]
 	if e == nil {
-		return "uncached", 0, 0, false
+		return "uncached", 0, SharerSet{}, false
 	}
 	switch e.state {
 	case dirUncached:
@@ -634,12 +632,13 @@ func (d *DirCtrl) Reset() {
 }
 
 // EntryView is a read-only snapshot of one directory entry for invariant
-// checking.
+// checking. Sharers shares the entry's overflow words, so the view is only
+// valid within the ForEachEntry callback that produced it.
 type EntryView struct {
 	Line    arch.LineAddr
 	State   string // "uncached", "shared", "exclusive"
 	Owner   arch.NodeID
-	Sharers uint32
+	Sharers SharerSet
 	Busy    bool
 }
 

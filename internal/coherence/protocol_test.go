@@ -69,8 +69,8 @@ func TestRemoteReadSharesLine(t *testing.T) {
 		t.Fatal("remote load never completed")
 	}
 	st, _, sharers, _ := c.dirs[0].StateOf(a.Line())
-	if st != "shared" || sharers != 0b11 {
-		t.Fatalf("dir = %s sharers=%b, want shared 11", st, sharers)
+	if st != "shared" || sharers.Count() != 2 || !sharers.Has(0) || !sharers.Has(1) {
+		t.Fatalf("dir = %s sharers=%v, want shared {0,1}", st, sharers)
 	}
 	if l := c.caches[0].L2().Probe(a.Line()); l == nil || l.State != cache.Shared {
 		t.Fatal("previous owner not downgraded to Shared")
@@ -270,8 +270,8 @@ func TestManyNodesReadSameLine(t *testing.T) {
 	if st != "shared" && st != "exclusive" {
 		t.Fatalf("dir state = %s", st)
 	}
-	if st == "shared" && sharers != 0xFFFF {
-		t.Fatalf("sharers = %04x, want ffff", sharers)
+	if st == "shared" && sharers.Count() != 16 {
+		t.Fatalf("sharers = %v, want all 16 nodes", sharers)
 	}
 }
 

@@ -1,0 +1,126 @@
+package coherence
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"revive/internal/arch"
+)
+
+// SharerSet is a full-map directory sharer vector: one bit per node. The
+// first 64 nodes live in an inline word, so the paper's 16-node machine
+// (and the benchmark baseline) never allocates; machines with more nodes
+// lazily grow an overflow word slice. The predecessor representation was a
+// bare uint32 whose shifts wrapped silently for nodes >= 32, making the
+// directory drop sharers and re-grant already-cached lines on large
+// machines.
+type SharerSet struct {
+	lo uint64
+	hi []uint64 // words for nodes 64+; nil until such a node is added
+}
+
+// Add inserts node n.
+func (s *SharerSet) Add(n arch.NodeID) {
+	if n < 64 {
+		s.lo |= 1 << uint(n)
+		return
+	}
+	w := int(n)/64 - 1
+	for len(s.hi) <= w {
+		s.hi = append(s.hi, 0)
+	}
+	s.hi[w] |= 1 << (uint(n) % 64)
+}
+
+// Remove deletes node n (a no-op if absent).
+func (s *SharerSet) Remove(n arch.NodeID) {
+	if n < 64 {
+		s.lo &^= 1 << uint(n)
+		return
+	}
+	if w := int(n)/64 - 1; w < len(s.hi) {
+		s.hi[w] &^= 1 << (uint(n) % 64)
+	}
+}
+
+// Has reports whether node n is a member.
+func (s *SharerSet) Has(n arch.NodeID) bool {
+	if n < 64 {
+		return s.lo&(1<<uint(n)) != 0
+	}
+	w := int(n)/64 - 1
+	return w < len(s.hi) && s.hi[w]&(1<<(uint(n)%64)) != 0
+}
+
+// Empty reports whether the set has no members.
+func (s *SharerSet) Empty() bool {
+	if s.lo != 0 {
+		return false
+	}
+	for _, w := range s.hi {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes every member, keeping the overflow capacity.
+func (s *SharerSet) Clear() {
+	s.lo = 0
+	for i := range s.hi {
+		s.hi[i] = 0
+	}
+}
+
+// Count returns the number of members.
+func (s *SharerSet) Count() int {
+	c := bits.OnesCount64(s.lo)
+	for _, w := range s.hi {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// CopyWithout returns an independent copy of the set minus node n. The
+// directory hands this to an in-flight invalidation while the entry's own
+// set may be cleared before the acknowledgments arrive, so the copy must
+// not alias the overflow words.
+func (s *SharerSet) CopyWithout(n arch.NodeID) SharerSet {
+	c := SharerSet{lo: s.lo}
+	if len(s.hi) > 0 {
+		c.hi = append([]uint64(nil), s.hi...)
+	}
+	c.Remove(n)
+	return c
+}
+
+// ForEach visits every member in ascending node order.
+func (s *SharerSet) ForEach(fn func(arch.NodeID)) {
+	for w := s.lo; w != 0; w &= w - 1 {
+		fn(arch.NodeID(bits.TrailingZeros64(w)))
+	}
+	for i, hw := range s.hi {
+		base := (i + 1) * 64
+		for w := hw; w != 0; w &= w - 1 {
+			fn(arch.NodeID(base + bits.TrailingZeros64(w)))
+		}
+	}
+}
+
+// String lists the members, e.g. "{0,3,65}".
+func (s SharerSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(n arch.NodeID) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", n)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package coherence
+
+import (
+	"testing"
+
+	"revive/internal/arch"
+)
+
+func TestSharerSetAcrossWordBoundaries(t *testing.T) {
+	// Nodes straddling every representation boundary: the old uint32
+	// limit (31/32), the inline word (63/64), and the overflow words.
+	nodes := []arch.NodeID{0, 31, 32, 63, 64, 127, 128, 200}
+	var s SharerSet
+	if !s.Empty() {
+		t.Fatal("zero set not empty")
+	}
+	for _, n := range nodes {
+		s.Add(n)
+	}
+	for _, n := range nodes {
+		if !s.Has(n) {
+			t.Fatalf("node %d missing after Add", n)
+		}
+	}
+	if s.Has(1) || s.Has(65) || s.Has(199) {
+		t.Fatal("phantom members")
+	}
+	if got := s.Count(); got != len(nodes) {
+		t.Fatalf("Count = %d, want %d", got, len(nodes))
+	}
+	if got := s.String(); got != "{0,31,32,63,64,127,128,200}" {
+		t.Fatalf("String = %s", got)
+	}
+
+	var order []arch.NodeID
+	s.ForEach(func(n arch.NodeID) { order = append(order, n) })
+	for i, n := range order {
+		if n != nodes[i] {
+			t.Fatalf("ForEach order %v, want %v", order, nodes)
+		}
+	}
+
+	s.Remove(64)
+	s.Remove(64) // no-op
+	if s.Has(64) || s.Count() != len(nodes)-1 {
+		t.Fatalf("after Remove(64): %v", s)
+	}
+
+	// CopyWithout must not alias the overflow words: clearing the
+	// original while an invalidation mask is in flight is the normal
+	// directory sequence.
+	mask := s.CopyWithout(200)
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear left members")
+	}
+	if mask.Has(200) || !mask.Has(128) || !mask.Has(32) || mask.Count() != len(nodes)-2 {
+		t.Fatalf("mask corrupted by Clear: %v", mask)
+	}
+}
+
+// TestWideMachineSharers pins the >32-node directory fix: the sharer
+// vector used to be a uint32, so nodes >= 32 were silently dropped from
+// the full-map state. A write then skipped their invalidations, and a
+// later upgrade from such a stale sharer made the directory grant a fill
+// into a cache that still held the line ("cache: double insert").
+func TestWideMachineSharers(t *testing.T) {
+	const nodes = 72 // crosses both the uint32 limit and the inline word
+	c := newCluster(nodes)
+	a := addrOnPage(1, 0, 0)
+	for n := 0; n < nodes; n++ {
+		c.load(n, a)
+	}
+	c.run(t)
+	st, _, sharers, busy := c.dirs[0].StateOf(a.Line())
+	if busy {
+		t.Fatal("line stuck busy")
+	}
+	if st == "shared" && sharers.Count() != nodes {
+		t.Fatalf("sharers = %v (count %d), want all %d nodes", sharers, sharers.Count(), nodes)
+	}
+
+	// A store from a node past the old limit must invalidate every copy.
+	first := c.store(40, a, 7)
+	c.run(t)
+	if !*first {
+		t.Fatal("store from node 40 never completed")
+	}
+	if st, owner, _, _ := c.dirs[0].StateOf(a.Line()); st != "exclusive" || owner != 40 {
+		t.Fatalf("dir = %s owner %d, want exclusive 40", st, owner)
+	}
+
+	// The upgrade path from another high node: with dropped sharers this
+	// was the double-insert panic; now it serializes as a plain GETX.
+	done := c.store(50, a, 9)
+	c.run(t)
+	if !*done {
+		t.Fatal("store from node 50 never completed")
+	}
+	if st, owner, _, _ := c.dirs[0].StateOf(a.Line()); st != "exclusive" || owner != 50 {
+		t.Fatalf("dir = %s owner %d, want exclusive 50", st, owner)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"slices"
+	"sync"
 
 	"revive/internal/arch"
 	"revive/internal/coherence"
@@ -72,7 +73,7 @@ type EventCounts struct {
 // implements coherence.Extension for lines homed at its node, and handles
 // incoming parity updates for parity pages it hosts.
 type Controller struct {
-	engine  *sim.Engine
+	ctx     *sim.Ctx
 	node    arch.NodeID
 	topo    arch.Topology
 	amap    *arch.AddressMap
@@ -93,7 +94,16 @@ type Controller struct {
 	// down; after a fail-stop error, recovery Phase 1 settles whatever
 	// remains (ReconcileParity). XOR accumulation makes the ledger
 	// order-independent.
-	debt map[arch.PhysLine]arch.Data
+	//
+	// debtMu covers the sharded-execution cross-node access: payDebt runs
+	// at the parity line's home node — under sim.EnableSharding possibly a
+	// different shard than this controller's accrue. Because XOR
+	// accumulation commutes and the ledger is only *read* from serial
+	// contexts (recovery, end-of-run checks), interleaving accrue/payDebt
+	// in either order yields the same ledger — so a lock (rather than a
+	// canonical-order replay) preserves byte-identical results.
+	debtMu sync.Mutex
+	debt   map[arch.PhysLine]arch.Data
 	// reconScratch is ReconcileParity's reusable target-sorting buffer;
 	// puFree is the free list backing parity-update registrations. Both
 	// keep the steady-state event loop allocation-free (single-threaded
@@ -128,12 +138,13 @@ type Controller struct {
 	Events EventCounts
 }
 
-// NewController builds the ReVive extension for one node.
-func NewController(engine *sim.Engine, node arch.NodeID, topo arch.Topology,
+// NewController builds the ReVive extension for one node. ctx is the
+// node's scheduling context.
+func NewController(ctx *sim.Ctx, node arch.NodeID, topo arch.Topology,
 	amap *arch.AddressMap, dirs []*coherence.DirCtrl, net network.Fabric,
 	st *stats.Stats, tracker *coherence.Tracker) *Controller {
 	return &Controller{
-		engine: engine, node: node, topo: topo, amap: amap, dirs: dirs, net: net,
+		ctx: ctx, node: node, topo: topo, amap: amap, dirs: dirs, net: net,
 		st: st, tracker: tracker,
 		log:   NewHWLog(node, amap, dirs[node].Mem()),
 		lbits: newLBitTable(),
@@ -361,10 +372,15 @@ func (c *Controller) appendLog(line arch.LineAddr, old arch.Data, done func()) {
 // writeCkptMarker appends the checkpoint-commit marker entry for epoch
 // (phase two of the two-phase commit, section 4.2), then runs done.
 func (c *Controller) writeCkptMarker(epoch uint64, done func()) {
+	// done counts down the checkpoint manager's global commit barrier —
+	// cross-shard state — but the parity acknowledgment that completes the
+	// marker write is an event of this node's shard, so the callback must
+	// go through Defer to reach the barrier in serial context.
+	ack := func() { c.ctx.Defer(done) }
 	if !c.topo.HasDataFrames(c.node) {
 		// A dedicated parity node homes no data, so its log is empty
 		// and needs no commit marker.
-		done()
+		ack()
 		return
 	}
 	c.st.Trace.Instant(trace.CkptMarker, int(c.node), epoch)
@@ -383,7 +399,7 @@ func (c *Controller) writeCkptMarker(epoch uint64, done func()) {
 			delta:  delta,
 			step:   StepLogMarkerParityApplied,
 			line:   0,
-		}, done)
+		}, ack)
 	})
 }
 
@@ -432,6 +448,10 @@ type parityUpdate struct {
 // phys, at the instant the memory content changes.
 func (c *Controller) accrue(phys arch.PhysLine, old, new arch.Data) {
 	target := c.topo.ParityOf(phys)
+	if c.ctx.Sharded() {
+		c.debtMu.Lock()
+		defer c.debtMu.Unlock()
+	}
 	d := c.debt[target]
 	d.XOR(&old)
 	d.XOR(&new)
@@ -445,6 +465,10 @@ func (c *Controller) accrue(phys arch.PhysLine, old, new arch.Data) {
 // payDebt cancels delta from the ledger once the remote parity application
 // has happened.
 func (c *Controller) payDebt(target arch.PhysLine, delta arch.Data) {
+	if c.ctx.Sharded() {
+		c.debtMu.Lock()
+		defer c.debtMu.Unlock()
+	}
 	d := c.debt[target]
 	d.XOR(&delta)
 	if d.IsZero() {
@@ -538,7 +562,7 @@ func (c *Controller) putUpdate(p *parityUpdate) {
 // done when the acknowledgment returns (Figure 4's messages 3 and 4). The
 // caller's directory entry stays busy for the duration.
 func (c *Controller) sendParity(u parityUpdate, done func()) {
-	c.tracker.Inc()
+	c.tracker.IncFrom(c.ctx)
 	c.st.Trace.AsyncBegin(trace.ParityUpdate, int(c.node), uint64(u.line))
 	p := c.getUpdate()
 	*p = u
@@ -553,7 +577,7 @@ func (c *Controller) sendParity(u parityUpdate, done func()) {
 					Class: stats.ClassParity,
 					Deliver: func() {
 						c.st.Trace.AsyncEnd(trace.ParityUpdate, int(self), uint64(p.line))
-						c.tracker.Dec()
+						c.tracker.DecFrom(c.ctx)
 						c.putUpdate(p)
 						done()
 					},
@@ -607,7 +631,7 @@ func (c *Controller) handleParityUpdate(u *parityUpdate, ackSend func()) {
 				finish()
 			})
 	}
-	c.engine.At(c.dirs[c.node].Occupy(), apply)
+	c.ctx.At(c.dirs[c.node].Occupy(), apply)
 }
 
 // applyDelta folds a piggybacked (uncharged) line update into memory.

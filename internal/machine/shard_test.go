@@ -1,0 +1,156 @@
+package machine
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"revive/internal/arch"
+	"revive/internal/trace"
+)
+
+// shardRun executes one fixed ReVive workload at the given shard count and
+// returns everything a run emits: final stats as canonical JSON, the full
+// functional memory image, and the per-epoch sample series. The parallel
+// threshold is floored so even the 4-node test model takes the
+// parallel-round path (coverage is asserted by the caller).
+func shardRun(t *testing.T, shards int) (blob []byte, img []map[uint64]arch.Data, series *trace.Series, rounds uint64) {
+	t.Helper()
+	cfg := smallConfig(true)
+	cfg.Shards = shards
+	cfg.Series = &trace.Series{}
+	m := New(cfg)
+	if got := m.Shards(); got != shards {
+		t.Fatalf("machine built with %d shards, want %d", got, shards)
+	}
+	m.Engine.SetParallelThreshold(2)
+	m.Load(testProfile(60000))
+	st := m.Run()
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, m.MemImage(), cfg.Series, m.Engine.ParallelRounds()
+}
+
+// TestShardedMachineByteIdentity is the PR's acceptance gate in miniature:
+// the same machine configuration and workload must produce byte-identical
+// stats, memory images and sample series at shard counts 1, 2 and 4.
+// Shards=1 is the serial engine pinned by the goldens, so identity here
+// extends the goldens to every shard count.
+func TestShardedMachineByteIdentity(t *testing.T) {
+	want, wantImg, wantSeries, _ := shardRun(t, 1)
+	for _, shards := range []int{2, 4} {
+		got, img, series, rounds := shardRun(t, shards)
+		if rounds == 0 {
+			t.Fatalf("shards=%d: no parallel rounds ran; the test exercised nothing", shards)
+		}
+		if string(got) != string(want) {
+			t.Errorf("shards=%d stats diverge from serial:\n%s\nvs\n%s", shards, got, want)
+		}
+		if !reflect.DeepEqual(img, wantImg) {
+			t.Errorf("shards=%d final memory image diverges from serial", shards)
+		}
+		if series.Len() != wantSeries.Len() {
+			t.Fatalf("shards=%d: %d samples, serial %d", shards, series.Len(), wantSeries.Len())
+		}
+		for i := range series.Samples {
+			if !reflect.DeepEqual(series.Samples[i], wantSeries.Samples[i]) {
+				t.Fatalf("shards=%d sample %d diverges:\n%+v\nvs\n%+v",
+					shards, i, series.Samples[i], wantSeries.Samples[i])
+			}
+		}
+	}
+}
+
+// TestShardedBaselineByteIdentity covers the baseline (non-ReVive) machine
+// too: no checkpoints, no logging — a different event mix through the
+// sharded loop.
+func TestShardedBaselineByteIdentity(t *testing.T) {
+	run := func(shards int) ([]byte, uint64) {
+		cfg := smallConfig(false)
+		cfg.Shards = shards
+		m := New(cfg)
+		m.Engine.SetParallelThreshold(2)
+		m.Load(testProfile(40000))
+		st := m.Run()
+		b, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, m.Engine.ParallelRounds()
+	}
+	want, _ := run(1)
+	got, rounds := run(4)
+	if rounds == 0 {
+		t.Fatal("no parallel rounds ran on the baseline machine")
+	}
+	if string(got) != string(want) {
+		t.Errorf("baseline shards=4 stats diverge from serial:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestShardsForcedSerialWithTrace: tracing requires the serial engine (the
+// trace buffer is an ordered shared stream); Config.Shards must be
+// ignored when a trace is attached.
+func TestShardsForcedSerialWithTrace(t *testing.T) {
+	cfg := smallConfig(true)
+	cfg.Shards = 4
+	cfg.Trace = trace.New(1 << 16)
+	m := New(cfg)
+	if m.Shards() != 1 {
+		t.Fatalf("machine with trace built %d shards, want 1", m.Shards())
+	}
+	if m.Engine.Shards() != 1 {
+		t.Fatalf("engine with trace at %d shards, want 1", m.Engine.Shards())
+	}
+}
+
+// TestShardsCappedAtNodes: more shards than nodes is clamped, not an error.
+func TestShardsCappedAtNodes(t *testing.T) {
+	cfg := smallConfig(true)
+	cfg.Shards = 64
+	m := New(cfg)
+	if m.Shards() != cfg.Nodes {
+		t.Fatalf("machine built %d shards, want %d (node count)", m.Shards(), cfg.Nodes)
+	}
+}
+
+// TestShardedRecoveryMatchesSerial: a full fault-inject/recover/resume
+// cycle must also be byte-identical. SetFaultPlan and the recovery
+// machinery force the engine serial, but the surrounding sharded execution
+// must leave the exact same state for them to operate on.
+func TestShardedRecoveryMatchesSerial(t *testing.T) {
+	run := func(shards int) []byte {
+		cfg := verifyCfg()
+		cfg.Shards = shards
+		m := New(cfg)
+		m.Engine.SetParallelThreshold(2)
+		m.Load(testProfile(150000))
+		runToEpoch(t, m, 2, 0)
+		m.InjectNodeLoss(2)
+		rep, err := m.Recover(2, 2)
+		if err != nil {
+			t.Fatalf("shards=%d: recovery failed: %v", shards, err)
+		}
+		if err := m.Resume(rep); err != nil {
+			t.Fatalf("shards=%d: resume failed: %v", shards, err)
+		}
+		m.Engine.Run()
+		m.Engine.Shutdown()
+		m.foldStats()
+		if !m.Done() {
+			t.Fatalf("shards=%d: machine did not finish after resume", shards)
+		}
+		b, err := json.Marshal(m.Stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	want := run(1)
+	got := run(4)
+	if string(got) != string(want) {
+		t.Errorf("recovery run at shards=4 diverges from serial:\n%s\nvs\n%s", got, want)
+	}
+}

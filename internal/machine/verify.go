@@ -197,7 +197,7 @@ func (m *Machine) VerifyCoherence() error {
 				if isDirty {
 					dirty = append(dirty, arch.NodeID(n))
 				} else if l2.Data != memData {
-					err = fmt.Errorf("node %d: clean copy of %#x differs from memory (dir=%s owner=%d sharers=%#x l2state=%v cache=%x mem=%x)",
+					err = fmt.Errorf("node %d: clean copy of %#x differs from memory (dir=%s owner=%d sharers=%v l2state=%v cache=%x mem=%x)",
 						n, e.Line, e.State, e.Owner, e.Sharers, l2.State, l2.Data[:8], memData[:8])
 					return
 				}
@@ -219,7 +219,7 @@ func (m *Machine) VerifyCoherence() error {
 					return
 				}
 				for _, h := range holders {
-					if e.State == "uncached" || e.Sharers&(1<<uint(h)) == 0 {
+					if e.State == "uncached" || !e.Sharers.Has(h) {
 						err = fmt.Errorf("line %#x held by %d but not in directory's %s view", e.Line, h, e.State)
 						return
 					}

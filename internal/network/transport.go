@@ -134,7 +134,7 @@ type Transport struct {
 
 	nextSeq map[pairKey]uint64
 	pending map[pairKey]map[uint64]*xfer
-	expect  map[pairKey]uint64           // receiver: next in-order sequence
+	expect  map[pairKey]uint64            // receiver: next in-order sequence
 	held    map[pairKey]map[uint64]func() // receiver: early arrivals awaiting the gap
 
 	delivered    uint64

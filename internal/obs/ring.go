@@ -88,9 +88,21 @@ func (r *Ring) Ready() <-chan struct{} {
 // Since returns the retained events with ID > after (oldest first) and
 // whether the ring is closed. If after predates the retained window the
 // caller silently resumes from the oldest event still held.
+//
+// An after AHEAD of the ring head (after > LastID) is treated as a full
+// replay from the start of the retained window. It means the caller's ID
+// came from a different ring life — typically an SSE client replaying a
+// Last-Event-ID from before a daemon restart, when this job's ring
+// restarted numbering at 1. The stale ID can never match this ring's
+// numbering, so the only consistent behavior is to start over; the old
+// behavior (return nothing, then skip every event until IDs grow past the
+// stale value) silently dropped an arbitrary prefix of the stream.
 func (r *Ring) Since(after uint64) ([]Event, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if after > r.lastID {
+		after = 0
+	}
 	i := len(r.buf)
 	for i > 0 && r.buf[i-1].ID > after {
 		i--

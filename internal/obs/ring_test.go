@@ -148,3 +148,50 @@ func TestRingConcurrentProducerConsumer(t *testing.T) {
 		}
 	}
 }
+
+// Regression: an `after` AHEAD of the ring head — a Last-Event-ID replayed
+// from a previous daemon life, when this ring restarted numbering at 1 —
+// must mean "full replay from the start of the retained window". The old
+// scan returned nothing and then skipped every event until IDs grew past
+// the stale value, silently dropping an arbitrary prefix of the stream.
+func TestRingSinceAheadOfHeadReplaysFromStart(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 3; i++ {
+		r.Append("e", nil)
+	}
+	evs, _ := r.Since(1000) // stale ID from a prior life
+	if len(evs) != 3 {
+		t.Fatalf("Since(ahead) returned %d events, want full replay of 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.ID != uint64(i+1) {
+			t.Fatalf("replay event %d has ID %d, want %d", i, ev.ID, i+1)
+		}
+	}
+}
+
+// The ahead-of-head rule must also cover the empty ring: a stale `after`
+// against a ring with no events yet cannot poison later polls.
+func TestRingSinceAheadOfHeadOnEmptyRing(t *testing.T) {
+	r := NewRing(8)
+	if evs, _ := r.Since(1000); len(evs) != 0 {
+		t.Fatalf("Since(ahead) on empty ring returned %d events, want 0", len(evs))
+	}
+	r.Append("e", nil)
+	evs, _ := r.Since(1000) // poll again with the same stale cursor
+	if len(evs) != 1 || evs[0].ID != 1 {
+		t.Fatalf("stale cursor after first append: got %v, want the single event ID 1", evs)
+	}
+}
+
+// A caught-up consumer (after == LastID) still gets nothing — the
+// ahead-of-head rule must not fire on the exact head.
+func TestRingSinceExactHeadReturnsNothing(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 3; i++ {
+		r.Append("e", nil)
+	}
+	if evs, _ := r.Since(3); len(evs) != 0 {
+		t.Fatalf("Since(head) returned %d events, want 0", len(evs))
+	}
+}

@@ -362,7 +362,7 @@ func TestObservedExecuteByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := Execute(context.Background(), req, 0, 0)
+	plain, err := Execute(context.Background(), req, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +371,7 @@ func TestObservedExecuteByteIdentical(t *testing.T) {
 		Sample: func(string, trace.Sample) { samples++ },
 		Cell:   func(string, int, int, string) { cells++ },
 	}
-	observed, err := ExecuteObserved(context.Background(), req, 0, 0, sink)
+	observed, err := ExecuteObserved(context.Background(), req, 0, 0, 0, sink)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,5 +422,52 @@ func TestStructuredLogCorrelation(t *testing.T) {
 	if !sawAccepted || !sawRunning || !sawDone {
 		t.Fatalf("correlated records missing: accepted=%v running=%v done=%v\n%s",
 			sawAccepted, sawRunning, sawDone, buf.String())
+	}
+}
+
+// TestSSEReconnectFromPreviousDaemonLife pins the stale-cursor contract
+// end to end: a client reconnects with a Last-Event-ID recorded before a
+// daemon restart, against a job whose ring (rebuilt in this life) restarted
+// numbering at 1. The ID is ahead of the ring head, can never match this
+// ring's numbering, and the defined behavior is a full replay from the
+// start of the retained window — not a silent skip of everything until IDs
+// grow past the stale value.
+func TestSSEReconnectFromPreviousDaemonLife(t *testing.T) {
+	s := newTestServer(t, t.TempDir())
+	defer shutdown(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id := strings.Repeat("cd", 32)
+	job := &Job{JobState: JobState{ID: id, State: "running"}, done: make(chan struct{}), events: obs.NewRing(64)}
+	s.mu.Lock()
+	s.jobs[id] = job
+	s.mu.Unlock()
+	for i := 1; i <= 4; i++ {
+		job.events.Append("sample", []byte(fmt.Sprintf(`{"n":%d}`, i)))
+	}
+	job.events.Append("done", []byte(`{"state":"done"}`))
+	job.events.Close()
+
+	// The previous daemon life got much further before dying; the client
+	// replays its last cursor from that life.
+	req, _ := http.NewRequest("GET", ts.URL+"/jobs/"+id+"/events", nil)
+	req.Header.Set("Last-Event-ID", "7041")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	evs := readSSE(t, resp.Body, nil)
+	if len(evs) != 5 {
+		t.Fatalf("stale-cursor reconnect streamed %d events, want full replay of 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.ID != uint64(i+1) {
+			t.Fatalf("replay event %d has ID %d, want %d", i, ev.ID, i+1)
+		}
+	}
+	if evs[len(evs)-1].Name != "done" {
+		t.Fatal("replayed stream must end with the terminal event")
 	}
 }

@@ -12,6 +12,7 @@ package sim
 import (
 	"errors"
 	"math/bits"
+	"sync/atomic"
 )
 
 // Time is a point in (or duration of) simulated time, in nanoseconds.
@@ -40,19 +41,23 @@ const (
 // bucket holds the events of one nanosecond in FIFO order. head indexes
 // the next event to run; consumed slots are nilled for the garbage
 // collector and the slice is reset once drained, so steady state appends
-// reuse the same backing array.
+// reuse the same backing array. owners parallels fns and records each
+// event's shard owner; it is maintained only while sharding is enabled
+// (see ctx.go) — the serial engine never reads it.
 type bucket struct {
-	fns  []func()
-	head int
+	fns    []func()
+	owners []int32
+	head   int
 }
 
 // event is a heap-resident callback. seq breaks ties so that events
 // scheduled earlier at the same timestamp run first (stable FIFO order);
 // wheel buckets get that ordering for free from append order.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at    Time
+	seq   uint64
+	owner int32
+	fn    func()
 }
 
 // overflowHeap is a 4-ary min-heap ordered by (at, seq) holding the
@@ -114,9 +119,12 @@ func (h *overflowHeap) pop() event {
 	return top
 }
 
-// Engine is a single-threaded discrete-event simulator. All component state
-// in the machine model is owned by the engine's event loop; no locking is
-// needed anywhere in the simulator.
+// Engine is a discrete-event simulator. By default it is single-threaded:
+// all component state in the machine model is owned by the engine's event
+// loop and no locking is needed anywhere in the simulator. EnableSharding
+// (ctx.go) turns on deterministic intra-run parallelism — same event
+// order, same output, byte for byte — by running independent same-tick
+// events of different shards concurrently.
 type Engine struct {
 	now   Time
 	seq   uint64
@@ -139,6 +147,19 @@ type Engine struct {
 	summary uint64
 
 	overflow overflowHeap
+
+	// Sharded execution state (ctx.go). shards <= 1 means serial; the
+	// fields below are untouched on the serial paths.
+	shards         int
+	parThreshold   int
+	inRound        bool
+	parRounds      uint64
+	workersUp      bool
+	wshards        []*workerShard
+	roundBucket    *bucket
+	roundDone      chan struct{}
+	activeScratch  []int
+	pendingWorkers atomic.Int32
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -152,22 +173,39 @@ func (e *Engine) Now() Time { return e.now }
 // Pending returns the number of scheduled events that have not yet run.
 func (e *Engine) Pending() int { return e.count + len(e.overflow) }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it always indicates a modeling bug (an effect preceding its cause).
+// At schedules fn to run at absolute time t as a global event (owner -1:
+// it may touch any model state, and with sharding enabled the engine
+// serializes around it). Scheduling in the past panics: it always
+// indicates a modeling bug (an effect preceding its cause).
 func (e *Engine) At(t Time, fn func()) {
+	e.insert(t, fn, GlobalOwner)
+}
+
+// insert is the single scheduling path: wheel if t is inside the window,
+// overflow heap otherwise, recording the event's shard owner when
+// sharding is enabled. Calling it during a parallel round panics — worker
+// code must schedule through its Ctx, which logs the insert for the
+// leader to replay (see ctx.go).
+func (e *Engine) insert(t Time, fn func(), owner int32) {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
+	}
+	if e.inRound {
+		panic("sim: raw engine scheduling during a parallel round")
 	}
 	if idx := t - e.wheelStart; idx < wheelSize {
 		b := &e.buckets[idx]
 		b.fns = append(b.fns, fn)
+		if e.shards > 1 {
+			b.owners = append(b.owners, owner)
+		}
 		e.words[idx>>6] |= 1 << (uint64(idx) & 63)
 		e.summary |= 1 << (uint64(idx) >> 6)
 		e.count++
 		return
 	}
 	e.seq++
-	e.overflow.push(event{at: t, seq: e.seq, fn: fn})
+	e.overflow.push(event{at: t, seq: e.seq, owner: owner, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
@@ -181,21 +219,30 @@ func (e *Engine) firstIdx() int {
 	return w<<6 | bits.TrailingZeros64(e.words[w])
 }
 
-// slide advances the window to the earliest overflow event and refills the
-// wheel from the heap. Only legal when the wheel is empty; heap pops come
-// out in (at, seq) order, so bucket FIFO order stays correct.
-func (e *Engine) slide() {
-	e.wheelStart = e.overflow[0].at
+// refill pulls every overflow event inside the current wheel window into
+// its bucket. Heap pops come out in (at, seq) order, so bucket FIFO order
+// stays correct.
+func (e *Engine) refill() {
 	limit := e.wheelStart + wheelSize
 	for len(e.overflow) > 0 && e.overflow[0].at < limit {
 		ev := e.overflow.pop()
 		idx := ev.at - e.wheelStart
 		b := &e.buckets[idx]
 		b.fns = append(b.fns, ev.fn)
+		if e.shards > 1 {
+			b.owners = append(b.owners, ev.owner)
+		}
 		e.words[idx>>6] |= 1 << (uint64(idx) & 63)
 		e.summary |= 1 << (uint64(idx) >> 6)
 		e.count++
 	}
+}
+
+// slide advances the window to the earliest overflow event and refills the
+// wheel from the heap. Only legal when the wheel is empty.
+func (e *Engine) slide() {
+	e.wheelStart = e.overflow[0].at
+	e.refill()
 }
 
 // nextAt returns the timestamp of the next pending event.
@@ -225,6 +272,7 @@ func (e *Engine) Step() bool {
 	b.head++
 	if b.head == len(b.fns) {
 		b.fns = b.fns[:0]
+		b.owners = b.owners[:0]
 		b.head = 0
 		e.words[idx>>6] &^= 1 << (uint64(idx) & 63)
 		if e.words[idx>>6] == 0 {
@@ -244,15 +292,30 @@ func (e *Engine) Step() bool {
 // "events so far" figure.
 func (e *Engine) Steps() uint64 { return e.steps }
 
-// Run executes events until the queue is empty.
+// Run executes events until the queue is empty. With sharding enabled it
+// takes the tick-parallel path (ctx.go); the result is byte-identical.
 func (e *Engine) Run() {
+	if e.shards > 1 {
+		e.runShardedUntil(0, false)
+		return
+	}
 	for e.Step() {
 	}
 }
 
 // RunUntil executes events with timestamps <= t, then advances the clock to
 // exactly t. Events scheduled beyond t remain pending.
+//
+// When the advance leaves the clock past the wheel window (a long quiet
+// skip, e.g. a node's unavailability window during fault injection), the
+// empty wheel is re-anchored at the new now — otherwise every event
+// scheduled after the skip would detour through the overflow heap even
+// when it lands nanoseconds away.
 func (e *Engine) RunUntil(t Time) {
+	if e.shards > 1 {
+		e.runShardedUntil(t, true)
+		return
+	}
 	for {
 		at, ok := e.nextAt()
 		if !ok || at > t {
@@ -262,6 +325,10 @@ func (e *Engine) RunUntil(t Time) {
 	}
 	if t > e.now {
 		e.now = t
+	}
+	if e.count == 0 && e.now > e.wheelStart {
+		e.wheelStart = e.now
+		e.refill()
 	}
 }
 
@@ -317,6 +384,7 @@ func (e *Engine) Reset() {
 			b.fns[j] = nil
 		}
 		b.fns = b.fns[:0]
+		b.owners = b.owners[:0]
 		b.head = 0
 	}
 	e.words = [wheelSize / 64]uint64{}

@@ -271,6 +271,56 @@ func TestEngineSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// Regression: RunUntil used to advance now past the wheel window without
+// re-anchoring wheelStart, so the first event scheduled after a long quiet
+// advance (e.g. a node's unavailability skip during fault injection)
+// detoured through the overflow heap even when it landed nanoseconds away.
+// The empty wheel must re-anchor to now, keeping near-future scheduling on
+// the O(1) wheel path.
+func TestRunUntilReanchorsEmptyWheel(t *testing.T) {
+	e := NewEngine()
+	e.After(1, func() {})
+	e.Run()
+	e.RunUntil(e.Now() + 10*wheelSize) // long quiet advance
+	ran := false
+	at := e.Now() + 5
+	e.After(5, func() { ran = true }) // lands nanoseconds away
+	if len(e.overflow) != 0 {
+		t.Fatalf("near-future event took the overflow heap after a quiet advance (overflow len %d)",
+			len(e.overflow))
+	}
+	if e.count != 1 {
+		t.Fatalf("near-future event missing from the wheel (count %d)", e.count)
+	}
+	e.Run()
+	if !ran || e.Now() != at {
+		t.Fatalf("re-anchored wheel did not dispatch: ran=%v now=%d want %d", ran, e.Now(), at)
+	}
+}
+
+// The re-anchor must also pull pending overflow events that the advance
+// brought inside the new window, or they would be unreachable ahead of
+// wheelStart's old position.
+func TestRunUntilReanchorRefillsFromOverflow(t *testing.T) {
+	e := NewEngine()
+	var order []Time
+	e.After(1, func() {})
+	far := Time(6 * wheelSize)
+	e.At(far, func() { order = append(order, e.Now()) })
+	e.RunUntil(1) // runs the t=1 event; far event sits in the overflow heap
+	e.RunUntil(far - 10)
+	if len(e.overflow) != 0 {
+		t.Fatalf("overflow event inside the re-anchored window was not refilled (overflow len %d)",
+			len(e.overflow))
+	}
+	e.At(far-5, func() { order = append(order, e.Now()) })
+	e.Run()
+	want := []Time{far - 5, far}
+	if len(order) != 2 || order[0] != want[0] || order[1] != want[1] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
 // Property: for any set of non-negative delays, events observe a
 // monotonically non-decreasing clock.
 func TestPropertyMonotonicClock(t *testing.T) {

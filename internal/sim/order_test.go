@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refEngine is a deliberately naive reference implementation of the engine's
+// ordering contract: a flat sorted list ordered by (at, insertion seq). It
+// has none of the wheel/heap machinery, so any divergence between the two is
+// a bug in the real engine's fast paths (bucket FIFO, overflow refill,
+// slide, RunUntil re-anchoring).
+type refEngine struct {
+	now  Time
+	seq  uint64
+	evs  []refEvent
+	step uint64
+}
+
+type refEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+func (r *refEngine) At(t Time, fn func()) {
+	if t < r.now {
+		panic("refEngine: event scheduled in the past")
+	}
+	r.seq++
+	r.evs = append(r.evs, refEvent{at: t, seq: r.seq, fn: fn})
+}
+
+func (r *refEngine) next() (int, bool) {
+	if len(r.evs) == 0 {
+		return 0, false
+	}
+	best := 0
+	for i := 1; i < len(r.evs); i++ {
+		if r.evs[i].at < r.evs[best].at ||
+			(r.evs[i].at == r.evs[best].at && r.evs[i].seq < r.evs[best].seq) {
+			best = i
+		}
+	}
+	return best, true
+}
+
+func (r *refEngine) Step() bool {
+	i, ok := r.next()
+	if !ok {
+		return false
+	}
+	ev := r.evs[i]
+	r.evs = append(r.evs[:i], r.evs[i+1:]...)
+	r.now = ev.at
+	r.step++
+	ev.fn()
+	return true
+}
+
+func (r *refEngine) Run() {
+	for r.Step() {
+	}
+}
+
+func (r *refEngine) RunUntil(t Time) {
+	for {
+		i, ok := r.next()
+		if !ok || r.evs[i].at > t {
+			break
+		}
+		r.Step()
+	}
+	if t > r.now {
+		r.now = t
+	}
+}
+
+func (r *refEngine) Reset() {
+	r.evs = r.evs[:0]
+}
+
+// TestPropertyEngineMatchesReference drives the real engine and the naive
+// reference through identical randomized schedules — delays straddling the
+// wheel/heap boundary, nested rescheduling, RunUntil advances (including
+// quiet advances far past the window) and occasional Resets — and demands
+// the exact same execution order and clock at every point.
+func TestPropertyEngineMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		r := &refEngine{}
+		var gotOrder, wantOrder []int
+		id := 0
+
+		// schedule plants the same event in both engines. The spawn plan —
+		// whether the event reschedules a child when it fires, and how far
+		// out — is decided up front so both sides replay it identically;
+		// the child's ID is allocated by whichever side fires first and
+		// shared through childID.
+		var schedule func(at Time, depth int)
+		schedule = func(at Time, depth int) {
+			myID := id
+			id++
+			spawn := Time(-1)
+			if depth < 2 && rng.Intn(4) == 0 {
+				spawn = Time(rng.Intn(wheelSize + 16)) // child delay, 0 = same tick
+			}
+			childID := -1
+			allocChild := func() int {
+				if childID < 0 {
+					childID = id
+					id++
+				}
+				return childID
+			}
+			e.At(at, func() {
+				gotOrder = append(gotOrder, myID)
+				if spawn >= 0 {
+					cid := allocChild()
+					e.At(e.Now()+spawn, func() { gotOrder = append(gotOrder, cid) })
+				}
+			})
+			r.At(at, func() {
+				wantOrder = append(wantOrder, myID)
+				if spawn >= 0 {
+					cid := allocChild()
+					r.At(r.now+spawn, func() { wantOrder = append(wantOrder, cid) })
+				}
+			})
+		}
+
+		steps := 200 + rng.Intn(300)
+		for op := 0; op < steps; op++ {
+			switch k := rng.Intn(10); {
+			case k < 6: // schedule a batch at assorted horizons
+				n := 1 + rng.Intn(4)
+				for i := 0; i < n; i++ {
+					var d Time
+					switch rng.Intn(4) {
+					case 0:
+						d = Time(rng.Intn(16)) // same/near tick
+					case 1:
+						d = Time(rng.Intn(wheelSize)) // inside the window
+					case 2:
+						d = wheelSize - 8 + Time(rng.Intn(16)) // straddling
+					default:
+						d = Time(rng.Intn(4 * wheelSize)) // overflow heap
+					}
+					schedule(e.Now()+d, 0)
+				}
+			case k < 8: // run a bounded slice of time
+				var d Time
+				if rng.Intn(3) == 0 {
+					d = Time(rng.Intn(8 * wheelSize)) // quiet long advance
+				} else {
+					d = Time(rng.Intn(wheelSize))
+				}
+				e.RunUntil(e.Now() + d)
+				r.RunUntil(r.now + d)
+			case k < 9: // drain
+				e.Run()
+				r.Run()
+			default: // fail-stop: both abandon pending work
+				e.Reset()
+				r.Reset()
+			}
+			if e.Now() != r.now {
+				t.Fatalf("seed %d op %d: clock diverged: engine %d, reference %d",
+					seed, op, e.Now(), r.now)
+			}
+			if len(gotOrder) != len(wantOrder) {
+				t.Fatalf("seed %d op %d: executed %d events, reference %d",
+					seed, op, len(gotOrder), len(wantOrder))
+			}
+			for i := range gotOrder {
+				if gotOrder[i] != wantOrder[i] {
+					t.Fatalf("seed %d op %d: order diverged at %d: engine %v..., reference %v...",
+						seed, op, i, tail(gotOrder, i), tail(wantOrder, i))
+				}
+			}
+		}
+		e.Run()
+		r.Run()
+		if len(gotOrder) != len(wantOrder) {
+			t.Fatalf("seed %d final: executed %d events, reference %d", seed, len(gotOrder), len(wantOrder))
+		}
+	}
+}
+
+func tail(s []int, from int) []int {
+	to := from + 8
+	if to > len(s) {
+		to = len(s)
+	}
+	return s[from:to]
+}
+
+// FuzzEngineOrder feeds arbitrary byte strings as op tapes: each byte pair
+// is an (op, operand) instruction over the same dual-engine harness. The
+// seed corpus covers the boundary cases the property test aims at.
+func FuzzEngineOrder(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 200, 1, 255, 0, 3, 2, 0})
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 0, 5, 3, 0, 0, 7})
+	f.Add([]byte{0, 100, 1, 250, 1, 250, 0, 1})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		e := NewEngine()
+		r := &refEngine{}
+		var gotOrder, wantOrder []int
+		id := 0
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, arg := tape[i], Time(tape[i+1])
+			switch op % 4 {
+			case 0: // schedule; scale the operand across both sides of the window
+				at := e.Now() + arg*(wheelSize/128)
+				myID := id
+				id++
+				e.At(at, func() { gotOrder = append(gotOrder, myID) })
+				r.At(at, func() { wantOrder = append(wantOrder, myID) })
+			case 1: // bounded run, scaled to cross the window sometimes
+				d := arg * (wheelSize / 32)
+				e.RunUntil(e.Now() + d)
+				r.RunUntil(r.now + d)
+			case 2: // drain
+				e.Run()
+				r.Run()
+			case 3: // fail-stop
+				e.Reset()
+				r.Reset()
+			}
+			if e.Now() != r.now {
+				t.Fatalf("clock diverged: engine %d, reference %d", e.Now(), r.now)
+			}
+		}
+		e.Run()
+		r.Run()
+		if len(gotOrder) != len(wantOrder) {
+			t.Fatalf("executed %d events, reference %d", len(gotOrder), len(wantOrder))
+		}
+		for i := range gotOrder {
+			if gotOrder[i] != wantOrder[i] {
+				t.Fatalf("order diverged at index %d", i)
+			}
+		}
+	})
+}
+
+// sanity for the reference itself: its order is (at, seq)-sorted.
+func TestReferenceEngineIsSorted(t *testing.T) {
+	r := &refEngine{}
+	var order []Time
+	delays := []Time{5, 1, 9, 1, 5, 0}
+	for _, d := range delays {
+		d := d
+		r.At(d, func() { order = append(order, d) })
+	}
+	r.Run()
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Fatalf("reference order not sorted: %v", order)
+	}
+}

@@ -201,6 +201,36 @@ func (s *Stats) Mem(c Class) {
 	s.MemAccesses[c]++
 }
 
+// FoldFrom adds src's additive counters into s and zeroes them in src, so
+// folding is idempotent across repeated calls. Sharded machines give each
+// node group a private Stats shadow for the counters written from
+// shard-owned events (processor progress, cache behaviour, DRAM accesses)
+// and fold the shadows into the main Stats at serial points (checkpoint
+// commits, end of run). Only additive counters fold; the main-Stats-only
+// fields (checkpoint accounting, log peaks, recovery records, ExecTime,
+// fabric-fault counters) are written exclusively from serial contexts and
+// stay put.
+func (s *Stats) FoldFrom(src *Stats) {
+	s.Instructions += src.Instructions
+	s.MemRefs += src.MemRefs
+	s.Loads += src.Loads
+	s.Stores += src.Stores
+	s.L1Hits += src.L1Hits
+	s.L1Misses += src.L1Misses
+	s.L2Hits += src.L2Hits
+	s.L2Misses += src.L2Misses
+	for c := range s.NetBytes {
+		s.NetBytes[c] += src.NetBytes[c]
+		s.NetMsgs[c] += src.NetMsgs[c]
+		s.MemAccesses[c] += src.MemAccesses[c]
+	}
+	src.Instructions, src.MemRefs, src.Loads, src.Stores = 0, 0, 0, 0
+	src.L1Hits, src.L1Misses, src.L2Hits, src.L2Misses = 0, 0, 0, 0
+	src.NetBytes = [NumClasses]uint64{}
+	src.NetMsgs = [NumClasses]uint64{}
+	src.MemAccesses = [NumClasses]uint64{}
+}
+
 // L2MissRate returns the paper's Table 4 metric: global L2 misses as a
 // fraction of all memory references.
 func (s *Stats) L2MissRate() float64 {
