@@ -11,6 +11,7 @@
 //	revive-bench -storage            # section 6.2 accounting
 //	revive-bench -availability       # section 3.3.2 table
 //	revive-bench -split-domain       # E19 split-fault-domain comparison
+//	revive-bench -strategy-matrix    # E23 recovery-strategy ablation
 //	revive-bench -quick -all         # reduced budgets, fast smoke run
 //	revive-bench -apps FFT,Radix     # restrict the application set
 //	revive-bench -all -j 8           # eight simulations at a time
@@ -43,6 +44,8 @@ func main() {
 		storage      = flag.Bool("storage", false, "section 6.2 storage accounting")
 		availability = flag.Bool("availability", false, "section 3.3.2 availability")
 		splitDomain  = flag.Bool("split-domain", false, "E19 split-fault-domain study (node-loss vs cpu-loss vs mem-partial)")
+		stratMatrix  = flag.Bool("strategy-matrix", false, "E23 recovery-strategy ablation across every registered backend")
+		strategy     = flag.String("strategy", "", "recovery-strategy backend for the other experiments: "+strings.Join(revive.StrategyNames(), ", ")+" (default "+revive.DefaultStrategy+")")
 		quick        = flag.Bool("quick", false, "reduced instruction budgets")
 		scale        = flag.Int("scale", 100, "divide paper instruction counts by this")
 		appsFlag     = flag.String("apps", "", "comma-separated application subset")
@@ -78,6 +81,12 @@ func main() {
 	if *shards == 0 {
 		o.Shards = runtime.NumCPU()
 	}
+	if err := revive.ValidateStrategy(*strategy); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		stopProfiles()
+		os.Exit(2)
+	}
+	o.Strategy = *strategy
 	apps := revive.Apps(o)
 	if *appsFlag != "" {
 		var picked []revive.App
@@ -185,7 +194,22 @@ func main() {
 		revive.WriteE19(w, res, revive.EvalConfig(o).Checkpoint.Interval)
 		sep()
 	}
-	if !*all && *fig == 0 && *table == 0 && !*storage && !*availability && !*splitDomain {
+	if *stratMatrix {
+		// Not part of -all for the same reason as -split-domain: the
+		// -quick -all golden stays byte-identical, and EXPERIMENTS.md E23
+		// records a full run. The matrix runs every registered backend, so
+		// -strategy (which selects one backend for the other experiments)
+		// does not apply here.
+		start := time.Now()
+		res := revive.RunStrategyMatrix(o, apps, func(app, strat string, st *revive.Stats) {
+			fmt.Fprintf(os.Stderr, "  %-10s %-11s exec=%8.1fus ckps=%d\n",
+				app, strat, float64(st.ExecTime)/1000, st.Checkpoints)
+		})
+		fmt.Fprintf(os.Stderr, "strategy matrix: %v\n", time.Since(start))
+		revive.WriteStrategyMatrix(w, res)
+		sep()
+	}
+	if !*all && *fig == 0 && *table == 0 && !*storage && !*availability && !*splitDomain && !*stratMatrix {
 		flag.Usage()
 		stopProfiles()
 		os.Exit(2)

@@ -11,6 +11,7 @@
 //	revive-chaos -campaigns 200 -seed 42 -j 8     # eight campaigns at a time
 //	revive-chaos -campaigns 200 -drop 0.01 -corrupt 0.001 -link-loss
 //	revive-chaos -campaigns 200 -cpu-loss -mem-partial    # split-domain sweep
+//	revive-chaos -campaigns 50 -strategy conelog  # full registry under another backend
 //	revive-chaos -campaigns 10 -bug data-before-log -out fail.json
 //	revive-chaos -campaigns 10 -bug drop-ack      # transport-audit self-test
 //	revive-chaos -campaigns 10 -bug data-before-log -json  # machine-readable
@@ -35,6 +36,7 @@ import (
 	"os"
 	"strings"
 
+	"revive"
 	"revive/internal/chaos"
 	"revive/internal/stats"
 	"revive/internal/trace"
@@ -44,6 +46,7 @@ func main() {
 	campaigns := flag.Int("campaigns", 50, "number of fault campaigns to run")
 	seed := flag.Uint64("seed", 1, "master seed (campaign schedules derive from it)")
 	bug := flag.String("bug", "", "run a deliberately broken build (\"data-before-log\" or \"drop-ack\") to validate the harness")
+	strategy := flag.String("strategy", "", "recovery-strategy backend the campaigns run under: "+strings.Join(revive.StrategyNames(), ", ")+" (default "+revive.DefaultStrategy+")")
 	budget := flag.Int("shrink-budget", 48, "re-executions allowed when minimizing a failing schedule")
 	drop := flag.Float64("drop", 0, "force a message-drop fault of this probability into every campaign")
 	corrupt := flag.Float64("corrupt", 0, "force a message-corruption fault of this probability into every campaign")
@@ -69,9 +72,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-drop and -corrupt are probabilities in [0, 1]")
 		os.Exit(2)
 	}
+	if err := revive.ValidateStrategy(*strategy); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	opts := chaos.Options{
-		Campaigns: *campaigns, Seed: *seed, Bug: *bug, ShrinkBudget: *budget,
+		Campaigns: *campaigns, Seed: *seed, Bug: *bug, Strategy: *strategy, ShrinkBudget: *budget,
 		DropProb: *drop, CorruptProb: *corrupt, LinkLoss: *linkLoss,
 		CPULoss: *cpuLoss, MemPartial: *memPartial,
 		FlightEvents: *flight, Parallelism: *jobs,

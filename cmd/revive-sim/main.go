@@ -7,6 +7,7 @@
 //	revive-sim -app FFT                      # ReVive, 7+1 parity, Cp regime
 //	revive-sim -app Radix -baseline          # no recovery support
 //	revive-sim -app Ocean -mirror            # mirroring instead of parity
+//	revive-sim -app FFT -strategy inline-log # alternative recovery backend
 //	revive-sim -app LU -interval 200us       # custom checkpoint interval
 //	revive-sim -app FFT -fault cpu-loss      # kill node 5's processor mid-run
 //	revive-sim -app FFT -fault mem-partial -fault-frames 16   # partial memory loss
@@ -49,6 +50,7 @@ func main() {
 		jobs     = flag.Int("j", 0, "simulations to run in parallel for -apps (0 = all CPUs, 1 = serial)")
 		baseline = flag.Bool("baseline", false, "run without recovery support")
 		mirror   = flag.Bool("mirror", false, "mirroring instead of 7+1 parity")
+		strategy = flag.String("strategy", "", "recovery-strategy backend: "+strings.Join(revive.StrategyNames(), ", ")+" (default "+revive.DefaultStrategy+")")
 		noCkpt   = flag.Bool("nockpt", false, "infinite checkpoint interval (CpInf)")
 		interval = flag.Duration("interval", 0, "checkpoint interval (e.g. 200us; default: regime)")
 		nodes    = flag.Int("nodes", 16, "node count")
@@ -99,6 +101,15 @@ func main() {
 	if *mirror {
 		o.GroupSize = 2
 	}
+	if err := revive.ValidateStrategy(*strategy); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(2)
+	}
+	if *baseline && *strategy != "" {
+		fmt.Fprintln(os.Stderr, "-strategy needs recovery support; drop -baseline")
+		exit(2)
+	}
+	o.Strategy = *strategy
 	switch *faultKind {
 	case "", "node-loss", "cpu-loss", "mem-partial", "transient":
 	default:
@@ -230,6 +241,9 @@ func main() {
 		mode = "baseline (no recovery)"
 	} else if *mirror {
 		mode = "ReVive mirroring"
+	}
+	if *strategy != "" && *strategy != revive.DefaultStrategy {
+		mode += " [" + *strategy + "]"
 	}
 
 	if *traceOut != "" {
@@ -428,6 +442,9 @@ func runAppsSweep(o revive.Options, names string, jobs int, baseline, mirror, no
 		parityErr error
 	}
 	mode := modeLabel(baseline, mirror)
+	if o.Strategy != "" && o.Strategy != revive.DefaultStrategy {
+		mode += " [" + o.Strategy + "]"
+	}
 	start := time.Now()
 	rows := sweep.Run(jobs, len(apps), func(i int) row {
 		m := revive.New(buildConfig(o, baseline, noCkpt, interval))

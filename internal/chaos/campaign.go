@@ -141,6 +141,7 @@ func buildMachine(s Schedule, tr *trace.Tracer) *machine.Machine {
 	cfg.Checkpoint.InterruptCost = 500
 	cfg.Checkpoint.BarrierCost = 1000
 	cfg.Checkpoint.Retain = s.Retain
+	cfg.Strategy = s.Strategy // Validate rejected unknown names already
 	cfg.Verify = true
 	cfg.Trace = tr
 	m := machine.New(cfg)
@@ -304,12 +305,14 @@ func (r *runner) escalate() bool {
 			return false
 		}
 		o.Recovered = true
-		o.Checks++
-		if snap, ok := m.SnapshotAt(target); !ok {
-			o.violate("escalation", "byte-exact",
-				fmt.Sprintf("snapshot of target epoch %d missing after recovery", target))
-		} else if err := m.VerifyAgainstSnapshot(snap); err != nil {
-			o.violate("escalation", "byte-exact", err.Error())
+		if byteExact(rep) {
+			o.Checks++
+			if snap, ok := m.SnapshotAt(target); !ok {
+				o.violate("escalation", "byte-exact",
+					fmt.Sprintf("snapshot of target epoch %d missing after recovery", target))
+			} else if err := m.VerifyAgainstSnapshot(snap); err != nil {
+				o.violate("escalation", "byte-exact", err.Error())
+			}
 		}
 		o.checkQuiescent(m, "escalation")
 		if o.Failed() {
@@ -599,12 +602,14 @@ func runSchedule(s Schedule, tr *trace.Tracer) *Outcome {
 			return o
 		}
 		o.Recovered = true
-		o.Checks++
-		if snap, ok := m.SnapshotAt(o.Target); !ok {
-			o.violate("post-recovery", "byte-exact",
-				fmt.Sprintf("snapshot of target epoch %d missing after recovery", o.Target))
-		} else if err := m.VerifyAgainstSnapshot(snap); err != nil {
-			o.violate("post-recovery", "byte-exact", err.Error())
+		if byteExact(rep) {
+			o.Checks++
+			if snap, ok := m.SnapshotAt(o.Target); !ok {
+				o.violate("post-recovery", "byte-exact",
+					fmt.Sprintf("snapshot of target epoch %d missing after recovery", o.Target))
+			} else if err := m.VerifyAgainstSnapshot(snap); err != nil {
+				o.violate("post-recovery", "byte-exact", err.Error())
+			}
 		}
 		// Split-domain reconstruction scope. A cpu-loss leaves every memory
 		// module and log intact, so a clean (single-fault) recovery must skip
@@ -650,6 +655,17 @@ func runSchedule(s Schedule, tr *trace.Tracer) *Outcome {
 		o.violate("recovery", "recovery", err.Error())
 	}
 	return o
+}
+
+// byteExact reports whether the byte-exact oracle applies to a recovery
+// report. A conelog recovery that rolled back only a dependence cone
+// legitimately leaves non-cone frames at their latest (post-checkpoint)
+// content, so comparing the whole machine against the checkpoint snapshot
+// would flag correct behavior. The rest of the registry (parity, log
+// markers, L-bits, coherence, transport) still runs unconditionally — see
+// DESIGN.md section 4f on what the cone backend does and does not promise.
+func byteExact(rep core.Report) bool {
+	return rep.ConeGlobal || rep.ConeNodes == 0
 }
 
 // isUnrecoverable matches the typed refusal for beyond-model damage.

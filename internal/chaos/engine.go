@@ -18,6 +18,7 @@ type Options struct {
 	Campaigns    int    // schedules to run (default 50)
 	Seed         uint64 // master seed; campaign seeds derive from it
 	Bug          string // deliberately broken build to apply ("" = healthy)
+	Strategy     string // recovery-strategy backend ("" = the default "revive")
 	ShrinkBudget int    // re-executions allowed per failing schedule (default 48)
 
 	// Parallelism is how many campaigns (including their shrinking) run
@@ -152,6 +153,7 @@ type campaignResult struct {
 func runCampaign(opts Options, seed uint64) campaignResult {
 	s := Generate(seed)
 	s.Bug = opts.Bug
+	s.Strategy = opts.Strategy
 	force(opts, &s)
 	out := RunSchedule(s)
 	res := campaignResult{out: out}

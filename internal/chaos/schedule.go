@@ -131,13 +131,17 @@ type Fault struct {
 // a deterministic discrete-event simulation, the workload is derived from
 // Seed, and the fabric fault plan draws from its own seeded PRNG.
 type Schedule struct {
-	Seed      uint64  `json:"seed"`
-	Nodes     int     `json:"nodes"`
-	GroupSize int     `json:"group_size"`
-	Retain    int     `json:"retain"`
-	Instr     uint64  `json:"instr"` // per-processor instruction budget
-	Bug       string  `json:"bug,omitempty"`
-	Faults    []Fault `json:"faults"`
+	Seed      uint64 `json:"seed"`
+	Nodes     int    `json:"nodes"`
+	GroupSize int    `json:"group_size"`
+	Retain    int    `json:"retain"`
+	Instr     uint64 `json:"instr"` // per-processor instruction budget
+	Bug       string `json:"bug,omitempty"`
+	// Strategy selects the recovery-strategy backend the campaign machine
+	// runs under ("" = the default "revive"); every invariant in the
+	// registry must hold for every backend.
+	Strategy string  `json:"strategy,omitempty"`
+	Faults   []Fault `json:"faults"`
 }
 
 // clone returns a deep copy (shrinking mutates candidates freely).
@@ -191,6 +195,9 @@ func (s Schedule) Validate() error {
 	}
 	if s.Bug != "" && s.Bug != BugDataBeforeLog && s.Bug != BugDropAck {
 		return fmt.Errorf("chaos: unknown bug %q (known: %q, %q)", s.Bug, BugDataBeforeLog, BugDropAck)
+	}
+	if _, err := core.NewStrategy(s.Strategy); err != nil {
+		return fmt.Errorf("chaos: %v", err)
 	}
 	dimX, dimY := network.TorusShape(s.Nodes)
 	primarySeen := false

@@ -105,6 +105,7 @@ type DirCtrl struct {
 	st      *stats.Stats
 	tracker *Tracker
 	ext     Extension
+	flow    FlowObserver
 	caches  []*CacheCtrl
 	pipe    *sim.Resource
 	entries map[arch.LineAddr]*dirEntry
@@ -132,6 +133,10 @@ func (d *DirCtrl) SetCaches(caches []*CacheCtrl) { d.caches = caches }
 
 // SetExtension installs the ReVive hooks. nil is the baseline machine.
 func (d *DirCtrl) SetExtension(ext Extension) { d.ext = ext }
+
+// SetFlowObserver installs the data-flow observer (conelog's dependence
+// tracker). nil — the default — observes nothing.
+func (d *DirCtrl) SetFlowObserver(f FlowObserver) { d.flow = f }
 
 // Node returns the controller's node.
 func (d *DirCtrl) Node() arch.NodeID { return d.node }
@@ -358,6 +363,9 @@ func (d *DirCtrl) invAckArrived(line arch.LineAddr) {
 // --- transaction bodies (run with the entry busy) ---
 
 func (d *DirCtrl) doGETS(req arch.NodeID, line arch.LineAddr) {
+	if d.flow != nil {
+		d.flow.ObserveRead(req, line)
+	}
 	e := d.entry(line)
 	switch e.state {
 	case dirUncached:
@@ -411,6 +419,9 @@ func (d *DirCtrl) doGETS(req arch.NodeID, line arch.LineAddr) {
 }
 
 func (d *DirCtrl) doGETX(req arch.NodeID, line arch.LineAddr) {
+	if d.flow != nil {
+		d.flow.ObserveWrite(req, line)
+	}
 	e := d.entry(line)
 	switch e.state {
 	case dirUncached:
@@ -463,6 +474,11 @@ func (d *DirCtrl) doUPG(req arch.NodeID, line arch.LineAddr) {
 		// earlier-serialized write): fall back to a full read-exclusive.
 		d.doGETX(req, line)
 		return
+	}
+	if d.flow != nil {
+		// The fallback above reaches doGETX, which observes for itself;
+		// only the successful upgrade is recorded here.
+		d.flow.ObserveWrite(req, line)
 	}
 	d.invalidateSharers(line, e.sharers.CopyWithout(req), func() {
 		// Upgrade permission is granted immediately (Figure 5(a)); no

@@ -61,11 +61,18 @@ func ParseStep(name string) (Step, bool) {
 	return 0, false
 }
 
-// EventCounts tallies the Table 1 event classes.
+// EventCounts tallies the Table 1 event classes, plus the inline-log
+// strategy's fit/overflow split (zero under every other backend).
 type EventCounts struct {
 	WBLogged     uint64 // write-back to memory, already logged (Figure 4)
 	RDXNotLogged uint64 // read-exclusive/upgrade, not yet logged (Figure 5(a))
 	WBNotLogged  uint64 // write-back, not yet logged (Figure 5(b))
+
+	// InlineFits counts not-yet-logged write-backs whose undo entry fit
+	// in the line's spare capacity (inline-log strategy); InlineOverflows
+	// counts the ones that spilled to the classic out-of-line log.
+	InlineFits      uint64
+	InlineOverflows uint64
 }
 
 // Controller is one node's ReVive directory-controller extension: the
@@ -82,6 +89,12 @@ type Controller struct {
 	st      *stats.Stats
 	tracker *coherence.Tracker
 	peers   []*Controller // indexed by node; set by Wire
+
+	// strategy is the machine's recovery-strategy backend: it decides
+	// what WriteIntent/Write/CommitEpoch actually do. NewController
+	// installs the default (revive); machine.New overrides it with the
+	// machine-wide instance via SetStrategy before any traffic runs.
+	strategy Strategy
 
 	log   *HWLog
 	lbits lbitTable
@@ -146,11 +159,21 @@ func NewController(ctx *sim.Ctx, node arch.NodeID, topo arch.Topology,
 	return &Controller{
 		ctx: ctx, node: node, topo: topo, amap: amap, dirs: dirs, net: net,
 		st: st, tracker: tracker,
-		log:   NewHWLog(node, amap, dirs[node].Mem()),
-		lbits: newLBitTable(),
-		debt:  make(map[arch.PhysLine]arch.Data),
+		strategy: reviveStrategy{},
+		log:      NewHWLog(node, amap, dirs[node].Mem()),
+		lbits:    newLBitTable(),
+		debt:     make(map[arch.PhysLine]arch.Data),
 	}
 }
+
+// SetStrategy installs the machine's recovery-strategy backend. Call it
+// before any simulated traffic; the instance is shared by all of the
+// machine's controllers (conelog keeps machine-global dependence state
+// there).
+func (c *Controller) SetStrategy(s Strategy) { c.strategy = s }
+
+// Strategy returns the installed backend.
+func (c *Controller) Strategy() Strategy { return c.strategy }
 
 // Wire connects the per-node controllers so parity updates can be handled
 // at their destination.
@@ -210,56 +233,17 @@ func (c *Controller) local(p arch.PhysLine) arch.PhysLine {
 
 // --- coherence.Extension ---
 
-// WriteIntent implements the Figure 5(a) flow: on a read-exclusive or
-// upgrade for a not-yet-logged line, the memory (checkpoint) content is
-// copied to the log and the log parity updated, in the background after the
-// reply; the directory entry stays busy until release.
+// WriteIntent dispatches the Figure 5(a) flow (read-exclusive or upgrade
+// for a line homed at this node) to the installed strategy.
 func (c *Controller) WriteIntent(line arch.LineAddr, phys arch.PhysLine, release func()) {
-	if c.DisableEagerLog || c.BugDataBeforeLog || !c.needsLog(phys) {
-		release()
-		return
-	}
-	c.Events.RDXNotLogged++
-	c.lbits.set(lineIndex(phys), line)
-	// The data read that supplied the requester also feeds the logger
-	// (Table 1 charges only 1 extra access: the log write).
-	old := c.dirs[c.node].Mem().Peek(phys.MemAddr())
-	c.appendLog(line, old, release)
+	c.strategy.WriteIntent(c, line, phys, release)
 }
 
-// Write implements the write-back flows: Figure 5(b) when the line has not
-// been logged (log fully first, delaying the acknowledgment), then the
-// Figure 4 data write and data parity update.
+// Write dispatches the write-back flows (Figure 5(b) logging and the
+// Figure 4 data write + parity update) to the installed strategy.
 func (c *Controller) Write(line arch.LineAddr, phys arch.PhysLine, data arch.Data,
 	ckp bool, ack, release func()) {
-	doWrite := func() { c.dataWrite(line, phys, data, ckp, ack, release) }
-	if !c.needsLog(phys) {
-		c.Events.WBLogged++
-		doWrite()
-		return
-	}
-	c.Events.WBNotLogged++
-	c.lbits.set(lineIndex(phys), line)
-	if c.BugDataBeforeLog {
-		// The deliberately broken build: the data write lands first and
-		// the "old" content fed to the log is peeked *after* it — the log
-		// captures D' instead of D, so a later rollback restores the
-		// wrong bytes.
-		c.dataWrite(line, phys, data, ckp, ack, func() {
-			wrong := c.dirs[c.node].Mem().Peek(phys.MemAddr())
-			c.appendLog(line, wrong, release)
-		})
-		return
-	}
-	old := c.dirs[c.node].Mem().Peek(phys.MemAddr())
-	// Log-data update race (section 4.2): the data write must not start
-	// before the log entry *and its parity* are fully updated. Table 1:
-	// "copy data to log" costs an extra read here (no reply read to
-	// reuse) plus the log write.
-	c.st.Mem(stats.ClassLog)
-	c.dirs[c.node].Mem().Read(phys.MemAddr(), func(arch.Data) {
-		c.appendLog(line, old, doWrite)
-	})
+	c.strategy.Write(c, line, phys, data, ckp, ack, release)
 }
 
 // dataWrite performs the Figure 4 sequence: read current D (the re-read the
@@ -403,19 +387,10 @@ func (c *Controller) writeCkptMarker(epoch uint64, done func()) {
 	})
 }
 
-// CommitEpoch advances the checkpoint epoch: gang-clear the L bits and
-// reclaim log space older than the oldest retained checkpoint's marker
-// (section 3.2.3: retain covers the error-detection latency; the paper's
-// default keeps the two most recent checkpoints).
+// CommitEpoch dispatches the checkpoint commit (epoch advance, logging
+// state reset, log reclamation) to the installed strategy.
 func (c *Controller) CommitEpoch(epoch uint64, retain int) {
-	c.epoch = epoch
-	c.lbits.clear()
-	if retain < 2 {
-		retain = 2
-	}
-	if epoch+1 >= uint64(retain) {
-		c.log.ReclaimTo(epoch + 1 - uint64(retain))
-	}
+	c.strategy.CommitEpoch(c, epoch, retain)
 }
 
 // --- distributed parity protocol ---

@@ -113,6 +113,14 @@ type Report struct {
 	DataPagesRebuilt int // phase 3, on demand (timing attribution)
 	BackgroundPages  int // phase 4
 
+	// Cone accounting (conelog strategy; zero elsewhere). ConeNodes is
+	// the size of the dependence cone the rollback was limited to;
+	// ConeGlobal marks a cone that escaped, forcing a global rollback.
+	// EntriesOutsideCone counts validated entries the scope let stand.
+	ConeNodes          int
+	ConeGlobal         bool
+	EntriesOutsideCone int
+
 	// Per-phase reconstruction scope under split fault domains.
 	// FramesReconstructed counts frames actually rebuilt from parity
 	// across all damaged nodes; FramesSkipped counts frames a full
@@ -165,6 +173,38 @@ type Recovery struct {
 	// checks for newly lost modules and returns an InterruptedError so
 	// the caller can re-validate and restart.
 	PhaseHook func(phase int)
+
+	// Scope, if set, restricts Phase 3 to a dependence cone (conelog
+	// strategy). nil — or a Scope with Global set — is the classic
+	// global rollback.
+	Scope *RecoveryScope
+}
+
+// RecoveryScope limits a rollback to the write-dependence cone of the
+// fault (conelog strategy, after Dichev et al., arXiv:1806.01611): only
+// log entries for lines whose post-checkpoint writers intersect the cone
+// are restored; everything else keeps its latest (provably unaffected)
+// content.
+type RecoveryScope struct {
+	// Cone lists the nodes inside the rollback cone, sorted by ID.
+	Cone []arch.NodeID
+	// Global marks a cone that escaped (grew past the pay-off bound) or
+	// a fault whose origin is unknown: roll back everything, exactly
+	// like the revive backend.
+	Global bool
+	// Restore reports whether a validated log entry for line must be
+	// restored. nil restores everything (ignored when Global is set).
+	Restore func(line arch.LineAddr) bool
+}
+
+// RecoveryPlanner is implemented by strategies that can scope a recovery
+// (conelog). The machine layer consults it after damage validation and
+// installs the resulting scope on the Recovery.
+type RecoveryPlanner interface {
+	// PlanRecovery derives the rollback scope for a fault at the given
+	// victim nodes (empty for a transient fault of unknown origin),
+	// rolling back to targetEpoch on a nodes-node machine.
+	PlanRecovery(victims []arch.NodeID, targetEpoch uint64, nodes int) *RecoveryScope
 }
 
 // checkPhase fires the phase hook and scans for damaged memory modules.
@@ -397,6 +437,10 @@ func (r *Recovery) Recover(damage []Damage, targetEpoch uint64) (Report, error) 
 	if len(damage) == 1 {
 		rep.LostNode = damage[0].Node
 	}
+	if r.Scope != nil {
+		rep.ConeNodes = len(r.Scope.Cone)
+		rep.ConeGlobal = r.Scope.Global
+	}
 	for _, d := range damage {
 		m := r.Mems[d.Node]
 		switch d.Kind {
@@ -440,15 +484,23 @@ func (r *Recovery) Recover(damage []Damage, targetEpoch uint64) (Report, error) 
 	// stripe has at most one missing member and reconstructions are
 	// independent. Timing is attributed per the paper's phases: rebuilt
 	// log frames to Phase 2; frames the rollback touches to Phase 3
-	// (on-demand); the rest to Phase 4 (background).
+	// (on-demand); the rest to Phase 4 (background). A partial loss is
+	// the exception: its damaged range is declared by the failing device,
+	// so the survivors rebuild all of it eagerly during Phase 2 (striped
+	// like the log pages) and the victim's live processor then walks its
+	// log at full speed with nothing left to rebuild on demand.
 	max := r.maxFrames()
 	rebuilt := map[arch.NodeID][2]arch.Frame{} // per-node rebuild range [lo, hi)
 	logFrames := map[arch.NodeID]map[arch.Frame]bool{}
 	lostSet := map[arch.NodeID]bool{}
+	partial := map[arch.NodeID]bool{}
 	procDown := map[arch.NodeID]bool{}
 	procsDown := 0
+	phase2Pages := 0
 	for _, d := range damage {
-		if d.Kind != PartialLoss {
+		if d.Kind == PartialLoss {
+			partial[d.Node] = true
+		} else {
 			// Full and CPU-only losses take the processor down; a
 			// partial loss leaves it running.
 			procDown[d.Node] = true
@@ -479,9 +531,14 @@ func (r *Recovery) Recover(damage []Damage, targetEpoch uint64) (Report, error) 
 		rep.LogPagesRebuilt += len(lf)
 		rep.FramesReconstructed += int(hi - lo)
 		rep.FramesSkipped += int(max - (hi - lo))
+		if d.Kind == PartialLoss {
+			phase2Pages += int(hi - lo) // whole declared range, eagerly
+		} else {
+			phase2Pages += len(lf)
+		}
 	}
 	survivors := r.Topo.Nodes - procsDown
-	rep.Phase2 = r.pageRebuildCost() * sim.Time(ceilDiv(rep.LogPagesRebuilt, survivors))
+	rep.Phase2 = r.pageRebuildCost() * sim.Time(ceilDiv(phase2Pages, survivors))
 	if err := r.checkPhase(2, nil); err != nil {
 		return rep, err
 	}
@@ -489,31 +546,44 @@ func (r *Recovery) Recover(damage []Damage, targetEpoch uint64) (Report, error) 
 	// Phase 3: every node's log rolls back its own memory; the logs of
 	// nodes whose processor died — rebuilt for full losses, surviving for
 	// CPU-only ones — are processed by the survivors. A rebuilt page of a
-	// memory-damaged node counts as an on-demand rebuild the first time
-	// the rollback restores into it; frames outside a partial loss's
-	// damaged range survived and are pre-marked so they never charge one.
+	// full-loss node counts as an on-demand rebuild the first time the
+	// rollback restores into it; frames outside a partial loss's damaged
+	// range survived, and the range itself was rebuilt eagerly in Phase 2,
+	// so a partial-loss node is pre-marked wholesale and never charges one.
 	demand := map[arch.NodeID]map[arch.Frame]bool{}
 	for n, rng := range rebuilt {
 		dm := map[arch.Frame]bool{}
 		for f := arch.Frame(0); f < max; f++ {
-			if f < rng[0] || f >= rng[1] {
+			if partial[n] || f < rng[0] || f >= rng[1] {
 				dm[f] = true
 			}
 		}
 		demand[n] = dm
 	}
-	perNode := make([]sim.Time, r.Topo.Nodes)
+	perWalk := make([]sim.Time, r.Topo.Nodes)
+	perRebuild := make([]sim.Time, r.Topo.Nodes)
 	for n := 0; n < r.Topo.Nodes; n++ {
 		node := arch.NodeID(n)
-		if err := r.rollbackNode(node, targetEpoch, lostSet, demand, &rep, &perNode[n]); err != nil {
+		if err := r.rollbackNode(node, targetEpoch, lostSet, demand, &rep,
+			&perWalk[n], &perRebuild[n]); err != nil {
 			return rep, err
 		}
 	}
+	// Aggregate per-node times. Log walking and entry restoration are
+	// port-bound work at the log's home: a live processor does its own
+	// (full price), a dead node's log is split across the survivors —
+	// on-demand rebuilds included, since the survivors walking that log
+	// are the same pool that streams the parity groups. A live walker's
+	// demand rebuilds (none today: partial losses rebuild eagerly in
+	// Phase 2) would stream from the idle survivors in parallel, so they
+	// divide rather than add. (Charging rebuilds to the walker at full
+	// price was the E19 anomaly: a partial loss's Phase 3 exceeded the
+	// full node-loss reference.)
 	var maxT sim.Time
 	for n := 0; n < r.Topo.Nodes; n++ {
-		t := perNode[n]
+		t := perWalk[n] + perRebuild[n]/sim.Time(survivors)
 		if procDown[arch.NodeID(n)] {
-			t /= sim.Time(survivors)
+			t = (perWalk[n] + perRebuild[n]) / sim.Time(survivors)
 		}
 		if t > maxT {
 			maxT = t
@@ -525,7 +595,8 @@ func (r *Recovery) Recover(damage []Damage, targetEpoch uint64) (Report, error) 
 	}
 
 	// Phase 4: the remaining rebuilt frames (reconstructed above; timing
-	// only). Only the affected stripes of a partial loss contribute.
+	// only). A partial loss contributes nothing here — its whole range
+	// was already charged to Phase 2.
 	for _, d := range damage {
 		rng, ok := rebuilt[d.Node]
 		if !ok {
@@ -551,16 +622,20 @@ func (r *Recovery) Recover(damage []Damage, targetEpoch uint64) (Report, error) 
 // vanish in this case).
 func (r *Recovery) Rollback(targetEpoch uint64) (Report, error) {
 	rep := Report{LostNode: -1, TargetEpoch: targetEpoch, Phase1: r.Cfg.HWRecovery}
+	if r.Scope != nil {
+		rep.ConeNodes = len(r.Scope.Cone)
+		rep.ConeGlobal = r.Scope.Global
+	}
 	if err := r.checkPhase(1, nil); err != nil {
 		return rep, err
 	}
 	var maxT sim.Time
 	for n := 0; n < r.Topo.Nodes; n++ {
-		var t sim.Time
-		if err := r.rollbackNode(arch.NodeID(n), targetEpoch, nil, nil, &rep, &t); err != nil {
+		var t, rb sim.Time
+		if err := r.rollbackNode(arch.NodeID(n), targetEpoch, nil, nil, &rep, &t, &rb); err != nil {
 			return rep, err
 		}
-		if t > maxT {
+		if t += rb; t > maxT {
 			maxT = t
 		}
 	}
@@ -576,11 +651,15 @@ func (r *Recovery) Rollback(targetEpoch uint64) (Report, error) {
 // without a valid marker are incomplete and skipped; entries carrying an
 // *older* epoch under a valid marker are stale bytes of a reused slot whose
 // in-flight parity update was lost (possible only in rebuilt logs) and are
-// skipped too. t accumulates the node's rollback time.
+// skipped too. t accumulates the node's log-walk and restoration time; rb
+// accumulates the on-demand parity-group rebuild time separately — the
+// caller attributes the two differently (rebuild streaming is farmed out
+// to the survivors, the walk is the walker's own).
 func (r *Recovery) rollbackNode(node arch.NodeID, targetEpoch uint64, lost map[arch.NodeID]bool,
-	demand map[arch.NodeID]map[arch.Frame]bool, rep *Report, t *sim.Time) error {
+	demand map[arch.NodeID]map[arch.Frame]bool, rep *Report, t, rb *sim.Time) error {
 	log := r.Ctrls[node].Log()
 	m := r.Mems[node]
+	scoped := r.Scope != nil && !r.Scope.Global && r.Scope.Restore != nil
 	var walkErr error
 	log.walkNewest(func(s slotAddr) bool {
 		hdr := decodeHeader(m.Peek(arch.PhysLine{Node: node, Frame: s.frame,
@@ -601,12 +680,19 @@ func (r *Recovery) rollbackNode(node arch.NodeID, targetEpoch uint64, lost map[a
 				node, hdr.line)
 			return false
 		}
+		if scoped && !r.Scope.Restore(hdr.line) {
+			// Every post-checkpoint writer of the line is outside the
+			// cone: its latest content is provably unaffected by the
+			// fault and stands as-is (no restore, no demand rebuild).
+			rep.EntriesOutsideCone++
+			return true
+		}
 		if lost[phys.Node] && demand[phys.Node] != nil && !demand[phys.Node][phys.Frame] {
 			// First restore into this lost page: the paper rebuilds
 			// the parity group on demand here (Phase 3 timing).
 			demand[phys.Node][phys.Frame] = true
 			rep.DataPagesRebuilt++
-			*t += r.pageRebuildCost()
+			*rb += r.pageRebuildCost()
 		}
 		old := m.Peek(arch.PhysLine{Node: node, Frame: s.frame,
 			Off: uint8(s.slot*entryLines + 1)}.MemAddr())

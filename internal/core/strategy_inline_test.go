@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"revive/internal/arch"
+)
+
+func TestDiffWords(t *testing.T) {
+	var a, b arch.Data
+	if n := diffWords(&a, &b); n != 0 {
+		t.Fatalf("identical lines differ in %d words", n)
+	}
+	b[0] = 1 // word 0
+	b[9] = 1 // word 1
+	if n := diffWords(&a, &b); n != 2 {
+		t.Fatalf("two touched words counted as %d", n)
+	}
+	for w := 0; w < arch.LineBytes; w += 8 {
+		b[w] = 0xFF
+	}
+	if n := diffWords(&a, &b); n != arch.LineBytes/8 {
+		t.Fatalf("all-words diff counted as %d, want %d", n, arch.LineBytes/8)
+	}
+}
+
+// TestInlineLogFitAndOverflow drives both sides of the in-line logging
+// break-even directly — the synthetic workloads' writes are narrow and
+// essentially never overflow, so the slow path needs explicit coverage:
+// a narrow write rides the line (no timed log access), a wide write
+// takes the classic out-of-line path, and both leave valid log entries.
+func TestInlineLogFitAndOverflow(t *testing.T) {
+	engine, ctrls, amap := newCtrlRig()
+	strat, err := NewStrategy("inline-log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range ctrls {
+		c.SetStrategy(strat)
+	}
+	c := ctrls[2]
+
+	narrow := arch.PageNum(100).FirstLine()
+	physN := amap.TouchLine(narrow, 2)
+	var small arch.Data
+	small[0] = 0xAA // one modified word: fits
+	c.Write(narrow, physN, small, false, func() {}, func() {})
+	engine.Run()
+	if c.Events.InlineFits != 1 || c.Events.InlineOverflows != 0 {
+		t.Fatalf("narrow write: fits=%d ovf=%d, want 1/0",
+			c.Events.InlineFits, c.Events.InlineOverflows)
+	}
+
+	wide := arch.PageNum(101).FirstLine()
+	physW := amap.TouchLine(wide, 2)
+	var big arch.Data
+	for w := 0; w < arch.LineBytes; w += 8 {
+		big[w] = 0xFF // every word modified: past the break-even point
+	}
+	c.Write(wide, physW, big, false, func() {}, func() {})
+	engine.Run()
+	if c.Events.InlineFits != 1 || c.Events.InlineOverflows != 1 {
+		t.Fatalf("wide write: fits=%d ovf=%d, want 1/1",
+			c.Events.InlineFits, c.Events.InlineOverflows)
+	}
+	// Both undo entries exist functionally regardless of which path timed
+	// them (parity-home controllers may add entries of their own for the
+	// parity lines, so the log can hold more than the two data entries).
+	if got := c.Log().Entries(); got < 2 {
+		t.Fatalf("log holds %d entries, want at least 2", got)
+	}
+}

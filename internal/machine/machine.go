@@ -37,7 +37,13 @@ type Config struct {
 	// 3.1; the ablation benchmarks measure the hot spot).
 	DedicatedParity bool
 	Revive          bool // attach the ReVive directory-controller extension
-	Checkpoint      core.CheckpointConfig
+	// Strategy selects the recovery-strategy backend behind the
+	// controllers ("revive", "inline-log", "conelog"; empty =
+	// core.DefaultStrategy). Ignored when Revive is off. New panics on
+	// an unknown name — CLIs and the serving layer validate earlier via
+	// core.NewStrategy.
+	Strategy   string
+	Checkpoint core.CheckpointConfig
 	Proc            proc.Config
 	L1, L2          cache.Config
 	Mem             mem.Config
@@ -138,6 +144,10 @@ type Machine struct {
 	shards     int
 	shardStats []*stats.Stats
 
+	// strategy is the machine-wide recovery-strategy backend instance
+	// shared by all controllers (nil on baseline machines).
+	strategy core.Strategy
+
 	finished  int
 	snapshots map[uint64]*Snapshot
 	devices   []*iodev.Device
@@ -236,13 +246,27 @@ func New(cfg Config) *Machine {
 		m.Caches[n].SetDirs(m.Dirs)
 	}
 	if cfg.Revive {
+		strat, err := core.NewStrategy(cfg.Strategy)
+		if err != nil {
+			panic(err)
+		}
+		m.strategy = strat
+		st.Strategy = strat.Name()
 		for n := 0; n < cfg.Nodes; n++ {
 			ctrl := core.NewController(m.ctxs[n], arch.NodeID(n), topo, amap,
 				m.Dirs, xport, m.nodeStats(n), tracker)
+			ctrl.SetStrategy(strat)
 			ctrl.DisableLBits = cfg.DisableLBits
 			ctrl.DisableEagerLog = cfg.DisableEagerLog
 			m.Ctrls = append(m.Ctrls, ctrl)
 			m.Dirs[n].SetExtension(ctrl)
+		}
+		if fs, ok := strat.(interface {
+			FlowObserver() coherence.FlowObserver
+		}); ok {
+			for n := 0; n < cfg.Nodes; n++ {
+				m.Dirs[n].SetFlowObserver(fs.FlowObserver())
+			}
 		}
 		for n := 0; n < cfg.Nodes; n++ {
 			m.Ctrls[n].Wire(m.Ctrls)

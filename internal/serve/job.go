@@ -51,6 +51,13 @@ type Request struct {
 	Mirror   bool     `json:"mirror,omitempty"`
 	NoCkpt   bool     `json:"nockpt,omitempty"`
 
+	// Strategy selects the recovery-strategy backend (revive.Strategies;
+	// empty canonicalizes to the explicit default "revive", so the
+	// strategy is always part of the content address and results from
+	// different backends can never share a cache entry). Baseline
+	// machines have no backend; baseline requests must leave it unset.
+	Strategy string `json:"strategy,omitempty"`
+
 	// experiment
 	Study string `json:"study,omitempty"` // revive.Studies
 
@@ -133,6 +140,21 @@ func Canonicalize(req Request) (Request, []byte, error) {
 	if req.Baseline && req.Mirror {
 		return req, nil, errors.New("baseline excludes mirroring")
 	}
+	if err := revive.ValidateStrategy(req.Strategy); err != nil {
+		return req, nil, err
+	}
+	switch {
+	case req.Baseline:
+		// A baseline machine has no recovery backend at all.
+		if req.Strategy != "" {
+			return req, nil, errors.New("baseline excludes a recovery strategy")
+		}
+	case req.Strategy == "":
+		// The default is spelled out so the strategy is always part of
+		// the content address: results produced under different backends
+		// can never alias to one cache entry.
+		req.Strategy = revive.DefaultStrategy
+	}
 	canon, err := json.Marshal(req)
 	if err != nil {
 		return req, nil, err
@@ -199,7 +221,8 @@ func Execute(ctx context.Context, req Request, parallelism, shards int, maxEvent
 // returned bytes are byte-identical with or without one (the cache and
 // the crash harness depend on that).
 func ExecuteObserved(ctx context.Context, req Request, parallelism, shards int, maxEvents uint64, sink *ProgressSink) ([]byte, error) {
-	o := revive.Options{Nodes: req.Nodes, Scale: req.Scale, Quick: req.Quick, Parallelism: parallelism, Shards: shards}
+	o := revive.Options{Nodes: req.Nodes, Scale: req.Scale, Quick: req.Quick,
+		Strategy: req.Strategy, Parallelism: parallelism, Shards: shards}
 	if req.Mirror {
 		o.GroupSize = 2
 	}
@@ -215,6 +238,7 @@ func ExecuteObserved(ctx context.Context, req Request, parallelism, shards int, 
 		sum, err := chaos.RunCtx(ctx, chaos.Options{
 			Campaigns:    req.Campaigns,
 			Seed:         req.Seed,
+			Strategy:     req.Strategy,
 			Parallelism:  parallelism,
 			DropProb:     req.DropProb,
 			CPULoss:      req.CPULoss,

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStrategyIsPartOfContentAddress: results produced under different
+// recovery backends must never share a cache entry, so the strategy is
+// always spelled out in the canonical request and therefore in the job ID.
+func TestStrategyIsPartOfContentAddress(t *testing.T) {
+	base := Request{Kind: "sim", Apps: []string{"fft"}, Quick: true}
+
+	_, defCanon, err := Canonicalize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(defCanon), `"strategy":"revive"`) {
+		t.Fatalf("default canonical form does not spell out the backend: %s", defCanon)
+	}
+
+	explicit := base
+	explicit.Strategy = "revive"
+	_, expCanon, err := Canonicalize(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ID(defCanon) != ID(expCanon) {
+		t.Fatal("empty and explicit default strategy hash to different jobs")
+	}
+
+	cone := base
+	cone.Strategy = "conelog"
+	_, coneCanon, err := Canonicalize(cone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inline := base
+	inline.Strategy = "inline-log"
+	_, inlineCanon, err := Canonicalize(inline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]string{
+		"revive":     ID(defCanon),
+		"conelog":    ID(coneCanon),
+		"inline-log": ID(inlineCanon),
+	}
+	for a, ida := range ids {
+		for b, idb := range ids {
+			if a != b && ida == idb {
+				t.Fatalf("strategies %q and %q share content address %s", a, b, ida)
+			}
+		}
+	}
+}
+
+func TestStrategyRequestValidation(t *testing.T) {
+	bad := Request{Kind: "sim", Apps: []string{"fft"}, Strategy: "no-such-backend"}
+	if _, _, err := Canonicalize(bad); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	baseline := Request{Kind: "sim", Apps: []string{"fft"}, Baseline: true, Strategy: "conelog"}
+	if _, _, err := Canonicalize(baseline); err == nil {
+		t.Fatal("baseline request with a recovery strategy accepted")
+	}
+}

@@ -87,6 +87,12 @@ type Stats struct {
 	// different code versions. It appears exactly once per run result.
 	Schema int `json:"schema_version"`
 
+	// Strategy is the recovery-strategy backend the run used ("revive",
+	// "inline-log", "conelog"; empty on baseline machines without
+	// recovery support). machine.New stamps it on the main Stats; like
+	// the other identity fields it is not folded from shard shadows.
+	Strategy string `json:"strategy,omitempty"`
+
 	// Per-processor progress.
 	Instructions uint64
 	MemRefs      uint64
@@ -183,8 +189,10 @@ type RecoveryRecord struct {
 // most importantly revive-serve's content-addressed result cache — never
 // serves a payload produced by a different shape of the code. Version 1
 // is retroactively the envelope before the version field existed;
-// version 2 added the field itself.
-const SchemaVersion = 2
+// version 2 added the field itself; version 3 added the strategy field
+// (and the cone/scope recovery accounting), so results produced under
+// different recovery-strategy backends can never alias in the cache.
+const SchemaVersion = 3
 
 // New returns a fresh Stats stamped with the current SchemaVersion.
 func New() *Stats { return &Stats{Schema: SchemaVersion} }

@@ -106,6 +106,26 @@ const (
 // New assembles a machine from a configuration.
 func New(cfg Config) *Machine { return machine.New(cfg) }
 
+// StrategyInfo describes one registered recovery-strategy backend.
+type StrategyInfo = core.StrategyInfo
+
+// DefaultStrategy is the paper's own design point ("revive").
+const DefaultStrategy = core.DefaultStrategy
+
+// Strategies lists the registered recovery-strategy backends in their
+// canonical (sorted) order.
+func Strategies() []StrategyInfo { return core.Strategies() }
+
+// StrategyNames returns the registered backend names in canonical order.
+func StrategyNames() []string { return core.StrategyNames() }
+
+// ValidateStrategy checks a strategy name (e.g. a -strategy flag value);
+// the empty name selects DefaultStrategy and is valid.
+func ValidateStrategy(name string) error {
+	_, err := core.NewStrategy(name)
+	return err
+}
+
 // Options selects the experiment regime. The zero value is the default
 // evaluation regime discussed in DESIGN.md section 6: paper instruction
 // counts divided by 100, quarter-scale caches, and the checkpoint interval
@@ -130,6 +150,10 @@ type Options struct {
 	// DedicatedParity concentrates parity on one node per group (the
 	// Plank-style organization the paper argues against).
 	DedicatedParity bool
+	// Strategy selects the recovery-strategy backend ("revive",
+	// "inline-log", "conelog"; empty = the default "revive"). See
+	// core.Strategies for the registry and README "Recovery strategies".
+	Strategy string
 	// Verify retains per-checkpoint snapshots (recovery experiments).
 	Verify bool
 	// Parallelism is the worker count for the experiment sweeps
@@ -177,6 +201,7 @@ func EvalConfig(o Options) Config {
 	cfg.GroupSize = o.GroupSize
 	cfg.MirrorFrames = arch.Frame(o.MirrorFrames)
 	cfg.DedicatedParity = o.DedicatedParity
+	cfg.Strategy = o.Strategy
 	cfg.Verify = o.Verify
 	cfg.Shards = o.Shards
 	cfg.L1.SizeBytes = 4 * 1024
